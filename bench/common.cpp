@@ -1,0 +1,162 @@
+#include "common.hpp"
+
+#include <algorithm>
+
+#include "rnn/flops.hpp"
+#include "taskrt/task_graph.hpp"
+
+namespace bench {
+
+using bpar::exec::FrameworkProfile;
+using bpar::graph::BuildOptions;
+using bpar::graph::TrainingProgram;
+using bpar::rnn::NetworkConfig;
+using bpar::sim::Calibration;
+using bpar::sim::SimOptions;
+using bpar::sim::SimResult;
+using bpar::sim::Simulator;
+
+Calibration paper_core_calibration() {
+  // One Xeon 8160 core at 2.1 GHz with AVX-512 MKL sustains ~40 Gflop/s on
+  // the gate-GEMM sizes involved; per-core stream bandwidth ~12 GB/s.
+  return {.gflops = 40.0, .mem_gbps = 12.0, .fixed_ns = 300.0};
+}
+
+void add_common_flags(bpar::util::ArgParser& args) {
+  args.add_flag("host-calibration",
+                "use this machine's measured kernel rates instead of the "
+                "Xeon-8160 paper calibration");
+  args.add_flag("full", "run the full (slow) configuration sweep");
+  args.add_string("csv-dir", "bench_results", "directory for CSV output");
+}
+
+Calibration resolve_calibration(const bpar::util::ArgParser& args) {
+  return args.flag("host-calibration") ? bpar::sim::calibrate()
+                                       : paper_core_calibration();
+}
+
+double simulate_bpar(bpar::rnn::Network& net, const SimSetup& setup,
+                     int replicas, SimResult* result, bool fuse_merge,
+                     bool per_layer_barriers, bool sequential_directions) {
+  BuildOptions bo;
+  bo.num_replicas = std::min(replicas, net.config().batch_size);
+  bo.training = setup.training;
+  bo.executable = false;
+  bo.fuse_merge = fuse_merge;
+  bo.per_layer_barriers = per_layer_barriers;
+  bo.sequential_directions = sequential_directions;
+  TrainingProgram program(net, net.config().batch_size, bo);
+  const auto costs =
+      bpar::sim::modeled_costs(program.graph(), setup.calibration);
+  Simulator simulator(
+      SimOptions{.policy = setup.policy, .cores = setup.cores});
+  SimResult r = simulator.run(program.graph(), costs);
+  if (result != nullptr) *result = r;
+  return r.makespan_ms;
+}
+
+double simulate_bseq(const NetworkConfig& cfg, const SimSetup& setup,
+                     int replicas) {
+  // B-Seq: R coarse, independent tasks (one full sequential pass per
+  // mini-batch) plus a reduction — data parallelism only. Each coarse
+  // task's cost is the *sum* of the same per-cell costs B-Par's graph
+  // uses for one replica's slice, so the two systems' total work agrees.
+  const int reps = std::min(replicas, cfg.batch_size);
+  double per_replica_ns = 0.0;
+  {
+    NetworkConfig replica_cfg = cfg;
+    replica_cfg.batch_size = std::max(1, cfg.batch_size / reps);
+    bpar::rnn::Network replica_net(replica_cfg, /*allocate_weights=*/false);
+    BuildOptions bo;
+    bo.training = setup.training;
+    bo.executable = false;
+    TrainingProgram replica_prog(replica_net, replica_cfg.batch_size, bo);
+    for (const auto cost :
+         bpar::sim::modeled_costs(replica_prog.graph(), setup.calibration)) {
+      per_replica_ns += static_cast<double>(cost);
+    }
+  }
+  bpar::taskrt::TaskGraph graph;
+  std::vector<char> slots(static_cast<std::size_t>(reps) + 1);
+  std::vector<bpar::taskrt::Access> reduce_ins;
+  for (int r = 0; r < reps; ++r) {
+    bpar::taskrt::TaskSpec spec;
+    spec.kind = bpar::taskrt::TaskKind::kGeneric;
+    spec.cost_hint_ns = static_cast<std::uint64_t>(per_replica_ns);
+    spec.replica = r;
+    graph.add([] {}, {bpar::taskrt::out(&slots[static_cast<std::size_t>(r)])},
+              std::move(spec));
+    reduce_ins.push_back(
+        bpar::taskrt::in(&slots[static_cast<std::size_t>(r)]));
+  }
+  bpar::taskrt::TaskSpec reduce_spec;
+  reduce_spec.kind = bpar::taskrt::TaskKind::kGradReduce;
+  reduce_spec.flops = 2.0 * reps * 1e6;
+  reduce_ins.push_back(bpar::taskrt::out(&slots.back()));
+  graph.add([] {},
+            std::span<const bpar::taskrt::Access>(reduce_ins.data(),
+                                                  reduce_ins.size()),
+            std::move(reduce_spec));
+  const auto costs = bpar::sim::modeled_costs(graph, setup.calibration);
+  Simulator simulator(
+      SimOptions{.policy = bpar::taskrt::SchedulerPolicy::kFifo,
+                 .cores = setup.cores});
+  return simulator.run(graph, costs).makespan_ms;
+}
+
+double simulate_framework(bpar::rnn::Network& net, const SimSetup& setup,
+                          const FrameworkProfile& profile) {
+  const BuildOptions bo = bpar::exec::baseline_build_options(
+      profile, setup.cores, net.config().batch_size, setup.training);
+  TrainingProgram program(net, net.config().batch_size, bo);
+  const auto costs =
+      bpar::exec::profile_costs(program.graph(), setup.calibration, profile);
+  Simulator simulator(
+      SimOptions{.policy = bpar::taskrt::SchedulerPolicy::kFifo,
+                 .cores = setup.cores});
+  return simulator.run(program.graph(), costs).makespan_ms;
+}
+
+double best_over_cores(const std::vector<int>& cores_list,
+                       const std::function<double(int)>& run) {
+  double best = 1e300;
+  for (const int cores : cores_list) best = std::min(best, run(cores));
+  return best;
+}
+
+NetworkConfig table_network(bpar::rnn::CellType cell, int input, int hidden,
+                            int batch, int seq, int layers,
+                            bool many_to_many) {
+  NetworkConfig cfg;
+  cfg.cell = cell;
+  cfg.merge = bpar::rnn::MergeOp::kSum;  // H-wide: matches paper params
+  cfg.input_size = input;
+  cfg.hidden_size = hidden;
+  cfg.num_layers = layers;
+  cfg.seq_length = seq;
+  cfg.batch_size = batch;
+  cfg.num_classes = 11;
+  cfg.many_to_many = many_to_many;
+  return cfg;
+}
+
+std::string gpu_cell(const bpar::perf::GpuModelParams& params,
+                     const NetworkConfig& cfg) {
+  const bpar::perf::GpuWorkload w{
+      .gates = bpar::rnn::gate_count(cfg.cell),
+      .input_size = cfg.input_size,
+      .hidden_size = cfg.hidden_size,
+      .batch_size = cfg.batch_size,
+      .seq_length = cfg.seq_length,
+      .layers = cfg.num_layers,
+      .training = true};
+  const auto t = bpar::perf::gpu_batch_time_ms(params, w);
+  return t.has_value() ? bpar::util::fmt_ms(*t) : "-";
+}
+
+void emit_csv(const bpar::util::ArgParser& args, const bpar::util::Table& t,
+              const std::string& name) {
+  t.write_csv(args.get_string("csv-dir") + "/" + name + ".csv");
+}
+
+}  // namespace bench

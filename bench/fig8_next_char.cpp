@@ -1,0 +1,74 @@
+// Fig. 8 — next-character prediction (Wikipedia-style, many-to-many) batch
+// training time of B-Par vs Keras-CPU for BLSTM and BGRU, varying layer
+// count, batch size, and hidden size.
+//
+// Paper shape: B-Par wins every configuration, with max speed-ups of
+// 1.54x / 2.17x / 2.38x / 2.44x at 2 / 4 / 8 / 12 layers.
+#include <algorithm>
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  bpar::util::ArgParser args("fig8_next_char",
+                             "many-to-many next-char prediction vs Keras");
+  bench::add_common_flags(args);
+  args.add_int("cores", 48, "simulated cores");
+  args.add_int("seq", 100, "sequence length");
+  args.add_int("replicas", 8, "B-Par mini-batches");
+  if (!args.parse(argc, argv)) return 1;
+
+  bench::SimSetup setup;
+  setup.calibration = bench::resolve_calibration(args);
+  setup.cores = static_cast<int>(args.get_int("cores"));
+  const int replicas = static_cast<int>(args.get_int("replicas"));
+
+  std::vector<double> max_speedup_per_layers;
+  const std::vector<int> layer_list = {2, 4, 8, 12};
+  for (const auto cell :
+       {bpar::rnn::CellType::kLstm, bpar::rnn::CellType::kGru}) {
+    bpar::util::Table table(
+        {"layers", "batch", "hidden", "Keras(ms)", "B-Par(ms)", "S(K)"});
+    for (std::size_t li = 0; li < layer_list.size(); ++li) {
+      const int layers = layer_list[li];
+      for (const int batch : {64, 128}) {
+        for (const int hidden : {128, 256}) {
+          auto cfg = bench::table_network(cell, 64, hidden, batch,
+                                          static_cast<int>(args.get_int("seq")),
+                                          layers, /*many_to_many=*/true);
+          cfg.num_classes = 64;  // character vocabulary
+          bpar::rnn::Network net(cfg, /*allocate_weights=*/false);
+          const double keras = bench::simulate_framework(
+              net, setup, bpar::exec::keras_cpu_profile());
+          const double bpar_ms =
+              bench::simulate_bpar(net, setup, replicas);
+          const double speedup = keras / bpar_ms;
+          if (max_speedup_per_layers.size() <= li) {
+            max_speedup_per_layers.resize(li + 1, 0.0);
+          }
+          max_speedup_per_layers[li] =
+              std::max(max_speedup_per_layers[li], speedup);
+          table.add_row({std::to_string(layers), std::to_string(batch),
+                         std::to_string(hidden), bpar::util::fmt_ms(keras),
+                         bpar::util::fmt_ms(bpar_ms),
+                         bpar::util::fmt_speedup(speedup)});
+        }
+      }
+    }
+    table.print(std::string("Fig. 8 (") + bpar::rnn::cell_name(cell) +
+                "): many-to-many next-char prediction, B-Par vs Keras");
+    bench::emit_csv(args, table,
+                    std::string("fig8_next_char_") +
+                        (cell == bpar::rnn::CellType::kLstm ? "blstm"
+                                                            : "bgru"));
+  }
+
+  std::printf("\nmax B-Par speed-up per layer count (both cell types):\n");
+  const double paper[] = {1.54, 2.17, 2.38, 2.44};
+  for (std::size_t li = 0; li < layer_list.size(); ++li) {
+    std::printf("  %2d layers: measured %s (paper %s)\n", layer_list[li],
+                bpar::util::fmt_speedup(max_speedup_per_layers[li]).c_str(),
+                bpar::util::fmt_speedup(paper[li]).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+// google-benchmark microbenchmarks of the numeric substrate: GEMM
+// variants, cell forward/backward kernels, merges, and softmax.
+#include <benchmark/benchmark.h>
+
+#include "kernels/elementwise.hpp"
+#include "kernels/gemm.hpp"
+#include "rnn/cell_kernels.hpp"
+#include "rnn/flops.hpp"
+#include "rnn/merge.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using bpar::tensor::Matrix;
+
+void BM_GemmNt(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  bpar::util::Rng rng(1);
+  Matrix a(m, k);
+  Matrix b(n, k);
+  Matrix c(m, n);
+  bpar::tensor::fill_uniform(a.view(), rng, -1.0F, 1.0F);
+  bpar::tensor::fill_uniform(b.view(), rng, -1.0F, 1.0F);
+  for (auto _ : state) {
+    bpar::kernels::gemm_nt(a.cview(), b.cview(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      bpar::kernels::gemm_flops(m, n, k) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmNt)
+    ->Args({32, 256, 128})
+    ->Args({128, 1024, 512})
+    ->Args({1, 1024, 512});
+
+void BM_GemmTn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  bpar::util::Rng rng(2);
+  Matrix a(64, n);
+  Matrix b(64, n);
+  Matrix c(n, n);
+  bpar::tensor::fill_uniform(a.view(), rng, -1.0F, 1.0F);
+  bpar::tensor::fill_uniform(b.view(), rng, -1.0F, 1.0F);
+  for (auto _ : state) {
+    bpar::kernels::gemm_tn(a.cview(), b.cview(), c.view(), 1.0F, 1.0F);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTn)->Arg(128)->Arg(384);
+
+template <bpar::rnn::CellType kCell>
+void BM_CellForward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int hidden = static_cast<int>(state.range(1));
+  const int input = 64;
+  bpar::util::Rng rng(3);
+  bpar::rnn::LayerParams params;
+  params.init(kCell, input, hidden, rng);
+  Matrix x(batch, input);
+  Matrix h_prev(batch, hidden);
+  Matrix c_prev(batch, hidden);
+  bpar::tensor::fill_uniform(x.view(), rng, -1.0F, 1.0F);
+  bpar::rnn::CellTape tape;
+  tape.init(kCell, batch, hidden);
+  for (auto _ : state) {
+    bpar::rnn::cell_forward(params, x.cview(), h_prev.cview(),
+                            c_prev.cview(), tape);
+    benchmark::DoNotOptimize(tape.h.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      bpar::rnn::cell_forward_flops(kCell, batch, input, hidden) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_CellForward<bpar::rnn::CellType::kLstm>)
+    ->Args({16, 256})
+    ->Args({128, 256});
+BENCHMARK(BM_CellForward<bpar::rnn::CellType::kGru>)
+    ->Args({16, 256})
+    ->Args({128, 256});
+
+template <bpar::rnn::CellType kCell>
+void BM_CellBackward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int hidden = static_cast<int>(state.range(1));
+  const int input = 64;
+  bpar::util::Rng rng(4);
+  bpar::rnn::LayerParams params;
+  params.init(kCell, input, hidden, rng);
+  Matrix x(batch, input);
+  Matrix h_prev(batch, hidden);
+  Matrix c_prev(batch, hidden);
+  bpar::tensor::fill_uniform(x.view(), rng, -1.0F, 1.0F);
+  bpar::rnn::CellTape tape;
+  tape.init(kCell, batch, hidden);
+  bpar::rnn::cell_forward(params, x.cview(), h_prev.cview(), c_prev.cview(),
+                          tape);
+  Matrix dh(batch, hidden);
+  bpar::tensor::fill_constant(dh.view(), 1.0F);
+  Matrix dx(batch, input);
+  Matrix dh_prev(batch, hidden);
+  Matrix dc_prev(batch, hidden);
+  bpar::rnn::LayerGrads grads;
+  grads.init_like(params);
+  const bool lstm = kCell == bpar::rnn::CellType::kLstm;
+  for (auto _ : state) {
+    bpar::rnn::cell_backward(
+        params, x.cview(), h_prev.cview(), c_prev.cview(), tape, dh.cview(),
+        {}, dx.view(), dh_prev.view(),
+        lstm ? dc_prev.view() : bpar::tensor::MatrixView{}, grads);
+    benchmark::DoNotOptimize(grads.dw.data());
+  }
+}
+BENCHMARK(BM_CellBackward<bpar::rnn::CellType::kLstm>)->Args({16, 256});
+BENCHMARK(BM_CellBackward<bpar::rnn::CellType::kGru>)->Args({16, 256});
+
+void BM_MergeForward(benchmark::State& state) {
+  const auto op = static_cast<bpar::rnn::MergeOp>(state.range(0));
+  bpar::util::Rng rng(5);
+  Matrix hf(128, 256);
+  Matrix hr(128, 256);
+  bpar::tensor::fill_uniform(hf.view(), rng, -1.0F, 1.0F);
+  bpar::tensor::fill_uniform(hr.view(), rng, -1.0F, 1.0F);
+  Matrix y(128, bpar::rnn::merge_output_size(op, 256));
+  for (auto _ : state) {
+    bpar::rnn::merge_forward(op, hf.cview(), hr.cview(), y.view());
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MergeForward)->Arg(0)->Arg(1)->Arg(3);
+
+void BM_SoftmaxCe(benchmark::State& state) {
+  bpar::util::Rng rng(6);
+  Matrix logits(128, 64);
+  Matrix probs(128, 64);
+  bpar::tensor::fill_uniform(logits.view(), rng, -2.0F, 2.0F);
+  std::vector<int> labels(128, 3);
+  for (auto _ : state) {
+    bpar::kernels::softmax_rows(logits.cview(), probs.view());
+    benchmark::DoNotOptimize(
+        bpar::kernels::cross_entropy(probs.cview(), labels));
+  }
+}
+BENCHMARK(BM_SoftmaxCe);
+
+}  // namespace

@@ -1,0 +1,17 @@
+// Table III — BLSTM single-batch training times and B-Par speedups across
+// the paper's 12 model configurations.
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<bench::TableRow> rows = {
+      {64, 256, 128, 100, 1.79, 3.25},   {256, 256, 128, 100, 1.90, 4.24},
+      {1024, 256, 128, 100, 1.58, 3.19}, {256, 256, 1, 2, 1.17, 1.37},
+      {256, 256, 1, 10, 1.50, 2.21},     {256, 256, 1, 100, 1.93, 3.22},
+      {64, 256, 256, 100, 1.76, 3.35},   {64, 1024, 256, 100, 1.64, 8.51},
+      {256, 256, 256, 100, 1.75, 3.42},  {256, 1024, 256, 100, 1.83, 9.16},
+      {1024, 256, 256, 100, 1.58, 3.12}, {1024, 1024, 256, 100, 1.78, 7.31}};
+  return bench::run_training_table(
+      argc, argv, bpar::rnn::CellType::kLstm, rows,
+      "Table III: BLSTM training times, B-Par vs Keras/PyTorch/B-Seq",
+      "table3_blstm");
+}

@@ -1,0 +1,17 @@
+// Table IV — BGRU single-batch training times and B-Par speedups across
+// the paper's 12 model configurations.
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<bench::TableRow> rows = {
+      {64, 256, 128, 100, 1.81, 3.95},   {256, 256, 128, 100, 1.72, 3.16},
+      {1024, 256, 128, 100, 1.56, 7.49}, {256, 256, 1, 2, 1.70, 2.34},
+      {256, 256, 1, 10, 1.86, 3.25},     {256, 256, 1, 100, 2.34, 4.80},
+      {64, 256, 256, 100, 1.93, 2.62},   {64, 1024, 256, 100, 1.74, 2.15},
+      {256, 256, 256, 100, 1.77, 2.51},  {256, 1024, 256, 100, 1.98, 3.86},
+      {1024, 256, 256, 100, 1.66, 4.32}, {1024, 1024, 256, 100, 1.91, 3.02}};
+  return bench::run_training_table(
+      argc, argv, bpar::rnn::CellType::kGru, rows,
+      "Table IV: BGRU training times, B-Par vs Keras/PyTorch/B-Seq",
+      "table4_bgru");
+}

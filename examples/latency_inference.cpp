@@ -1,0 +1,93 @@
+// Real-time inference latency — the paper's motivating scenario for CPUs
+// ("the low latency they display for small batch sizes", §I): stream
+// single utterances (batch 1) through a trained BLSTM and report latency
+// percentiles for the sequential, per-layer-barrier, and B-Par executors.
+//
+//   ./latency_inference [--requests N] [--workers N] [--hidden N]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/bpar.hpp"
+#include "data/tidigits.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+struct Percentiles {
+  double p50;
+  double p95;
+  double p99;
+  double mean;
+};
+
+Percentiles percentiles(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1));
+    return samples[idx];
+  };
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  return {at(0.50), at(0.95), at(0.99),
+          sum / static_cast<double>(samples.size())};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bpar::util::ArgParser args("latency_inference",
+                             "batch-1 streaming inference latency");
+  args.add_int("requests", 200, "inference requests to time");
+  args.add_int("workers", 4, "worker threads");
+  args.add_int("hidden", 64, "hidden size");
+  args.add_int("layers", 4, "BLSTM layers");
+  args.add_int("seq", 40, "frames per utterance");
+  if (!args.parse(argc, argv)) return 1;
+
+  const int requests = static_cast<int>(args.get_int("requests"));
+  bpar::data::TidigitsConfig dcfg;
+  dcfg.feature_dim = 16;
+  dcfg.seq_length = static_cast<int>(args.get_int("seq"));
+  dcfg.num_utterances = requests;
+  bpar::data::TidigitsCorpus corpus(dcfg);
+  const auto batches = corpus.make_batches(1);  // one utterance per request
+
+  bpar::rnn::NetworkConfig cfg;
+  cfg.cell = bpar::rnn::CellType::kLstm;
+  cfg.input_size = dcfg.feature_dim;
+  cfg.hidden_size = static_cast<int>(args.get_int("hidden"));
+  cfg.num_layers = static_cast<int>(args.get_int("layers"));
+  cfg.seq_length = dcfg.seq_length;
+  cfg.batch_size = 1;
+  cfg.num_classes = bpar::data::kTidigitsClasses;
+
+  bpar::Model model(cfg);
+  std::printf("model: %zu parameters, %d requests of %d frames\n\n",
+              model.network().param_count(), requests, dcfg.seq_length);
+  std::printf("%-14s %8s %8s %8s %8s  (ms per utterance)\n", "executor",
+              "p50", "p95", "p99", "mean");
+
+  for (const auto kind :
+       {bpar::ExecutorKind::kSequential, bpar::ExecutorKind::kLayerBarrier,
+        bpar::ExecutorKind::kBPar}) {
+    model.select_executor(
+        kind, {.num_workers = static_cast<int>(args.get_int("workers"))});
+    std::vector<int> pred(1);
+    model.infer_batch(batches[0], pred);  // warm up (graph build, caches)
+    std::vector<double> samples;
+    samples.reserve(batches.size());
+    for (const auto& batch : batches) {
+      samples.push_back(model.infer_batch(batch, pred).wall_ms);
+    }
+    const auto p = percentiles(std::move(samples));
+    std::printf("%-14s %8.3f %8.3f %8.3f %8.3f\n",
+                bpar::executor_kind_name(kind), p.p50, p.p95, p.p99, p.mean);
+  }
+  std::printf(
+      "\nB-Par exposes model parallelism even at batch 1 — on a multi-core\n"
+      "machine its tail latency beats the layer-serial executors (on this\n"
+      "container's single core, expect parity plus scheduling overhead).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: build a bidirectional LSTM, train it with the B-Par executor,
+// and compare against the sequential reference.
+//
+//   ./quickstart [--workers N] [--replicas N] [--steps N]
+#include <cstdio>
+
+#include "core/bpar.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  bpar::util::ArgParser args("quickstart",
+                             "minimal B-Par training loop on random data");
+  args.add_int("workers", 4, "worker threads");
+  args.add_int("replicas", 2, "mini-batches per batch (mbs:N)");
+  args.add_int("steps", 30, "training steps");
+  if (!args.parse(argc, argv)) return 1;
+
+  // 1. Describe the model: a 3-layer bidirectional LSTM classifier.
+  bpar::rnn::NetworkConfig cfg;
+  cfg.cell = bpar::rnn::CellType::kLstm;
+  cfg.merge = bpar::rnn::MergeOp::kConcat;
+  cfg.input_size = 16;
+  cfg.hidden_size = 32;
+  cfg.num_layers = 3;
+  cfg.seq_length = 20;
+  cfg.batch_size = 16;
+  cfg.num_classes = 4;
+
+  // 2. Create the model and pick the B-Par executor: every RNN cell update
+  //    becomes a task, scheduled as soon as its dependencies resolve.
+  bpar::Model model(cfg);
+  model.select_executor(
+      bpar::ExecutorKind::kBPar,
+      {.num_workers = static_cast<int>(args.get_int("workers")),
+       .num_replicas = static_cast<int>(args.get_int("replicas"))});
+  model.set_optimizer(std::make_unique<bpar::train::Adam>(
+      bpar::train::Adam::Config{.learning_rate = 3e-3F}));
+
+  // 3. Synthesize a toy batch: label = input channel with the largest mean.
+  bpar::util::Rng rng(1);
+  bpar::rnn::BatchData batch;
+  batch.x.resize(static_cast<std::size_t>(cfg.seq_length));
+  for (auto& m : batch.x) m.resize(cfg.batch_size, cfg.input_size);
+  batch.labels.resize(static_cast<std::size_t>(cfg.batch_size));
+  for (int b = 0; b < cfg.batch_size; ++b) {
+    const int label = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(cfg.num_classes)));
+    batch.labels[static_cast<std::size_t>(b)] = label;
+    for (int t = 0; t < cfg.seq_length; ++t) {
+      for (int f = 0; f < cfg.input_size; ++f) {
+        batch.x[static_cast<std::size_t>(t)].at(b, f) = static_cast<float>(
+            (f % cfg.num_classes == label ? 0.8 : 0.0) +
+            rng.normal(0.0, 0.3));
+      }
+    }
+  }
+
+  // 4. Train.
+  std::printf("step   loss      tasks   wall(ms)\n");
+  const int steps = static_cast<int>(args.get_int("steps"));
+  for (int step = 0; step < steps; ++step) {
+    const auto result = model.train_batch(batch);
+    if (step % 5 == 0 || step == steps - 1) {
+      std::printf("%4d   %.4f   %6zu   %8.2f\n", step, result.loss,
+                  result.stats.tasks_executed, result.wall_ms);
+    }
+  }
+
+  // 5. Verify the parallel run produced the same result as sequential.
+  std::vector<int> preds(static_cast<std::size_t>(cfg.batch_size));
+  model.infer_batch(batch, preds);
+  model.select_executor(bpar::ExecutorKind::kSequential);
+  std::vector<int> ref_preds(static_cast<std::size_t>(cfg.batch_size));
+  model.infer_batch(batch, ref_preds);
+  std::printf("\npredictions identical to sequential execution: %s\n",
+              preds == ref_preds ? "yes" : "NO (bug!)");
+  const double acc =
+      bpar::train::accuracy(preds, batch.labels);
+  std::printf("training-batch accuracy after %d steps: %.0f%%\n", steps,
+              100.0 * acc);
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "attn/attention.hpp"
+
+#include <cmath>
+
+#include "kernels/elementwise.hpp"
+#include "kernels/gemm.hpp"
+#include "util/check.hpp"
+
+namespace bpar::attn {
+
+using kernels::gemm_nn;
+using kernels::gemm_nt;
+using kernels::gemm_tn;
+using tensor::ConstMatrixView;
+using tensor::Matrix;
+using tensor::MatrixView;
+
+void AttentionParams::init(int model_dim, util::Rng& rng, int num_heads) {
+  BPAR_CHECK(model_dim > 0, "bad attention dim");
+  BPAR_CHECK(num_heads > 0 && model_dim % num_heads == 0,
+             "dim must divide evenly into heads");
+  dim = model_dim;
+  heads = num_heads;
+  const float scale = 1.0F / std::sqrt(static_cast<float>(model_dim));
+  for (auto* w : {&wq, &wk, &wv}) {
+    w->resize(model_dim, model_dim);
+    tensor::fill_weights(w->view(), rng, scale);
+  }
+}
+
+void AttentionGrads::init_like(const AttentionParams& params) {
+  dwq.resize(params.wq.rows(), params.wq.cols());
+  dwk.resize(params.wk.rows(), params.wk.cols());
+  dwv.resize(params.wv.rows(), params.wv.cols());
+}
+
+void AttentionGrads::zero() {
+  dwq.zero();
+  dwk.zero();
+  dwv.zero();
+}
+
+void AttentionGrads::accumulate(const AttentionGrads& other) {
+  kernels::accumulate(dwq.view(), other.dwq.cview());
+  kernels::accumulate(dwk.view(), other.dwk.cview());
+  kernels::accumulate(dwv.view(), other.dwv.cview());
+}
+
+double AttentionGrads::l2_norm() const {
+  double acc = 0.0;
+  for (const auto* m : {&dwq, &dwk, &dwv}) {
+    const double n = tensor::l2_norm(m->cview());
+    acc += n * n;
+  }
+  return std::sqrt(acc);
+}
+
+void AttentionTape::init(int seq, int dim, int heads) {
+  q.resize(seq, dim);
+  k.resize(seq, dim);
+  v.resize(seq, dim);
+  scores.resize(heads * seq, seq);
+  y.resize(seq, dim);
+}
+
+std::size_t AttentionTape::bytes() const {
+  return (q.count() + k.count() + v.count() + scores.count() + y.count()) *
+         sizeof(float);
+}
+
+void attention_forward(const AttentionParams& params, ConstMatrixView x,
+                       AttentionTape& tape) {
+  BPAR_CHECK(x.cols == params.dim, "attention input width mismatch");
+  const int seq = x.rows;
+  BPAR_CHECK(tape.q.rows() == seq, "tape shape mismatch");
+  BPAR_CHECK(tape.scores.rows() == params.heads * seq,
+             "tape built for a different head count");
+  const int hd = params.head_dim();
+  const float inv_sqrt_d = 1.0F / std::sqrt(static_cast<float>(hd));
+
+  gemm_nn(x, params.wq.cview(), tape.q.view());
+  gemm_nn(x, params.wk.cview(), tape.k.view());
+  gemm_nn(x, params.wv.cview(), tape.v.view());
+
+  Matrix logits(seq, seq);
+  for (int h = 0; h < params.heads; ++h) {
+    const auto qh = tape.q.cview().block(0, h * hd, seq, hd);
+    const auto kh = tape.k.cview().block(0, h * hd, seq, hd);
+    const auto vh = tape.v.cview().block(0, h * hd, seq, hd);
+    auto sh = tape.scores.view().block(h * seq, 0, seq, seq);
+    gemm_nt(qh, kh, logits.view(), inv_sqrt_d);
+    kernels::softmax_rows(logits.cview(), sh);
+    gemm_nn(tensor::ConstMatrixView(sh), vh,
+            tape.y.view().block(0, h * hd, seq, hd));
+  }
+  kernels::accumulate(tape.y.view(), x);  // residual: Y = X + concat(S_h V_h)
+}
+
+void attention_backward(const AttentionParams& params, ConstMatrixView x,
+                        const AttentionTape& tape, ConstMatrixView dy,
+                        MatrixView dx_acc, AttentionGrads& grads) {
+  const int seq = x.rows;
+  const int dim = params.dim;
+  const int hd = params.head_dim();
+  const float inv_sqrt_d = 1.0F / std::sqrt(static_cast<float>(hd));
+
+  // Residual path.
+  kernels::accumulate(dx_acc, dy);
+
+  Matrix dv(seq, dim);
+  Matrix dq(seq, dim);
+  Matrix dk(seq, dim);
+  Matrix ds(seq, seq);
+  Matrix dz(seq, seq);
+  for (int h = 0; h < params.heads; ++h) {
+    const auto sh = tape.scores.cview().block(h * seq, 0, seq, seq);
+    const auto qh = tape.q.cview().block(0, h * hd, seq, hd);
+    const auto kh = tape.k.cview().block(0, h * hd, seq, hd);
+    const auto vh = tape.v.cview().block(0, h * hd, seq, hd);
+    const auto dyh = dy.block(0, h * hd, seq, hd);
+
+    // dV_h = S_h^T dY_h;  dS_h = dY_h V_h^T.
+    gemm_tn(sh, dyh, dv.view().block(0, h * hd, seq, hd));
+    gemm_nt(dyh, vh, ds.view());
+
+    // Softmax backward per row: dZ_i = (dS_i - <dS_i, S_i>) ⊙ S_i.
+    for (int i = 0; i < seq; ++i) {
+      const auto s_row = sh.row(i);
+      const auto ds_row = ds.cview().row(i);
+      float dot = 0.0F;
+      for (int j = 0; j < seq; ++j) {
+        dot += ds_row[static_cast<std::size_t>(j)] *
+               s_row[static_cast<std::size_t>(j)];
+      }
+      auto dz_row = dz.view().row(i);
+      for (int j = 0; j < seq; ++j) {
+        dz_row[static_cast<std::size_t>(j)] =
+            (ds_row[static_cast<std::size_t>(j)] - dot) *
+            s_row[static_cast<std::size_t>(j)];
+      }
+    }
+
+    // dQ_h = dZ K_h / sqrt(d);  dK_h = dZ^T Q_h / sqrt(d).
+    gemm_nn(dz.cview(), kh, dq.view().block(0, h * hd, seq, hd),
+            inv_sqrt_d);
+    gemm_tn(dz.cview(), qh, dk.view().block(0, h * hd, seq, hd),
+            inv_sqrt_d);
+  }
+
+  // Weight gradients: dW* += X^T d*.
+  gemm_tn(x, dq.cview(), grads.dwq.view(), 1.0F, 1.0F);
+  gemm_tn(x, dk.cview(), grads.dwk.view(), 1.0F, 1.0F);
+  gemm_tn(x, dv.cview(), grads.dwv.view(), 1.0F, 1.0F);
+
+  // Input gradients through the projections: dX += d* W*^T.
+  gemm_nt(dq.cview(), params.wq.cview(), dx_acc, 1.0F, 1.0F);
+  gemm_nt(dk.cview(), params.wk.cview(), dx_acc, 1.0F, 1.0F);
+  gemm_nt(dv.cview(), params.wv.cview(), dx_acc, 1.0F, 1.0F);
+}
+
+double attention_forward_flops(int seq, int dim) {
+  const double proj = 3.0 * 2.0 * seq * static_cast<double>(dim) * dim;
+  const double scores = 2.0 * seq * static_cast<double>(seq) * dim;
+  const double context = 2.0 * seq * static_cast<double>(seq) * dim;
+  return proj + scores + context;
+}
+
+}  // namespace bpar::attn

@@ -1,0 +1,76 @@
+// Single-head scaled-dot-product self-attention with a residual connection
+// — the paper's future-work claim (§VI: "The B-Par task-graph execution
+// model could be easily applied to ... transformers and attention
+// mechanisms"), realized on the same task runtime (attention_graph.hpp).
+//
+// Layout: one *sequence* is a T x M matrix (sequence-major — unlike the
+// BRNN stack's timestep-major batches — because attention mixes all
+// timesteps of one sequence). For a batch, kernels run per sequence; the
+// task graph parallelizes across sequences and serializes only the shared
+// weight-gradient accumulation, exactly like BRNN cells share layer
+// weights.
+//
+//   Q = X Wq;  K = X Wk;  V = X Wv               (all T x M)
+//   per head h (column slice of width M/H):
+//     S_h = softmax_rows(Q_h K_h^T / sqrt(M/H))   (T x T)
+//     Y_h = S_h V_h
+//   Y = X + concat_h(Y_h)                         (residual)
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace bpar::attn {
+
+struct AttentionParams {
+  int dim = 0;    // model width M
+  int heads = 1;  // H; M % H == 0
+  tensor::Matrix wq;  // M x M
+  tensor::Matrix wk;
+  tensor::Matrix wv;
+
+  void init(int model_dim, util::Rng& rng, int num_heads = 1);
+  [[nodiscard]] int head_dim() const { return dim / heads; }
+  [[nodiscard]] std::size_t param_count() const {
+    return wq.count() + wk.count() + wv.count();
+  }
+};
+
+struct AttentionGrads {
+  tensor::Matrix dwq;
+  tensor::Matrix dwk;
+  tensor::Matrix dwv;
+
+  void init_like(const AttentionParams& params);
+  void zero();
+  void accumulate(const AttentionGrads& other);
+  [[nodiscard]] double l2_norm() const;
+};
+
+/// Forward state of one sequence, retained for backward.
+struct AttentionTape {
+  tensor::Matrix q;       // T x M
+  tensor::Matrix k;       // T x M
+  tensor::Matrix v;       // T x M
+  tensor::Matrix scores;  // (H*T) x T — per-head softmaxed scores, stacked
+  tensor::Matrix y;       // T x M output
+
+  void init(int seq, int dim, int heads = 1);
+  [[nodiscard]] std::size_t bytes() const;
+};
+
+/// Forward over one sequence x (T x M); fills the tape (y included).
+void attention_forward(const AttentionParams& params,
+                       tensor::ConstMatrixView x, AttentionTape& tape);
+
+/// Backward over one sequence: given dY, accumulates dX (+=) and the
+/// weight gradients (+=; callers serialize shared grads like BRNN cells).
+void attention_backward(const AttentionParams& params,
+                        tensor::ConstMatrixView x, const AttentionTape& tape,
+                        tensor::ConstMatrixView dy, tensor::MatrixView dx_acc,
+                        AttentionGrads& grads);
+
+[[nodiscard]] double attention_forward_flops(int seq, int dim);
+
+
+}  // namespace bpar::attn

@@ -1,0 +1,244 @@
+#include "attn/attention_graph.hpp"
+
+#include <cmath>
+
+#include "kernels/elementwise.hpp"
+#include "kernels/gemm.hpp"
+#include "util/check.hpp"
+
+namespace bpar::attn {
+
+using taskrt::in;
+using taskrt::inout;
+using taskrt::out;
+using taskrt::TaskKind;
+using taskrt::TaskSpec;
+using tensor::Matrix;
+
+AttentionModel::AttentionModel(const AttentionModelConfig& config)
+    : config_(config) {
+  BPAR_CHECK(config_.dim > 0 && config_.seq_length > 0 &&
+                 config_.num_classes > 0,
+             "bad attention model config");
+  util::Rng rng(config_.seed);
+  attention.init(config_.dim, rng, config_.heads);
+  w_out.resize(config_.num_classes, config_.dim);
+  b_out.resize(1, config_.num_classes);
+  tensor::fill_weights(w_out.view(), rng,
+                       1.0F / std::sqrt(static_cast<float>(config_.dim)));
+}
+
+std::size_t AttentionModel::param_count() const {
+  return attention.param_count() + w_out.count() + b_out.count();
+}
+
+void AttentionModelGrads::init_like(const AttentionModel& model) {
+  attention.init_like(model.attention);
+  dw_out.resize(model.w_out.rows(), model.w_out.cols());
+  db_out.resize(model.b_out.rows(), model.b_out.cols());
+}
+
+void AttentionModelGrads::zero() {
+  attention.zero();
+  dw_out.zero();
+  db_out.zero();
+}
+
+void apply_sgd(AttentionModel& model, const AttentionModelGrads& grads,
+               float learning_rate) {
+  auto update = [learning_rate](Matrix& param, const Matrix& grad) {
+    for (int r = 0; r < param.rows(); ++r) {
+      kernels::axpy(-learning_rate, grad.cview().row(r),
+                    param.view().row(r));
+    }
+  };
+  update(model.attention.wq, grads.attention.dwq);
+  update(model.attention.wk, grads.attention.dwk);
+  update(model.attention.wv, grads.attention.dwv);
+  update(model.w_out, grads.dw_out);
+  update(model.b_out, grads.db_out);
+}
+
+AttentionProgram::AttentionProgram(AttentionModel& model, int num_sequences,
+                                   bool training)
+    : model_(model), num_sequences_(num_sequences), training_(training) {
+  BPAR_CHECK(num_sequences_ > 0, "need at least one sequence");
+  const auto& cfg = model_.config();
+  x_.resize(static_cast<std::size_t>(num_sequences_));
+  tapes_.resize(static_cast<std::size_t>(num_sequences_));
+  probs_.resize(static_cast<std::size_t>(num_sequences_));
+  losses_.assign(static_cast<std::size_t>(num_sequences_), 0.0);
+  labels_.assign(static_cast<std::size_t>(num_sequences_), 0);
+  if (training_) {
+    dy_.resize(static_cast<std::size_t>(num_sequences_));
+    dx_.resize(static_cast<std::size_t>(num_sequences_));
+    grads_.init_like(model_);
+  }
+  for (int s = 0; s < num_sequences_; ++s) {
+    x_[static_cast<std::size_t>(s)].resize(cfg.seq_length, cfg.dim);
+    tapes_[static_cast<std::size_t>(s)].init(cfg.seq_length, cfg.dim,
+                                             cfg.heads);
+    probs_[static_cast<std::size_t>(s)].resize(1, cfg.num_classes);
+    if (training_) {
+      dy_[static_cast<std::size_t>(s)].resize(cfg.seq_length, cfg.dim);
+      dx_[static_cast<std::size_t>(s)].resize(cfg.seq_length, cfg.dim);
+    }
+  }
+  build();
+  graph_.seal();
+}
+
+void AttentionProgram::load(const std::vector<Matrix>& sequences,
+                            std::span<const int> labels) {
+  BPAR_CHECK(static_cast<int>(sequences.size()) == num_sequences_,
+             "sequence count mismatch");
+  BPAR_CHECK(labels.size() == sequences.size(), "label count mismatch");
+  const auto& cfg = model_.config();
+  for (int s = 0; s < num_sequences_; ++s) {
+    const auto& src = sequences[static_cast<std::size_t>(s)];
+    BPAR_CHECK(src.rows() == cfg.seq_length && src.cols() == cfg.dim,
+               "sequence shape mismatch");
+    tensor::copy(src.cview(), x_[static_cast<std::size_t>(s)].view());
+    BPAR_CHECK(labels[static_cast<std::size_t>(s)] >= 0 &&
+                   labels[static_cast<std::size_t>(s)] < cfg.num_classes,
+               "bad label");
+    labels_[static_cast<std::size_t>(s)] =
+        labels[static_cast<std::size_t>(s)];
+  }
+}
+
+void AttentionProgram::prepare() {
+  total_loss_ = 0.0;
+  std::fill(losses_.begin(), losses_.end(), 0.0);
+  if (training_) {
+    grads_.zero();
+    for (auto& m : dy_) m.zero();
+    for (auto& m : dx_) m.zero();
+  }
+}
+
+int AttentionProgram::prediction(int s) const {
+  const auto& p = probs_[static_cast<std::size_t>(s)];
+  int best = 0;
+  for (int c = 1; c < p.cols(); ++c) {
+    if (p.at(0, c) > p.at(0, best)) best = c;
+  }
+  return best;
+}
+
+void AttentionProgram::build() {
+  const auto& cfg = model_.config();
+  const double weight = 1.0 / num_sequences_;
+  const double fwd_flops = attention_forward_flops(cfg.seq_length, cfg.dim);
+
+  for (int s = 0; s < num_sequences_; ++s) {
+    const auto idx = static_cast<std::size_t>(s);
+    Matrix* x = &x_[idx];
+    AttentionTape* tape = &tapes_[idx];
+
+    // 1. Attention forward.
+    TaskSpec fwd_spec;
+    fwd_spec.kind = TaskKind::kCellForward;
+    fwd_spec.flops = fwd_flops;
+    fwd_spec.working_set_bytes = tape->bytes();
+    fwd_spec.replica = s;
+    fwd_spec.name = "attn_fwd." + std::to_string(s);
+    graph_.add(
+        [this, x, tape] { attention_forward(model_.attention, x->cview(), *tape); },
+        {in(x->data()), out(tape->y.data())}, std::move(fwd_spec));
+
+    // 2. Head: mean-pool → dense → softmax-CE; in training mode also seed
+    //    the upstream gradient dY and accumulate head gradients.
+    TaskSpec head_spec;
+    head_spec.kind = TaskKind::kLoss;
+    head_spec.replica = s;
+    head_spec.name = "attn_head." + std::to_string(s);
+    std::vector<taskrt::Access> head_acc{in(tape->y.data()),
+                                         out(&losses_[idx]),
+                                         out(probs_[idx].data())};
+    if (training_) {
+      head_acc.push_back(out(dy_[idx].data()));
+      head_acc.push_back(inout(grads_.dw_out.data()));
+    }
+    graph_.add(
+        [this, s, tape, weight] {
+          const auto idx2 = static_cast<std::size_t>(s);
+          const auto& c = model_.config();
+          const float inv_t = 1.0F / static_cast<float>(c.seq_length);
+          Matrix pooled(1, c.dim);
+          for (int t = 0; t < c.seq_length; ++t) {
+            kernels::axpy(inv_t, tape->y.cview().row(t),
+                          pooled.view().row(0));
+          }
+          Matrix logits(1, c.num_classes);
+          kernels::gemm_nt(pooled.cview(), model_.w_out.cview(),
+                           logits.view());
+          kernels::add_bias_rows(logits.view(), model_.b_out.cview().row(0));
+          kernels::softmax_rows(logits.cview(), probs_[idx2].view());
+          const int label = labels_[idx2];
+          losses_[idx2] =
+              kernels::cross_entropy(probs_[idx2].cview(), {&label, 1}) *
+              weight;
+          if (training_) {
+            // dlogits = (p - onehot) * weight.
+            Matrix dlogits(1, c.num_classes);
+            kernels::softmax_ce_grad(probs_[idx2].cview(), {&label, 1},
+                                     dlogits.view());
+            kernels::scale_inplace(dlogits.view().row(0),
+                                   static_cast<float>(weight));
+            // Head gradients (shared; serialized by the inout chain).
+            kernels::gemm_tn(dlogits.cview(), pooled.cview(),
+                             grads_.dw_out.view(), 1.0F, 1.0F);
+            kernels::sum_rows_acc(dlogits.cview(),
+                                  grads_.db_out.view().row(0));
+            // dpooled = dlogits W_out; dY rows share it (mean pool).
+            Matrix dpooled(1, c.dim);
+            kernels::gemm_nn(dlogits.cview(), model_.w_out.cview(),
+                             dpooled.view());
+            for (int t = 0; t < c.seq_length; ++t) {
+              kernels::axpy(inv_t, dpooled.cview().row(0),
+                            dy_[idx2].view().row(t));
+            }
+          }
+        },
+        std::span<const taskrt::Access>(head_acc.data(), head_acc.size()),
+        std::move(head_spec));
+
+    // 3. Attention backward.
+    if (training_) {
+      TaskSpec bwd_spec;
+      bwd_spec.kind = TaskKind::kCellBackward;
+      bwd_spec.flops = 2.0 * fwd_flops;
+      bwd_spec.working_set_bytes = tape->bytes();
+      bwd_spec.replica = s;
+      bwd_spec.name = "attn_bwd." + std::to_string(s);
+      graph_.add(
+          [this, s, x, tape] {
+            const auto idx2 = static_cast<std::size_t>(s);
+            attention_backward(model_.attention, x->cview(), *tape,
+                               dy_[idx2].cview(), dx_[idx2].view(),
+                               grads_.attention);
+          },
+          {in(dy_[idx].data()), in(tape->y.data()),
+           inout(grads_.attention.dwq.data()), out(dx_[idx].data())},
+          std::move(bwd_spec));
+    }
+  }
+
+  // Loss reduction.
+  std::vector<taskrt::Access> acc;
+  for (const double& slot : losses_) acc.push_back(in(&slot));
+  acc.push_back(out(&total_loss_));
+  TaskSpec reduce_spec;
+  reduce_spec.kind = TaskKind::kGradReduce;
+  reduce_spec.name = "attn_reduce.loss";
+  graph_.add(
+      [this] {
+        total_loss_ = 0.0;
+        for (const double v : losses_) total_loss_ += v;
+      },
+      std::span<const taskrt::Access>(acc.data(), acc.size()),
+      std::move(reduce_spec));
+}
+
+}  // namespace bpar::attn

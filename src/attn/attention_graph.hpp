@@ -1,0 +1,93 @@
+// Barrier-free task-graph execution of an attention classifier — the
+// paper's future-work extension demonstrated end to end: per-sequence
+// attention forward, fused head (mean-pool → dense → softmax-CE, seeding
+// the upstream gradient), and attention backward all run as dependency-
+// scheduled tasks on the same runtime as the BRNN graphs. Shared weight
+// gradients serialize through an inout chain exactly like BRNN layer
+// weights.
+//
+// Model: logits(s) = mean_t(AttentionLayer(X_s)_t) * W_out^T + b_out.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "attn/attention.hpp"
+#include "taskrt/task_graph.hpp"
+
+namespace bpar::attn {
+
+struct AttentionModelConfig {
+  int dim = 16;         // model width M (input width == M)
+  int heads = 1;        // attention heads (dim % heads == 0)
+  int seq_length = 8;   // timesteps per sequence
+  int num_classes = 4;
+  std::uint64_t seed = 7;
+};
+
+class AttentionModel {
+ public:
+  explicit AttentionModel(const AttentionModelConfig& config);
+
+  [[nodiscard]] const AttentionModelConfig& config() const { return config_; }
+  AttentionParams attention;
+  tensor::Matrix w_out;  // C x M
+  tensor::Matrix b_out;  // 1 x C
+
+  [[nodiscard]] std::size_t param_count() const;
+
+ private:
+  AttentionModelConfig config_;
+};
+
+struct AttentionModelGrads {
+  AttentionGrads attention;
+  tensor::Matrix dw_out;
+  tensor::Matrix db_out;
+
+  void init_like(const AttentionModel& model);
+  void zero();
+};
+
+/// Simple SGD update for the attention classifier.
+void apply_sgd(AttentionModel& model, const AttentionModelGrads& grads,
+               float learning_rate);
+
+class AttentionProgram {
+ public:
+  /// Builds the task graph for `num_sequences` sequences. `model` must
+  /// outlive the program.
+  AttentionProgram(AttentionModel& model, int num_sequences, bool training);
+
+  /// Copies one batch: `sequences[s]` is T x M, labels one per sequence.
+  void load(const std::vector<tensor::Matrix>& sequences,
+            std::span<const int> labels);
+  void prepare();
+
+  [[nodiscard]] taskrt::TaskGraph& graph() { return graph_; }
+  [[nodiscard]] double loss() const { return total_loss_; }
+  [[nodiscard]] AttentionModelGrads& grads() { return grads_; }
+  [[nodiscard]] int num_sequences() const { return num_sequences_; }
+  /// Argmax prediction of sequence `s`; valid after a run.
+  [[nodiscard]] int prediction(int s) const;
+
+ private:
+  void build();
+
+  AttentionModel& model_;
+  int num_sequences_;
+  bool training_;
+  taskrt::TaskGraph graph_;
+
+  std::vector<tensor::Matrix> x_;      // [s] T x M
+  std::vector<int> labels_;
+  std::vector<AttentionTape> tapes_;   // [s]
+  std::vector<tensor::Matrix> dy_;     // [s] T x M (training)
+  std::vector<tensor::Matrix> dx_;     // [s] T x M sink (training)
+  std::vector<tensor::Matrix> probs_;  // [s] 1 x C
+  std::vector<double> losses_;         // [s]
+  double total_loss_ = 0.0;
+  AttentionModelGrads grads_;
+};
+
+}  // namespace bpar::attn

@@ -1,0 +1,122 @@
+#include "core/bpar.hpp"
+
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace bpar {
+
+const char* version() { return "1.0.0"; }
+
+const char* executor_kind_name(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::kSequential:
+      return "sequential";
+    case ExecutorKind::kBPar:
+      return "b-par";
+    case ExecutorKind::kBSeq:
+      return "b-seq";
+    case ExecutorKind::kLayerBarrier:
+      return "layer-barrier";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<exec::Executor> make_executor(ExecutorKind kind,
+                                              rnn::Network& net,
+                                              const ExecutorOptions& options) {
+  switch (kind) {
+    case ExecutorKind::kSequential:
+      return std::make_unique<exec::SequentialExecutor>(net);
+    case ExecutorKind::kBPar:
+      return std::make_unique<exec::BParExecutor>(
+          net, exec::BParOptions{.num_workers = options.num_workers,
+                                 .policy = options.policy,
+                                 .num_replicas = options.num_replicas});
+    case ExecutorKind::kBSeq:
+      return std::make_unique<exec::BSeqExecutor>(
+          net, exec::BSeqOptions{.num_workers = options.num_workers,
+                                 .num_replicas = options.num_replicas});
+    case ExecutorKind::kLayerBarrier:
+      return std::make_unique<exec::BarrierExecutor>(
+          net, exec::BarrierOptions{.num_workers = options.num_workers});
+  }
+  BPAR_CHECK(false, "unknown executor kind");
+  return nullptr;
+}
+
+Model::Model(const rnn::NetworkConfig& config) : net_(config) {
+  executor_ = make_executor(ExecutorKind::kSequential, net_);
+  optimizer_ = std::make_unique<train::Sgd>(train::Sgd::Config{});
+}
+
+void Model::select_executor(ExecutorKind kind,
+                            const ExecutorOptions& options) {
+  executor_ = make_executor(kind, net_, options);
+}
+
+exec::Executor& Model::executor() { return *executor_; }
+
+void Model::set_optimizer(std::unique_ptr<train::Optimizer> optimizer) {
+  BPAR_CHECK(optimizer != nullptr, "null optimizer");
+  optimizer_ = std::move(optimizer);
+}
+
+train::Optimizer& Model::optimizer() { return *optimizer_; }
+
+exec::StepResult Model::train_batch(const rnn::BatchData& batch) {
+  auto result = executor_->train_batch(batch);
+  optimizer_->step(net_, executor_->grads());
+  return result;
+}
+
+exec::StepResult Model::infer_batch(const rnn::BatchData& batch,
+                                    std::span<int> predictions) {
+  return executor_->infer_batch(batch, predictions);
+}
+
+void Model::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  BPAR_CHECK(out.good(), "cannot open ", path, " for writing");
+  net_.save(out);
+}
+
+void Model::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  BPAR_CHECK(in.good(), "cannot open ", path);
+  net_.load(in);
+}
+
+void Model::save_checkpoint(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  BPAR_CHECK(out.good(), "cannot open ", path, " for writing");
+  static constexpr char kMagic[8] = {'B', 'P', 'A', 'R', 'C', 'K', 'P', '1'};
+  out.write(kMagic, sizeof kMagic);
+  net_.save(out);
+  const std::string opt_name = optimizer_->name();
+  const auto name_len = static_cast<std::uint32_t>(opt_name.size());
+  out.write(reinterpret_cast<const char*>(&name_len), sizeof name_len);
+  out.write(opt_name.data(), static_cast<std::streamsize>(name_len));
+  optimizer_->save_state(out);
+}
+
+void Model::load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  BPAR_CHECK(in.good(), "cannot open ", path);
+  char magic[8] = {};
+  in.read(magic, sizeof magic);
+  BPAR_CHECK(in.good() && std::string_view(magic, 8) == "BPARCKP1",
+             "not a B-Par checkpoint file");
+  net_.load(in);
+  std::uint32_t name_len = 0;
+  in.read(reinterpret_cast<char*>(&name_len), sizeof name_len);
+  BPAR_CHECK(in.good() && name_len < 64, "corrupt checkpoint");
+  std::string opt_name(name_len, ' ');
+  in.read(opt_name.data(), static_cast<std::streamsize>(name_len));
+  BPAR_CHECK(opt_name == optimizer_->name(),
+             "checkpoint was written by optimizer '", opt_name,
+             "' but the model uses '", optimizer_->name(), "'");
+  optimizer_->load_state(in, net_);
+}
+
+}  // namespace bpar

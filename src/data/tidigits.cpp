@@ -1,0 +1,200 @@
+#include "data/tidigits.hpp"
+
+#include <cmath>
+#include <map>
+#include <numbers>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace bpar::data {
+namespace {
+
+constexpr int kLatents = 4;  // latent trajectories per digit template
+
+// Per-class latent dynamics: distinct base frequencies and phases make the
+// classes separable while overlapping enough to require sequence modeling.
+struct DigitTemplate {
+  tensor::Matrix projection;  // feature_dim x kLatents
+  double omega[kLatents];
+  double phase[kLatents];
+};
+
+DigitTemplate make_template(int digit, int feature_dim, util::Rng& rng) {
+  DigitTemplate tpl;
+  tpl.projection.resize(feature_dim, kLatents);
+  tensor::fill_normal(tpl.projection.view(), rng, 0.0F, 1.0F);
+  for (int k = 0; k < kLatents; ++k) {
+    tpl.omega[k] = 0.05 + 0.015 * digit + 0.04 * k + rng.uniform(0.0, 0.01);
+    tpl.phase[k] = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+  return tpl;
+}
+
+}  // namespace
+
+const char* tidigits_class_name(int label) {
+  static constexpr const char* kNames[kTidigitsClasses] = {
+      "oh",  "zero", "one", "two", "three", "four",
+      "five", "six",  "seven", "eight", "nine"};
+  BPAR_CHECK(label >= 0 && label < kTidigitsClasses, "bad digit label ",
+             label);
+  return kNames[label];
+}
+
+TidigitsCorpus::TidigitsCorpus(TidigitsConfig config)
+    : config_(config) {
+  BPAR_CHECK(config_.feature_dim > 0 && config_.seq_length > 0 &&
+                 config_.num_utterances > 0,
+             "bad TIDIGITS config");
+  util::Rng rng(config_.seed);
+
+  std::vector<DigitTemplate> templates;
+  templates.reserve(kTidigitsClasses);
+  for (int d = 0; d < kTidigitsClasses; ++d) {
+    templates.push_back(make_template(d, config_.feature_dim, rng));
+  }
+
+  BPAR_CHECK(config_.min_seq_length <= config_.seq_length,
+             "min_seq_length exceeds seq_length");
+  frames_.reserve(static_cast<std::size_t>(config_.num_utterances));
+  labels_.reserve(static_cast<std::size_t>(config_.num_utterances));
+  for (int u = 0; u < config_.num_utterances; ++u) {
+    const int digit =
+        static_cast<int>(rng.uniform_index(kTidigitsClasses));
+    labels_.push_back(digit);
+    const DigitTemplate& tpl = templates[static_cast<std::size_t>(digit)];
+
+    // Variable utterance duration when requested.
+    int frames = config_.seq_length;
+    if (config_.min_seq_length > 0) {
+      frames = config_.min_seq_length +
+               static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(
+                   config_.seq_length - config_.min_seq_length + 1)));
+    }
+    tensor::Matrix utterance(frames, config_.feature_dim);
+    // Spoken length varies per utterance; the rest is near-silence.
+    const int spoken =
+        frames / 2 + static_cast<int>(rng.uniform_index(
+                         static_cast<std::uint64_t>(std::max(1, frames / 2))));
+    // Speaker offset: a fixed random bias for the whole utterance.
+    std::vector<float> speaker(static_cast<std::size_t>(config_.feature_dim));
+    for (auto& v : speaker) {
+      v = static_cast<float>(rng.normal(0.0, config_.speaker_var));
+    }
+    const double rate = rng.uniform(0.85, 1.15);  // speaking-rate jitter
+
+    for (int t = 0; t < frames; ++t) {
+      auto row = utterance.view().row(t);
+      if (t < spoken) {
+        // Envelope rises and decays over the spoken region.
+        const double pos = static_cast<double>(t) / spoken;
+        const double envelope = std::sin(std::numbers::pi * pos);
+        double latent[kLatents];
+        for (int k = 0; k < kLatents; ++k) {
+          latent[k] = envelope *
+                      std::sin(tpl.omega[k] * rate * t + tpl.phase[k]);
+        }
+        for (int f = 0; f < config_.feature_dim; ++f) {
+          double v = 0.0;
+          for (int k = 0; k < kLatents; ++k) {
+            v += static_cast<double>(tpl.projection.at(f, k)) * latent[k];
+          }
+          row[static_cast<std::size_t>(f)] =
+              static_cast<float>(v) + speaker[static_cast<std::size_t>(f)] +
+              static_cast<float>(rng.normal(0.0, config_.noise));
+        }
+      } else {
+        for (int f = 0; f < config_.feature_dim; ++f) {
+          row[static_cast<std::size_t>(f)] =
+              static_cast<float>(rng.normal(0.0, config_.noise * 0.3));
+        }
+      }
+    }
+    frames_.push_back(std::move(utterance));
+  }
+}
+
+int TidigitsCorpus::label(int utterance) const {
+  BPAR_CHECK(utterance >= 0 && utterance < size(), "bad utterance index");
+  return labels_[static_cast<std::size_t>(utterance)];
+}
+
+tensor::ConstMatrixView TidigitsCorpus::frames(int utterance) const {
+  BPAR_CHECK(utterance >= 0 && utterance < size(), "bad utterance index");
+  return frames_[static_cast<std::size_t>(utterance)].cview();
+}
+
+int TidigitsCorpus::length(int utterance) const {
+  return frames(utterance).rows;
+}
+
+rnn::BatchData TidigitsCorpus::assemble(const std::vector<int>& utterances,
+                                        int steps) const {
+  rnn::BatchData batch;
+  batch.x.resize(static_cast<std::size_t>(steps));
+  for (auto& m : batch.x) {
+    m.resize(static_cast<int>(utterances.size()), config_.feature_dim);
+  }
+  batch.labels.reserve(utterances.size());
+  for (std::size_t i = 0; i < utterances.size(); ++i) {
+    const int u = utterances[i];
+    BPAR_CHECK(length(u) == steps, "utterance length mismatch in bucket");
+    batch.labels.push_back(label(u));
+    const auto f = frames(u);
+    for (int t = 0; t < steps; ++t) {
+      auto dst = batch.x[static_cast<std::size_t>(t)].view().row(
+          static_cast<int>(i));
+      const auto src = f.row(t);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  return batch;
+}
+
+std::vector<rnn::BatchData> TidigitsCorpus::make_bucketed_batches(
+    int batch_size) const {
+  BPAR_CHECK(batch_size > 0, "bad batch size");
+  std::map<int, std::vector<int>> buckets;  // frame count -> utterances
+  for (int u = 0; u < size(); ++u) buckets[length(u)].push_back(u);
+  std::vector<rnn::BatchData> batches;
+  for (const auto& [steps, utterances] : buckets) {
+    for (std::size_t base = 0; base + batch_size <= utterances.size();
+         base += static_cast<std::size_t>(batch_size)) {
+      batches.push_back(assemble(
+          {utterances.begin() + static_cast<long>(base),
+           utterances.begin() + static_cast<long>(base) + batch_size},
+          steps));
+    }
+  }
+  return batches;
+}
+
+std::vector<rnn::BatchData> TidigitsCorpus::make_batches(
+    int batch_size) const {
+  BPAR_CHECK(batch_size > 0, "bad batch size");
+  BPAR_CHECK(config_.min_seq_length == 0,
+             "variable-length corpus: use make_bucketed_batches()");
+  std::vector<rnn::BatchData> batches;
+  const int count = size() / batch_size;
+  for (int b = 0; b < count; ++b) {
+    rnn::BatchData batch;
+    batch.x.resize(static_cast<std::size_t>(config_.seq_length));
+    for (auto& m : batch.x) m.resize(batch_size, config_.feature_dim);
+    batch.labels.resize(static_cast<std::size_t>(batch_size));
+    for (int i = 0; i < batch_size; ++i) {
+      const int u = b * batch_size + i;
+      batch.labels[static_cast<std::size_t>(i)] = label(u);
+      const auto f = frames(u);
+      for (int t = 0; t < config_.seq_length; ++t) {
+        auto dst = batch.x[static_cast<std::size_t>(t)].view().row(i);
+        const auto src = f.row(t);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace bpar::data

@@ -1,0 +1,73 @@
+// Synthetic TIDIGITS-like connected-digit speech corpus.
+//
+// The real TIDIGITS corpus (LDC93S10) is licensed, so we generate a
+// statistically similar substitute that exercises the same code path
+// (DESIGN.md §4): utterances are sequences of acoustic frames produced by
+// per-digit spectral templates — each of the 11 words ("oh", "zero" ...
+// "nine") has a fixed random spectral projection driven by low-frequency
+// latent trajectories — plus per-speaker variation and additive noise.
+// Utterances are padded/trimmed to a fixed frame count, labeled with the
+// spoken digit (many-to-one classification), and batched.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rnn/batch.hpp"
+
+namespace bpar::data {
+
+inline constexpr int kTidigitsClasses = 11;  // oh, zero, one ... nine
+
+[[nodiscard]] const char* tidigits_class_name(int label);
+
+struct TidigitsConfig {
+  int feature_dim = 64;    // acoustic feature width (model input size)
+  int seq_length = 100;    // frames per utterance (pad/trim)
+  int num_utterances = 256;
+  double noise = 0.15;       // additive observation noise
+  double speaker_var = 0.2;  // per-utterance speaker offset magnitude
+  /// When > 0, utterances get a random frame count in
+  /// [min_seq_length, seq_length] instead of fixed padding — real TIDIGITS
+  /// utterances vary in duration. Use make_bucketed_batches() then.
+  int min_seq_length = 0;
+  std::uint64_t seed = 2022;
+};
+
+class TidigitsCorpus {
+ public:
+  explicit TidigitsCorpus(TidigitsConfig config);
+
+  [[nodiscard]] const TidigitsConfig& config() const { return config_; }
+  [[nodiscard]] int size() const { return config_.num_utterances; }
+  [[nodiscard]] int label(int utterance) const;
+  /// Frame `t` features of one utterance.
+  [[nodiscard]] tensor::ConstMatrixView frames(int utterance) const;
+
+  /// Frame count of one utterance (== config.seq_length unless variable
+  /// lengths were requested).
+  [[nodiscard]] int length(int utterance) const;
+
+  /// Groups utterances into many-to-one batches of `batch_size` (drops the
+  /// ragged tail). Requires fixed-length utterances.
+  [[nodiscard]] std::vector<rnn::BatchData> make_batches(
+      int batch_size) const;
+
+  /// Variable-length batching: utterances are bucketed by frame count
+  /// (same-length utterances share a batch), producing batches whose
+  /// sequence lengths differ — the workload B-Par's dynamic graph
+  /// adjustment handles (paper §III-B). Buckets with fewer than
+  /// `batch_size` utterances are dropped.
+  [[nodiscard]] std::vector<rnn::BatchData> make_bucketed_batches(
+      int batch_size) const;
+
+ private:
+  [[nodiscard]] rnn::BatchData assemble(const std::vector<int>& utterances,
+                                        int steps) const;
+
+  TidigitsConfig config_;
+  std::vector<tensor::Matrix> frames_;  // [utterance] T_u x feature_dim
+  std::vector<int> labels_;
+};
+
+}  // namespace bpar::data

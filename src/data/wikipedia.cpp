@@ -1,0 +1,172 @@
+#include "data/wikipedia.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace bpar::data {
+namespace {
+
+// Embedded seed text in an encyclopedic register. The Markov sampler only
+// needs representative character statistics, not meaning.
+constexpr const char* kSeedText =
+    "the recurrent neural network is a class of artificial neural network "
+    "where connections between nodes can create a cycle allowing output "
+    "from some nodes to affect subsequent input to the same nodes. derived "
+    "from feedforward neural networks recurrent networks can use their "
+    "internal state to process variable length sequences of inputs. this "
+    "makes them applicable to tasks such as unsegmented connected "
+    "handwriting recognition or speech recognition. the term recurrent "
+    "neural network is used to refer to the class of networks with an "
+    "infinite impulse response whereas convolutional networks belong to "
+    "the class of finite impulse response. both classes of networks "
+    "exhibit temporal dynamic behavior. a finite impulse recurrent network "
+    "is a directed acyclic graph that can be unrolled and replaced with a "
+    "strictly feedforward network while an infinite impulse network is a "
+    "directed cyclic graph that cannot be unrolled. additional stored "
+    "states and the storage under direct control by the network can be "
+    "added to both infinite and finite impulse networks. the storage can "
+    "also be replaced by another network or graph if that incorporates "
+    "time delays or has feedback loops. such controlled states are "
+    "referred to as gated state or gated memory and are part of long "
+    "short term memory networks and gated recurrent units. this is also "
+    "called the feedback neural network. long short term memory is an "
+    "artificial recurrent neural network architecture used in the field "
+    "of deep learning. unlike standard feedforward neural networks it has "
+    "feedback connections. it can process not only single data points "
+    "such as images but also entire sequences of data such as speech or "
+    "video. a common architecture is composed of a cell and three "
+    "regulators usually called gates of the flow of information inside "
+    "the unit an input gate an output gate and a forget gate. the cell "
+    "remembers values over arbitrary time intervals and the three gates "
+    "regulate the flow of information into and out of the cell. the "
+    "relative insensitivity to gap length is an advantage of this model "
+    "over alternatives on numerous applications. a bidirectional network "
+    "connects two hidden layers of opposite directions to the same "
+    "output. with this form of generative deep learning the output layer "
+    "can get information from past and future states simultaneously. "
+    "the principle is to split the neurons of a regular network into two "
+    "directions one for positive time direction and another for negative "
+    "time direction. the output of those two states are not connected to "
+    "inputs of the opposite direction states. by using two time "
+    "directions input information from the past and future of the "
+    "current time frame can be used unlike standard networks which "
+    "require delays for including future information. bidirectional "
+    "networks are especially useful when the context of the input is "
+    "needed. for example in handwriting recognition the performance can "
+    "be enhanced by knowledge of the letters located before and after "
+    "the current letter. speech recognition systems convert spoken "
+    "language into text using models trained on large corpora of "
+    "recorded utterances. the texas instruments digits corpus contains "
+    "speech which was originally designed and collected to evaluate "
+    "algorithms for speaker independent recognition of connected digit "
+    "sequences. there are speakers from twenty two dialectical regions "
+    "each pronouncing digit sequences of varying length. automatic "
+    "parallelization of computation graphs assigns units of work to "
+    "processor cores as soon as their data dependencies are satisfied "
+    "avoiding global synchronization barriers that leave cores idle. a "
+    "run time system maintains a queue of ready tasks and schedules them "
+    "dynamically which improves cache locality when consumer tasks "
+    "execute on the core that produced their input data. ";
+
+}  // namespace
+
+WikipediaCorpus::WikipediaCorpus(WikipediaConfig config) : config_(config) {
+  BPAR_CHECK(config_.input_size > 0 && config_.seq_length > 0 &&
+                 config_.corpus_chars > 4,
+             "bad Wikipedia config");
+  const std::string seed_text = kSeedText;
+
+  // Order-2 Markov chain over the seed text.
+  std::map<std::pair<char, char>, std::string> followers;
+  for (std::size_t i = 0; i + 2 < seed_text.size(); ++i) {
+    followers[{seed_text[i], seed_text[i + 1]}].push_back(seed_text[i + 2]);
+  }
+
+  util::Rng rng(config_.seed);
+  text_.reserve(config_.corpus_chars);
+  char a = seed_text[0];
+  char b = seed_text[1];
+  text_.push_back(a);
+  text_.push_back(b);
+  while (text_.size() < config_.corpus_chars) {
+    const auto it = followers.find({a, b});
+    char next;
+    if (it == followers.end() || it->second.empty()) {
+      next = ' ';
+    } else {
+      next = it->second[rng.uniform_index(it->second.size())];
+    }
+    text_.push_back(next);
+    a = b;
+    b = next;
+  }
+
+  // Vocabulary and embeddings.
+  char_to_id_.fill(-1);
+  for (const char c : text_) {
+    auto& slot = char_to_id_[static_cast<unsigned char>(c)];
+    if (slot < 0) {
+      slot = static_cast<int>(vocab_.size());
+      vocab_.push_back(c);
+    }
+  }
+  embeddings_.resize(vocab_size(), config_.input_size);
+  tensor::fill_normal(embeddings_.view(), rng, 0.0F, 0.5F);
+}
+
+int WikipediaCorpus::char_id(char c) const {
+  const int id = char_to_id_[static_cast<unsigned char>(c)];
+  BPAR_CHECK(id >= 0, "character not in vocabulary");
+  return id;
+}
+
+char WikipediaCorpus::id_char(int id) const {
+  BPAR_CHECK(id >= 0 && id < vocab_size(), "bad char id");
+  return vocab_[static_cast<std::size_t>(id)];
+}
+
+std::span<const float> WikipediaCorpus::embedding(int id) const {
+  BPAR_CHECK(id >= 0 && id < vocab_size(), "bad char id");
+  return embeddings_.cview().row(id);
+}
+
+std::vector<rnn::BatchData> WikipediaCorpus::make_batches(
+    int batch_size, int max_batches) const {
+  BPAR_CHECK(batch_size > 0 && max_batches > 0, "bad batch shape");
+  const int steps = config_.seq_length;
+  const std::size_t window = static_cast<std::size_t>(steps) + 1;
+  const std::size_t available = (text_.size() - 1) / window;
+  const int total_sequences = static_cast<int>(available);
+  const int batches_possible = total_sequences / batch_size;
+  const int count = std::min(max_batches, batches_possible);
+  BPAR_CHECK(count > 0, "corpus too small for requested batches");
+
+  std::vector<rnn::BatchData> batches;
+  std::size_t cursor = 0;
+  for (int bi = 0; bi < count; ++bi) {
+    rnn::BatchData batch;
+    batch.x.resize(static_cast<std::size_t>(steps));
+    for (auto& m : batch.x) m.resize(batch_size, config_.input_size);
+    batch.labels.resize(static_cast<std::size_t>(steps) * batch_size);
+    for (int b = 0; b < batch_size; ++b) {
+      for (int t = 0; t < steps; ++t) {
+        const char cur = text_[cursor + static_cast<std::size_t>(t)];
+        const char nxt = text_[cursor + static_cast<std::size_t>(t) + 1];
+        const auto emb = embedding(char_id(cur));
+        auto dst = batch.x[static_cast<std::size_t>(t)].view().row(b);
+        std::copy(emb.begin(), emb.end(), dst.begin());
+        batch.labels[static_cast<std::size_t>(t) * batch_size + b] =
+            char_id(nxt);
+      }
+      cursor += window;
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace bpar::data

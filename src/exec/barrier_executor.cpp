@@ -1,0 +1,142 @@
+#include "exec/barrier_executor.hpp"
+
+#include "exec/reference_pass.hpp"
+#include "kernels/elementwise.hpp"
+#include "kernels/gemm.hpp"
+#include "perf/timer.hpp"
+#include "rnn/cell_kernels.hpp"
+#include "rnn/merge.hpp"
+#include "util/check.hpp"
+
+namespace bpar::exec {
+
+using rnn::CellType;
+using tensor::ConstMatrixView;
+
+BarrierExecutor::BarrierExecutor(rnn::Network& net, BarrierOptions options)
+    : net_(net),
+      options_(options),
+      runtime_({.num_workers = options.num_workers,
+                .policy = taskrt::SchedulerPolicy::kFifo,
+                .record_trace = false}) {
+  ws_ = std::make_unique<rnn::Workspace>(net_.config(),
+                                         net_.config().batch_size);
+  grads_.init_like(net_);
+}
+
+void BarrierExecutor::forward(const rnn::BatchData& batch) {
+  const auto& cfg = net_.config();
+  const int steps = cfg.seq_length;
+  const int batch_rows = cfg.batch_size;
+  const bool lstm = cfg.cell == CellType::kLstm;
+  const int merged_layers =
+      cfg.many_to_many ? cfg.num_layers : cfg.num_layers - 1;
+
+  for (int l = 0; l < cfg.num_layers; ++l) {
+    // Forward sweep, then reverse sweep — sequential in time, each cell's
+    // rows split across workers (intra-op parallelism). parallel_for joins
+    // at the end of every cell: the framework-style synchronization.
+    for (int dir = 0; dir < 2; ++dir) {
+      const rnn::LayerParams& p = net_.layer(dir, l);
+      for (int s = 0; s < steps; ++s) {
+        const int ti = dir == 0 ? s : steps - 1 - s;
+        runtime_.parallel_for(
+            0, batch_rows, options_.row_grain,
+            [&, dir, l, s, ti](std::int64_t lo, std::int64_t hi) {
+              const int r0 = static_cast<int>(lo);
+              const int rows = static_cast<int>(hi - lo);
+              const ConstMatrixView x =
+                  l == 0 ? batch.x[static_cast<std::size_t>(ti)].cview().block(
+                               r0, 0, rows, cfg.input_size)
+                         : ws_->merged(l - 1, ti).cview().block(
+                               r0, 0, rows, cfg.merged_size());
+              const ConstMatrixView h_prev =
+                  s == 0 ? ws_->zero_state.cview().block(r0, 0, rows,
+                                                         cfg.hidden_size)
+                         : ws_->tape(dir, l, s - 1).h.cview().block(
+                               r0, 0, rows, cfg.hidden_size);
+              ConstMatrixView c_prev;
+              if (lstm) {
+                c_prev = s == 0 ? ws_->zero_state.cview().block(
+                                      r0, 0, rows, cfg.hidden_size)
+                                : ws_->tape(dir, l, s - 1).c.cview().block(
+                                      r0, 0, rows, cfg.hidden_size);
+              }
+              rnn::cell_forward(p, x, h_prev, c_prev,
+                                ws_->tape(dir, l, s).views_rows(r0, rows));
+            });
+      }
+    }
+    if (l < merged_layers) {
+      runtime_.parallel_for(0, steps, 1,
+                            [&, l](std::int64_t lo, std::int64_t hi) {
+                              for (std::int64_t t = lo; t < hi; ++t) {
+                                rnn::merge_forward(
+                                    cfg.merge,
+                                    ws_->tape(0, l, static_cast<int>(t)).h.cview(),
+                                    ws_->tape(1, l, steps - 1 - static_cast<int>(t))
+                                        .h.cview(),
+                                    ws_->merged(l, static_cast<int>(t)).view());
+                              }
+                            });
+    }
+  }
+  if (!cfg.many_to_many) {
+    rnn::merge_forward(cfg.merge,
+                       ws_->tape(0, cfg.num_layers - 1, steps - 1).h.cview(),
+                       ws_->tape(1, cfg.num_layers - 1, steps - 1).h.cview(),
+                       ws_->final_merged.view());
+  }
+}
+
+double BarrierExecutor::loss_head(const rnn::BatchData& batch) {
+  const auto& cfg = net_.config();
+  const int last = cfg.num_layers - 1;
+  const int outputs = ws_->num_outputs();
+  const double weight = 1.0 / outputs;
+  double loss = 0.0;
+  for (int t = 0; t < outputs; ++t) {
+    const ConstMatrixView y = cfg.many_to_many ? ws_->merged(last, t).cview()
+                                               : ws_->final_merged.cview();
+    auto logits = ws_->logits(t).view();
+    kernels::gemm_nt(y, net_.w_out.cview(), logits);
+    kernels::add_bias_rows(logits, net_.b_out.cview().row(0));
+    kernels::softmax_rows(logits, ws_->probs(t).view());
+    loss += kernels::cross_entropy(ws_->probs(t).cview(), batch.labels_at(t)) *
+            weight;
+  }
+  return loss;
+}
+
+StepResult BarrierExecutor::train_batch(const rnn::BatchData& batch) {
+  const auto& cfg = net_.config();
+  batch.validate(cfg.input_size, cfg.seq_length);
+  BPAR_CHECK(batch.batch() == cfg.batch_size, "batch size mismatch");
+  perf::WallTimer timer;
+  grads_.zero();
+  ws_->zero_backward();
+  StepResult result;
+  forward(batch);
+  result.loss = loss_head(batch);
+  // Backward runs the reference pass (dense backward onward); forward
+  // buffers are already filled identically.
+  backward_pass(net_, *ws_, batch, 0, batch.batch(), grads_);
+  result.wall_ms = timer.elapsed_ms();
+  return result;
+}
+
+StepResult BarrierExecutor::infer_batch(const rnn::BatchData& batch,
+                                        std::span<int> predictions) {
+  const auto& cfg = net_.config();
+  batch.validate(cfg.input_size, cfg.seq_length);
+  BPAR_CHECK(batch.batch() == cfg.batch_size, "batch size mismatch");
+  perf::WallTimer timer;
+  StepResult result;
+  forward(batch);
+  result.loss = loss_head(batch);
+  if (!predictions.empty()) extract_predictions(*ws_, predictions);
+  result.wall_ms = timer.elapsed_ms();
+  return result;
+}
+
+}  // namespace bpar::exec

@@ -1,0 +1,44 @@
+// Per-layer-barrier executor — the Keras/TensorFlow & PyTorch CPU style.
+//
+// Executes the BRNN layer by layer: the forward-direction sweep (cells
+// sequential in time, each cell's batch rows split across workers with a
+// fork-join parallel_for — "intra-op parallelism"), then the reverse sweep,
+// then the merges, then an implicit barrier before the next layer. This is
+// exactly the schedule the paper attributes to the frameworks (§II), and
+// its parallelism is bounded by what one cell exposes.
+#pragma once
+
+#include <memory>
+
+#include "exec/executor.hpp"
+
+namespace bpar::exec {
+
+struct BarrierOptions {
+  int num_workers = 0;
+  /// Minimum batch rows per intra-op chunk.
+  int row_grain = 8;
+};
+
+class BarrierExecutor final : public Executor {
+ public:
+  BarrierExecutor(rnn::Network& net, BarrierOptions options);
+
+  StepResult train_batch(const rnn::BatchData& batch) override;
+  StepResult infer_batch(const rnn::BatchData& batch,
+                         std::span<int> predictions) override;
+  rnn::NetworkGrads& grads() override { return grads_; }
+  [[nodiscard]] const char* name() const override { return "layer-barrier"; }
+
+ private:
+  void forward(const rnn::BatchData& batch);
+  double loss_head(const rnn::BatchData& batch);
+
+  rnn::Network& net_;
+  BarrierOptions options_;
+  taskrt::Runtime runtime_;
+  std::unique_ptr<rnn::Workspace> ws_;
+  rnn::NetworkGrads grads_;
+};
+
+}  // namespace bpar::exec

@@ -1,0 +1,98 @@
+#include "exec/bpar_executor.hpp"
+
+#include "exec/reference_pass.hpp"
+#include "perf/timer.hpp"
+#include "util/check.hpp"
+
+namespace bpar::exec {
+
+namespace {
+taskrt::RuntimeOptions runtime_options(const BParOptions& options) {
+  taskrt::RuntimeOptions ro;
+  ro.num_workers = options.num_workers;
+  ro.policy = options.policy;
+  ro.record_trace = options.record_trace;
+  return ro;
+}
+}  // namespace
+
+BParExecutor::BParExecutor(rnn::Network& net, BParOptions options)
+    : net_(net), options_(options), runtime_(runtime_options(options)) {}
+
+graph::TrainingProgram& BParExecutor::program(bool training,
+                                              int seq_length) {
+  const int steps =
+      seq_length > 0 ? seq_length : net_.config().seq_length;
+  auto& cache = training ? train_programs_ : infer_programs_;
+  auto it = cache.find(steps);
+  if (it == cache.end()) {
+    graph::BuildOptions bo;
+    bo.num_replicas = options_.num_replicas;
+    bo.training = training;
+    bo.fuse_merge = options_.fuse_merge;
+    bo.compute_input_grads = options_.compute_input_grads;
+    bo.seq_length_override = steps;
+    it = cache
+             .emplace(steps, std::make_unique<graph::TrainingProgram>(
+                                 net_, net_.config().batch_size, bo))
+             .first;
+  }
+  return *it->second;
+}
+
+graph::TrainingProgram& BParExecutor::train_program(int seq_length) {
+  return program(/*training=*/true, seq_length);
+}
+
+graph::TrainingProgram& BParExecutor::infer_program(int seq_length) {
+  return program(/*training=*/false, seq_length);
+}
+
+StepResult BParExecutor::train_batch(const rnn::BatchData& batch) {
+  auto& program = train_program(batch.steps());
+  last_train_ = &program;
+  perf::WallTimer timer;
+  program.load_batch(batch);
+  program.prepare();
+  StepResult result;
+  result.stats = runtime_.run(program.graph());
+  result.loss = program.loss();
+  result.wall_ms = timer.elapsed_ms();
+  return result;
+}
+
+StepResult BParExecutor::infer_batch(const rnn::BatchData& batch,
+                                     std::span<int> predictions) {
+  auto& program = infer_program(batch.steps());
+  perf::WallTimer timer;
+  program.load_batch(batch);
+  program.prepare();
+  StepResult result;
+  result.stats = runtime_.run(program.graph());
+  result.loss = program.loss();
+  if (!predictions.empty()) {
+    // Stitch replica predictions back into batch order.
+    const int outputs = program.replica(0).num_outputs();
+    BPAR_CHECK(static_cast<int>(predictions.size()) ==
+                   outputs * program.total_batch(),
+               "prediction buffer size mismatch");
+    for (int rep = 0; rep < program.num_replicas(); ++rep) {
+      auto& ws = program.replica(rep);
+      const int r0 = program.replica_row_begin(rep);
+      std::vector<int> local(
+          static_cast<std::size_t>(outputs) * ws.batch());
+      extract_predictions(ws, local);
+      for (int t = 0; t < outputs; ++t) {
+        for (int b = 0; b < ws.batch(); ++b) {
+          predictions[static_cast<std::size_t>(t) * program.total_batch() +
+                      r0 + b] =
+              local[static_cast<std::size_t>(t) * ws.batch() + b];
+        }
+      }
+    }
+  }
+  result.wall_ms = timer.elapsed_ms();
+  return result;
+}
+
+}  // namespace bpar::exec

@@ -1,0 +1,65 @@
+// B-Par: the paper's barrier-free task-graph executor.
+//
+// Builds the training and inference task graphs once (paper Algorithms
+// 1-3, via graph::TrainingProgram) and executes them on the OmpSs-like
+// runtime for every batch. Mini-batch data parallelism composes with model
+// parallelism through `num_replicas` (the paper's mbs:N).
+// Batches may have any sequence length: weights are shared across
+// timesteps, so the executor keeps one cached program per observed length
+// and "adjusts the computation graph dynamically" (paper §III-B) by
+// building a new graph the first time a length appears.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "exec/executor.hpp"
+#include "graph/brnn_graph.hpp"
+
+namespace bpar::exec {
+
+struct BParOptions {
+  int num_workers = 0;  // 0 → hardware concurrency
+  taskrt::SchedulerPolicy policy = taskrt::SchedulerPolicy::kLocalityAware;
+  int num_replicas = 1;  // mbs:N
+  bool record_trace = false;
+  bool fuse_merge = false;  // ablation knob (see DESIGN.md §5.1)
+  bool compute_input_grads = false;  // also produce per-timestep dL/dx
+};
+
+class BParExecutor final : public Executor {
+ public:
+  BParExecutor(rnn::Network& net, BParOptions options);
+
+  StepResult train_batch(const rnn::BatchData& batch) override;
+  StepResult infer_batch(const rnn::BatchData& batch,
+                         std::span<int> predictions) override;
+  /// Gradients of the most recent train_batch (which may have used a
+  /// non-default sequence length).
+  rnn::NetworkGrads& grads() override {
+    return (last_train_ != nullptr ? *last_train_ : train_program()).grads();
+  }
+  [[nodiscard]] const char* name() const override { return "b-par"; }
+
+  /// Program for the config's default sequence length (or for `seq_length`
+  /// when given); built and cached on first use.
+  [[nodiscard]] graph::TrainingProgram& train_program(int seq_length = 0);
+  [[nodiscard]] graph::TrainingProgram& infer_program(int seq_length = 0);
+  [[nodiscard]] taskrt::Runtime& runtime() { return runtime_; }
+  /// Number of distinct sequence lengths with cached graphs.
+  [[nodiscard]] std::size_t cached_programs(bool training) const {
+    return training ? train_programs_.size() : infer_programs_.size();
+  }
+
+ private:
+  graph::TrainingProgram& program(bool training, int seq_length);
+
+  rnn::Network& net_;
+  BParOptions options_;
+  taskrt::Runtime runtime_;
+  std::map<int, std::unique_ptr<graph::TrainingProgram>> train_programs_;
+  std::map<int, std::unique_ptr<graph::TrainingProgram>> infer_programs_;
+  graph::TrainingProgram* last_train_ = nullptr;
+};
+
+}  // namespace bpar::exec

@@ -1,0 +1,108 @@
+#include "exec/bseq_executor.hpp"
+
+#include "exec/reference_pass.hpp"
+#include "perf/timer.hpp"
+#include "rnn/flops.hpp"
+#include "util/check.hpp"
+
+namespace bpar::exec {
+
+BSeqExecutor::BSeqExecutor(rnn::Network& net, BSeqOptions options)
+    : net_(net),
+      options_(options),
+      runtime_({.num_workers = options.num_workers,
+                .policy = taskrt::SchedulerPolicy::kFifo,
+                .record_trace = false}) {
+  const auto& cfg = net_.config();
+  BPAR_CHECK(options_.num_replicas >= 1 &&
+                 options_.num_replicas <= cfg.batch_size,
+             "bad replica count");
+  const int base = cfg.batch_size / options_.num_replicas;
+  const int extra = cfg.batch_size % options_.num_replicas;
+  int row = 0;
+  for (int r = 0; r < options_.num_replicas; ++r) {
+    row_begin_.push_back(row);
+    const int rb = base + (r < extra ? 1 : 0);
+    replicas_.push_back(std::make_unique<rnn::Workspace>(cfg, rb));
+    row += rb;
+  }
+  replica_grads_.resize(static_cast<std::size_t>(options_.num_replicas));
+  for (auto& g : replica_grads_) g.init_like(net_);
+  master_grads_.init_like(net_);
+}
+
+StepResult BSeqExecutor::run(const rnn::BatchData& batch, bool training,
+                             std::span<int> predictions) {
+  const auto& cfg = net_.config();
+  batch.validate(cfg.input_size, cfg.seq_length);
+  BPAR_CHECK(batch.batch() == cfg.batch_size, "batch size mismatch");
+  perf::WallTimer timer;
+
+  std::vector<double> losses(static_cast<std::size_t>(options_.num_replicas),
+                             0.0);
+  taskrt::TaskGraph graph;
+  for (int r = 0; r < options_.num_replicas; ++r) {
+    rnn::Workspace* ws = replicas_[static_cast<std::size_t>(r)].get();
+    rnn::NetworkGrads* grads = &replica_grads_[static_cast<std::size_t>(r)];
+    double* loss_slot = &losses[static_cast<std::size_t>(r)];
+    const int r0 = row_begin_[static_cast<std::size_t>(r)];
+    taskrt::TaskSpec spec;
+    spec.kind = taskrt::TaskKind::kGeneric;
+    spec.replica = r;
+    spec.flops = (training ? rnn::network_training_flops(cfg)
+                           : rnn::network_inference_flops(cfg)) *
+                 ws->batch() / cfg.batch_size;
+    spec.name = "bseq." + std::to_string(r);
+    graph.add(
+        [this, ws, grads, loss_slot, r0, training, &batch] {
+          if (training) {
+            grads->zero();
+            ws->zero_backward();
+          }
+          *loss_slot = forward_pass(net_, *ws, batch, r0, batch.batch());
+          if (training) {
+            backward_pass(net_, *ws, batch, r0, batch.batch(), *grads);
+          }
+        },
+        {taskrt::out(loss_slot)}, std::move(spec));
+  }
+  StepResult result;
+  result.stats = runtime_.run(graph);
+
+  for (const double l : losses) result.loss += l;
+  if (training) {
+    master_grads_.zero();
+    for (const auto& g : replica_grads_) master_grads_.accumulate(g);
+  }
+  if (!predictions.empty()) {
+    const int outputs = replicas_[0]->num_outputs();
+    BPAR_CHECK(static_cast<int>(predictions.size()) ==
+                   outputs * cfg.batch_size,
+               "prediction buffer size mismatch");
+    for (int r = 0; r < options_.num_replicas; ++r) {
+      auto& ws = *replicas_[static_cast<std::size_t>(r)];
+      const int r0 = row_begin_[static_cast<std::size_t>(r)];
+      std::vector<int> local(static_cast<std::size_t>(outputs) * ws.batch());
+      extract_predictions(ws, local);
+      for (int t = 0; t < outputs; ++t) {
+        for (int b = 0; b < ws.batch(); ++b) {
+          predictions[static_cast<std::size_t>(t) * cfg.batch_size + r0 + b] =
+              local[static_cast<std::size_t>(t) * ws.batch() + b];
+        }
+      }
+    }
+  }
+  result.wall_ms = timer.elapsed_ms();
+  return result;
+}
+
+StepResult BSeqExecutor::train_batch(const rnn::BatchData& batch) {
+  return run(batch, /*training=*/true, {});
+}
+
+StepResult BSeqExecutor::infer_batch(const rnn::BatchData& batch,
+                                     std::span<int> predictions) {
+  return run(batch, /*training=*/false, predictions);
+}
+
+}  // namespace bpar::exec

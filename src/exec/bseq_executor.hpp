@@ -1,0 +1,44 @@
+// B-Seq: the paper's data-parallelism-only baseline.
+//
+// The batch splits into `num_replicas` mini-batches; each mini-batch is one
+// coarse task running the full sequential forward+backward pass. With R
+// replicas the exposed parallelism is exactly R — which is why B-Seq stops
+// scaling beyond R cores in Fig. 4.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exec/executor.hpp"
+
+namespace bpar::exec {
+
+struct BSeqOptions {
+  int num_workers = 0;
+  int num_replicas = 1;
+};
+
+class BSeqExecutor final : public Executor {
+ public:
+  BSeqExecutor(rnn::Network& net, BSeqOptions options);
+
+  StepResult train_batch(const rnn::BatchData& batch) override;
+  StepResult infer_batch(const rnn::BatchData& batch,
+                         std::span<int> predictions) override;
+  rnn::NetworkGrads& grads() override { return master_grads_; }
+  [[nodiscard]] const char* name() const override { return "b-seq"; }
+
+ private:
+  StepResult run(const rnn::BatchData& batch, bool training,
+                 std::span<int> predictions);
+
+  rnn::Network& net_;
+  BSeqOptions options_;
+  taskrt::Runtime runtime_;
+  std::vector<std::unique_ptr<rnn::Workspace>> replicas_;
+  std::vector<rnn::NetworkGrads> replica_grads_;
+  std::vector<int> row_begin_;
+  rnn::NetworkGrads master_grads_;
+};
+
+}  // namespace bpar::exec

@@ -1,0 +1,48 @@
+// Common interface of the four execution strategies the paper compares:
+//
+//   SequentialExecutor — single-threaded reference (ground truth)
+//   BParExecutor       — the paper's contribution: barrier-free task graph,
+//                        model + data parallelism
+//   BSeqExecutor       — data parallelism only (paper's B-Seq)
+//   BarrierExecutor    — per-layer barriers + intra-op parallelism, the
+//                        Keras/TensorFlow & PyTorch CPU execution style
+//
+// All executors compute identical losses and gradients for the same batch
+// (up to float addition reordering, and bitwise for most pairs) — the paper
+// stresses that B-Par's scheduling causes no accuracy loss.
+#pragma once
+
+#include <span>
+
+#include "rnn/batch.hpp"
+#include "rnn/network.hpp"
+#include "taskrt/runtime.hpp"
+
+namespace bpar::exec {
+
+struct StepResult {
+  double loss = 0.0;
+  double wall_ms = 0.0;
+  taskrt::RunStats stats;  // populated by task-based executors
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Forward + backward + gradient reduction on one batch. Gradients are
+  /// available via grads() afterwards; the caller applies the optimizer.
+  virtual StepResult train_batch(const rnn::BatchData& batch) = 0;
+
+  /// Forward + loss only. If `predictions` is non-empty it receives argmax
+  /// class ids (batch entries for many-to-one, steps*batch otherwise).
+  virtual StepResult infer_batch(const rnn::BatchData& batch,
+                                 std::span<int> predictions) = 0;
+
+  /// Whole-batch mean gradients from the last train_batch call.
+  virtual rnn::NetworkGrads& grads() = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace bpar::exec

@@ -1,0 +1,198 @@
+#include "exec/reference_pass.hpp"
+
+#include "kernels/elementwise.hpp"
+#include "kernels/gemm.hpp"
+#include "rnn/cell_kernels.hpp"
+#include "rnn/merge.hpp"
+#include "util/check.hpp"
+
+namespace bpar::exec {
+
+using rnn::CellType;
+using rnn::NetworkConfig;
+using tensor::ConstMatrixView;
+using tensor::MatrixView;
+
+namespace {
+
+ConstMatrixView input_slice(const rnn::BatchData& batch, int t, int r0,
+                            int rb) {
+  return batch.x[static_cast<std::size_t>(t)].cview().block(
+      r0, 0, rb, batch.input_size());
+}
+
+std::span<const int> label_slice(const rnn::BatchData& batch, int t, int r0,
+                                 int rb) {
+  const std::size_t offset =
+      batch.many_to_many()
+          ? static_cast<std::size_t>(t) * batch.batch() + r0
+          : static_cast<std::size_t>(r0);
+  return std::span<const int>(batch.labels)
+      .subspan(offset, static_cast<std::size_t>(rb));
+}
+
+int merged_layers(const NetworkConfig& cfg) {
+  return cfg.many_to_many ? cfg.num_layers : cfg.num_layers - 1;
+}
+
+}  // namespace
+
+double forward_pass(const rnn::Network& net, rnn::Workspace& ws,
+                    const rnn::BatchData& batch, int r0, int total_batch) {
+  const NetworkConfig& cfg = net.config();
+  const int rb = ws.batch();
+  const int steps = cfg.seq_length;
+  const bool lstm = cfg.cell == CellType::kLstm;
+  BPAR_CHECK(r0 + rb <= batch.batch(), "slice out of range");
+
+  for (int l = 0; l < cfg.num_layers; ++l) {
+    for (int dir = 0; dir < 2; ++dir) {
+      const rnn::LayerParams& p = net.layer(dir, l);
+      for (int s = 0; s < steps; ++s) {
+        const int ti = dir == 0 ? s : steps - 1 - s;
+        const ConstMatrixView x = l == 0
+                                      ? input_slice(batch, ti, r0, rb)
+                                      : ws.merged(l - 1, ti).cview();
+        const ConstMatrixView h_prev =
+            s == 0 ? ws.zero_state.cview() : ws.tape(dir, l, s - 1).h.cview();
+        ConstMatrixView c_prev;
+        if (lstm) {
+          c_prev = s == 0 ? ws.zero_state.cview()
+                          : ws.tape(dir, l, s - 1).c.cview();
+        }
+        rnn::cell_forward(p, x, h_prev, c_prev, ws.tape(dir, l, s));
+      }
+    }
+    if (l < merged_layers(cfg)) {
+      for (int t = 0; t < steps; ++t) {
+        rnn::merge_forward(cfg.merge, ws.tape(0, l, t).h.cview(),
+                           ws.tape(1, l, steps - 1 - t).h.cview(),
+                           ws.merged(l, t).view());
+      }
+    }
+  }
+
+  const int last = cfg.num_layers - 1;
+  if (!cfg.many_to_many) {
+    rnn::merge_forward(cfg.merge, ws.tape(0, last, steps - 1).h.cview(),
+                       ws.tape(1, last, steps - 1).h.cview(),
+                       ws.final_merged.view());
+  }
+
+  const int outputs = ws.num_outputs();
+  const double weight =
+      static_cast<double>(rb) / (static_cast<double>(total_batch) * outputs);
+  double loss = 0.0;
+  for (int t = 0; t < outputs; ++t) {
+    const ConstMatrixView y = cfg.many_to_many ? ws.merged(last, t).cview()
+                                               : ws.final_merged.cview();
+    MatrixView logits = ws.logits(t).view();
+    kernels::gemm_nt(y, net.w_out.cview(), logits);
+    kernels::add_bias_rows(logits, net.b_out.cview().row(0));
+    kernels::softmax_rows(logits, ws.probs(t).view());
+    loss += kernels::cross_entropy(ws.probs(t).cview(),
+                                   label_slice(batch, t, r0, rb)) *
+            weight;
+  }
+  return loss;
+}
+
+void backward_pass(const rnn::Network& net, rnn::Workspace& ws,
+                   const rnn::BatchData& batch, int r0, int total_batch,
+                   rnn::NetworkGrads& grads) {
+  const NetworkConfig& cfg = net.config();
+  const int rb = ws.batch();
+  const int steps = cfg.seq_length;
+  const int last = cfg.num_layers - 1;
+  const bool lstm = cfg.cell == CellType::kLstm;
+  const int outputs = ws.num_outputs();
+  const float scale = static_cast<float>(
+      static_cast<double>(rb) / (static_cast<double>(total_batch) * outputs));
+
+  // Loss gradient + dense backward per output.
+  for (int t = 0; t < outputs; ++t) {
+    MatrixView dl = ws.dlogits(t).view();
+    kernels::softmax_ce_grad(ws.probs(t).cview(),
+                             label_slice(batch, t, r0, rb), dl);
+    for (int r = 0; r < dl.rows; ++r) kernels::scale_inplace(dl.row(r), scale);
+
+    const ConstMatrixView y = cfg.many_to_many ? ws.merged(last, t).cview()
+                                               : ws.final_merged.cview();
+    MatrixView dy =
+        cfg.many_to_many ? ws.dmerged(0, last, t).view() : ws.dfinal.view();
+    kernels::gemm_tn(dl, y, grads.dw_out.view(), 1.0F, 1.0F);
+    kernels::sum_rows_acc(dl, grads.db_out.view().row(0));
+    kernels::gemm_nn(dl, net.w_out.cview(), dy, 1.0F, 1.0F);
+  }
+
+  if (!cfg.many_to_many) {
+    rnn::merge_backward(cfg.merge, ws.tape(0, last, steps - 1).h.cview(),
+                        ws.tape(1, last, steps - 1).h.cview(),
+                        ws.dfinal.cview(), ws.dh(0, last, steps - 1).view(),
+                        ws.dh(1, last, steps - 1).view());
+  }
+
+  for (int l = last; l >= 0; --l) {
+    if (l < merged_layers(cfg)) {
+      for (int t = steps - 1; t >= 0; --t) {
+        for (int src = 0; src < 2; ++src) {
+          rnn::merge_backward(cfg.merge, ws.tape(0, l, t).h.cview(),
+                              ws.tape(1, l, steps - 1 - t).h.cview(),
+                              ws.dmerged(src, l, t).cview(),
+                              ws.dh(0, l, t).view(),
+                              ws.dh(1, l, steps - 1 - t).view());
+        }
+      }
+    }
+    for (int dir = 0; dir < 2; ++dir) {
+      const rnn::LayerParams& p = net.layer(dir, l);
+      rnn::LayerGrads& lg = grads.layers[dir][static_cast<std::size_t>(l)];
+      for (int s = steps - 1; s >= 0; --s) {
+        const int ti = dir == 0 ? s : steps - 1 - s;
+        const ConstMatrixView x = l == 0
+                                      ? input_slice(batch, ti, r0, rb)
+                                      : ws.merged(l - 1, ti).cview();
+        const ConstMatrixView h_prev =
+            s == 0 ? ws.zero_state.cview() : ws.tape(dir, l, s - 1).h.cview();
+        ConstMatrixView c_prev;
+        if (lstm) {
+          c_prev = s == 0 ? ws.zero_state.cview()
+                          : ws.tape(dir, l, s - 1).c.cview();
+        }
+        ConstMatrixView dc_in;
+        if (lstm && s < steps - 1) dc_in = ws.dc(dir, l, s).cview();
+        MatrixView dx_acc;
+        if (l > 0) {
+          dx_acc = ws.dmerged(dir, l - 1, ti).view();
+        } else if (ws.has_input_grads()) {
+          dx_acc = ws.dx(dir, ti).view();
+        }
+        MatrixView dh_prev =
+            s > 0 ? ws.dh(dir, l, s - 1).view() : ws.sink(dir, l).view();
+        MatrixView dc_prev;
+        if (lstm) {
+          dc_prev = s > 0 ? ws.dc(dir, l, s - 1).view()
+                          : ws.sink(dir, l).view();
+        }
+        rnn::cell_backward(p, x, h_prev, c_prev, ws.tape(dir, l, s),
+                           ws.dh(dir, l, s).cview(), dc_in, dx_acc, dh_prev,
+                           dc_prev, lg);
+      }
+    }
+  }
+}
+
+void extract_predictions(const rnn::Workspace& ws, std::span<int> out) {
+  auto& mutable_ws = const_cast<rnn::Workspace&>(ws);
+  const int outputs = ws.num_outputs();
+  BPAR_CHECK(static_cast<int>(out.size()) == outputs * ws.batch(),
+             "prediction buffer size mismatch");
+  for (int t = 0; t < outputs; ++t) {
+    kernels::argmax_rows(
+        mutable_ws.probs(t).cview(),
+        out.subspan(static_cast<std::size_t>(t) * ws.batch(),
+                    static_cast<std::size_t>(ws.batch())));
+  }
+}
+
+}  // namespace bpar::exec

@@ -1,0 +1,36 @@
+// Plain sequential forward/backward pass over one batch slice.
+//
+// This is the ground-truth implementation the executors are validated
+// against, and the per-replica body of B-Seq (which exploits only data
+// parallelism: each mini-batch runs this code sequentially). The loop
+// structure and accumulation order mirror the task creation order of
+// graph::TrainingProgram exactly, so a correct task execution is bitwise
+// identical to this pass.
+#pragma once
+
+#include <span>
+
+#include "rnn/batch.hpp"
+#include "rnn/network.hpp"
+
+namespace bpar::exec {
+
+/// Forward pass over batch rows [r0, r0+ws.batch()): fills the workspace's
+/// tapes, merges, logits and probs. Returns the loss contribution already
+/// weighted for the whole batch: mean-CE(rows) * rows / (total_batch *
+/// outputs) summed over outputs.
+double forward_pass(const rnn::Network& net, rnn::Workspace& ws,
+                    const rnn::BatchData& batch, int r0, int total_batch);
+
+/// Backward pass matching forward_pass. Accumulates into `grads` (weighted
+/// so that summing replica grads yields the whole-batch mean gradient).
+/// Caller must ws.zero_backward() first.
+void backward_pass(const rnn::Network& net, rnn::Workspace& ws,
+                   const rnn::BatchData& batch, int r0, int total_batch,
+                   rnn::NetworkGrads& grads);
+
+/// Argmax predictions from the workspace's probs (after forward_pass).
+/// `out` has ws.batch() entries for many-to-one, steps*batch otherwise.
+void extract_predictions(const rnn::Workspace& ws, std::span<int> out);
+
+}  // namespace bpar::exec

@@ -1,0 +1,42 @@
+#include "exec/sequential.hpp"
+
+#include "exec/reference_pass.hpp"
+#include "perf/timer.hpp"
+#include "util/check.hpp"
+
+namespace bpar::exec {
+
+SequentialExecutor::SequentialExecutor(rnn::Network& net) : net_(net) {
+  ws_ = std::make_unique<rnn::Workspace>(net_.config(),
+                                         net_.config().batch_size);
+  grads_.init_like(net_);
+}
+
+StepResult SequentialExecutor::train_batch(const rnn::BatchData& batch) {
+  const auto& cfg = net_.config();
+  batch.validate(cfg.input_size, cfg.seq_length);
+  BPAR_CHECK(batch.batch() == cfg.batch_size, "batch size mismatch");
+  perf::WallTimer timer;
+  grads_.zero();
+  ws_->zero_backward();
+  StepResult result;
+  result.loss = forward_pass(net_, *ws_, batch, 0, batch.batch());
+  backward_pass(net_, *ws_, batch, 0, batch.batch(), grads_);
+  result.wall_ms = timer.elapsed_ms();
+  return result;
+}
+
+StepResult SequentialExecutor::infer_batch(const rnn::BatchData& batch,
+                                           std::span<int> predictions) {
+  const auto& cfg = net_.config();
+  batch.validate(cfg.input_size, cfg.seq_length);
+  BPAR_CHECK(batch.batch() == cfg.batch_size, "batch size mismatch");
+  perf::WallTimer timer;
+  StepResult result;
+  result.loss = forward_pass(net_, *ws_, batch, 0, batch.batch());
+  if (!predictions.empty()) extract_predictions(*ws_, predictions);
+  result.wall_ms = timer.elapsed_ms();
+  return result;
+}
+
+}  // namespace bpar::exec

@@ -1,0 +1,31 @@
+// Single-threaded reference executor.
+#pragma once
+
+#include <memory>
+
+#include "exec/executor.hpp"
+
+namespace bpar::exec {
+
+class SequentialExecutor final : public Executor {
+ public:
+  /// `net` must outlive the executor. Batches must match
+  /// net.config().batch_size rows.
+  explicit SequentialExecutor(rnn::Network& net);
+
+  StepResult train_batch(const rnn::BatchData& batch) override;
+  StepResult infer_batch(const rnn::BatchData& batch,
+                         std::span<int> predictions) override;
+  rnn::NetworkGrads& grads() override { return grads_; }
+  [[nodiscard]] const char* name() const override { return "sequential"; }
+
+  /// The workspace of the last pass (probs, tapes) — handy in tests.
+  [[nodiscard]] rnn::Workspace& workspace() { return *ws_; }
+
+ private:
+  rnn::Network& net_;
+  std::unique_ptr<rnn::Workspace> ws_;
+  rnn::NetworkGrads grads_;
+};
+
+}  // namespace bpar::exec

@@ -1,0 +1,142 @@
+#include "kernels/elementwise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bpar::kernels {
+
+float sigmoid(float x) { return 1.0F / (1.0F + std::exp(-x)); }
+
+void sigmoid_inplace(std::span<float> v) {
+  for (float& x : v) x = sigmoid(x);
+}
+
+void tanh_inplace(std::span<float> v) {
+  for (float& x : v) x = std::tanh(x);
+}
+
+void add_inplace(std::span<float> dst, std::span<const float> src) {
+  BPAR_DCHECK(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+}
+
+void add(std::span<const float> a, std::span<const float> b,
+         std::span<float> dst) {
+  BPAR_DCHECK(a.size() == b.size() && a.size() == dst.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = a[i] + b[i];
+}
+
+void hadamard(std::span<const float> a, std::span<const float> b,
+              std::span<float> dst) {
+  BPAR_DCHECK(a.size() == b.size() && a.size() == dst.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = a[i] * b[i];
+}
+
+void hadamard_acc(std::span<const float> a, std::span<const float> b,
+                  std::span<float> dst) {
+  BPAR_DCHECK(a.size() == b.size() && a.size() == dst.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += a[i] * b[i];
+}
+
+void scale_inplace(std::span<float> dst, float s) {
+  for (float& x : dst) x *= s;
+}
+
+void axpy(float s, std::span<const float> src, std::span<float> dst) {
+  BPAR_DCHECK(src.size() == dst.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += s * src[i];
+}
+
+void add_bias_rows(MatrixView m, std::span<const float> bias) {
+  BPAR_CHECK(static_cast<int>(bias.size()) == m.cols, "bias length mismatch");
+  for (int r = 0; r < m.rows; ++r) add_inplace(m.row(r), bias);
+}
+
+void sum_rows_acc(ConstMatrixView m, std::span<float> bias) {
+  BPAR_CHECK(static_cast<int>(bias.size()) == m.cols, "bias length mismatch");
+  for (int r = 0; r < m.rows; ++r) add_inplace(bias, m.row(r));
+}
+
+void add(ConstMatrixView a, ConstMatrixView b, MatrixView dst) {
+  BPAR_CHECK(a.rows == b.rows && a.cols == b.cols && a.rows == dst.rows &&
+                 a.cols == dst.cols,
+             "add shape mismatch");
+  for (int r = 0; r < a.rows; ++r) add(a.row(r), b.row(r), dst.row(r));
+}
+
+void average(ConstMatrixView a, ConstMatrixView b, MatrixView dst) {
+  add(a, b, dst);
+  for (int r = 0; r < dst.rows; ++r) scale_inplace(dst.row(r), 0.5F);
+}
+
+void multiply(ConstMatrixView a, ConstMatrixView b, MatrixView dst) {
+  BPAR_CHECK(a.rows == b.rows && a.cols == b.cols && a.rows == dst.rows &&
+                 a.cols == dst.cols,
+             "multiply shape mismatch");
+  for (int r = 0; r < a.rows; ++r) hadamard(a.row(r), b.row(r), dst.row(r));
+}
+
+void accumulate(MatrixView dst, ConstMatrixView src) {
+  BPAR_CHECK(src.rows == dst.rows && src.cols == dst.cols,
+             "accumulate shape mismatch");
+  for (int r = 0; r < src.rows; ++r) add_inplace(dst.row(r), src.row(r));
+}
+
+void softmax_rows(ConstMatrixView src, MatrixView dst) {
+  BPAR_CHECK(src.rows == dst.rows && src.cols == dst.cols,
+             "softmax shape mismatch");
+  for (int r = 0; r < src.rows; ++r) {
+    const auto in = src.row(r);
+    const auto out = dst.row(r);
+    const float mx = *std::ranges::max_element(in);
+    float denom = 0.0F;
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      out[j] = std::exp(in[j] - mx);
+      denom += out[j];
+    }
+    const float inv = 1.0F / denom;
+    for (float& v : out) v *= inv;
+  }
+}
+
+double cross_entropy(ConstMatrixView probs, std::span<const int> labels) {
+  BPAR_CHECK(static_cast<int>(labels.size()) == probs.rows,
+             "labels/rows mismatch");
+  double loss = 0.0;
+  constexpr float kEps = 1e-12F;
+  for (int r = 0; r < probs.rows; ++r) {
+    const int label = labels[static_cast<std::size_t>(r)];
+    BPAR_DCHECK(label >= 0 && label < probs.cols);
+    loss -= std::log(static_cast<double>(probs.at(r, label) + kEps));
+  }
+  return loss / probs.rows;
+}
+
+void softmax_ce_grad(ConstMatrixView probs, std::span<const int> labels,
+                     MatrixView dlogits) {
+  BPAR_CHECK(probs.rows == dlogits.rows && probs.cols == dlogits.cols,
+             "grad shape mismatch");
+  BPAR_CHECK(static_cast<int>(labels.size()) == probs.rows,
+             "labels/rows mismatch");
+  const float inv_rows = 1.0F / static_cast<float>(probs.rows);
+  for (int r = 0; r < probs.rows; ++r) {
+    const auto p = probs.row(r);
+    const auto g = dlogits.row(r);
+    for (std::size_t j = 0; j < p.size(); ++j) g[j] = p[j] * inv_rows;
+    g[static_cast<std::size_t>(labels[static_cast<std::size_t>(r)])] -=
+        inv_rows;
+  }
+}
+
+void argmax_rows(ConstMatrixView m, std::span<int> out) {
+  BPAR_CHECK(static_cast<int>(out.size()) == m.rows, "argmax size mismatch");
+  for (int r = 0; r < m.rows; ++r) {
+    const auto row = m.row(r);
+    out[static_cast<std::size_t>(r)] = static_cast<int>(
+        std::ranges::max_element(row) - row.begin());
+  }
+}
+
+}  // namespace bpar::kernels

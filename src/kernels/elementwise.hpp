@@ -1,0 +1,76 @@
+// Elementwise kernels: activations, their derivatives, fused vector ops,
+// softmax and cross-entropy. All operate on spans or matrix views.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace bpar::kernels {
+
+using tensor::ConstMatrixView;
+using tensor::MatrixView;
+
+// ---- activations ----
+
+[[nodiscard]] float sigmoid(float x);
+void sigmoid_inplace(std::span<float> v);
+void tanh_inplace(std::span<float> v);
+
+/// d/dx sigmoid given y = sigmoid(x): y * (1 - y).
+[[nodiscard]] inline float dsigmoid_from_y(float y) { return y * (1.0F - y); }
+/// d/dx tanh given y = tanh(x): 1 - y^2.
+[[nodiscard]] inline float dtanh_from_y(float y) { return 1.0F - y * y; }
+
+// ---- vector ops ----
+
+/// dst += src (same length).
+void add_inplace(std::span<float> dst, std::span<const float> src);
+/// dst = a + b.
+void add(std::span<const float> a, std::span<const float> b,
+         std::span<float> dst);
+/// dst = a * b (Hadamard).
+void hadamard(std::span<const float> a, std::span<const float> b,
+              std::span<float> dst);
+/// dst += a * b (fused multiply-accumulate).
+void hadamard_acc(std::span<const float> a, std::span<const float> b,
+                  std::span<float> dst);
+/// dst *= s.
+void scale_inplace(std::span<float> dst, float s);
+/// dst += s * src.
+void axpy(float s, std::span<const float> src, std::span<float> dst);
+
+/// Adds `bias` (length = m.cols) to every row of `m`.
+void add_bias_rows(MatrixView m, std::span<const float> bias);
+/// bias(j) += sum over rows of m(:, j) — bias gradient accumulation.
+void sum_rows_acc(ConstMatrixView m, std::span<float> bias);
+
+// ---- matrix elementwise (row-wise loops over possibly strided views) ----
+
+/// dst = a + b, all same shape.
+void add(ConstMatrixView a, ConstMatrixView b, MatrixView dst);
+/// dst = (a + b) / 2.
+void average(ConstMatrixView a, ConstMatrixView b, MatrixView dst);
+/// dst = a * b.
+void multiply(ConstMatrixView a, ConstMatrixView b, MatrixView dst);
+/// dst += src.
+void accumulate(MatrixView dst, ConstMatrixView src);
+
+// ---- softmax / cross-entropy ----
+
+/// Row-wise softmax: dst(r, :) = softmax(src(r, :)). Numerically stable.
+void softmax_rows(ConstMatrixView src, MatrixView dst);
+
+/// Mean cross-entropy of softmax probabilities `probs` against integer
+/// labels (one per row). Returns the loss; labels.size() == probs.rows.
+[[nodiscard]] double cross_entropy(ConstMatrixView probs,
+                                   std::span<const int> labels);
+
+/// Gradient of (mean CE ∘ softmax) wrt logits: (probs - onehot) / rows.
+void softmax_ce_grad(ConstMatrixView probs, std::span<const int> labels,
+                     MatrixView dlogits);
+
+/// Row-wise argmax.
+void argmax_rows(ConstMatrixView m, std::span<int> out);
+
+}  // namespace bpar::kernels

@@ -1,0 +1,44 @@
+// Single-precision GEMM kernels (the library's MKL-Sequential substitute).
+//
+// Three transpose variants cover everything the RNN cells need:
+//   gemm_nn:  C = alpha * A   * B   + beta * C      (dX = dG * W)
+//   gemm_nt:  C = alpha * A   * B^T + beta * C      (G  = X * W^T)
+//   gemm_tn:  C = alpha * A^T * B   + beta * C      (dW = dG^T * X)
+//
+// Implementations are cache-blocked and written so GCC auto-vectorizes the
+// inner loops. They are sequential by design: task-level parallelism comes
+// from the runtime (B-Par) or from explicit row-splitting (the intra-op
+// parallel baselines), matching the paper's "B-Par is mapped to
+// MKL-Sequential" setup.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace bpar::kernels {
+
+using tensor::ConstMatrixView;
+using tensor::MatrixView;
+
+/// C(m,n) = alpha * A(m,k) * B(k,n) + beta * C.
+void gemm_nn(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+             float alpha = 1.0F, float beta = 0.0F);
+
+/// C(m,n) = alpha * A(m,k) * B(n,k)^T + beta * C.
+void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+             float alpha = 1.0F, float beta = 0.0F);
+
+/// C(m,n) = alpha * A(k,m)^T * B(k,n) + beta * C.
+void gemm_tn(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+             float alpha = 1.0F, float beta = 0.0F);
+
+/// y(n) = alpha * A(m,n)^T x(m) + beta * y — convenience for vector paths.
+void gemv_t(ConstMatrixView a, std::span<const float> x, std::span<float> y,
+            float alpha = 1.0F, float beta = 0.0F);
+
+/// Flop count of a GEMM with the given shape (2*m*n*k).
+[[nodiscard]] constexpr double gemm_flops(int m, int n, int k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace bpar::kernels

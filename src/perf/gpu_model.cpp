@@ -1,0 +1,73 @@
+#include "perf/gpu_model.hpp"
+
+#include "util/check.hpp"
+
+namespace bpar::perf {
+
+GpuModelParams keras_v100() {
+  // base: Table III row 256/256/1/2 ≈ 24.5 ms with negligible compute.
+  // launch: rows 256/256/1/{10,100} grow ~0.57 ms per step over 12
+  // layer-direction cells → ~47 us per cell.
+  return {.base_ms = 23.0,
+          .per_cell_launch_ms = 0.047,
+          .peak_tflops = 12.0,
+          .saturation_bh = 76000.0,
+          .hang_above_params = 0.0};
+}
+
+GpuModelParams pytorch_v100() {
+  // launch: rows 256/256/1/{10,100} grow ~5 ms per step → ~0.42 ms per
+  // cell. Hangs above ~90M parameters (paper leaves those cells empty).
+  return {.base_ms = 22.5,
+          .per_cell_launch_ms = 0.42,
+          .peak_tflops = 12.0,
+          .saturation_bh = 76000.0,
+          .hang_above_params = 90.0e6};
+}
+
+double brnn_param_count(const GpuWorkload& w) {
+  // Per direction, layer 0: gates * H * (I + H + 1). Deeper layers consume
+  // an H-wide merged output (sum/average merge) — this reproduces the
+  // paper's Table III/IV parameter counts exactly (e.g. 6.3M for the
+  // 256/256 6-layer BLSTM).
+  const double h = w.hidden_size;
+  const double first = w.gates * h * (w.input_size + h + 1);
+  const double deeper = w.gates * h * (h + h + 1);
+  return 2.0 * (first + (w.layers - 1) * deeper);
+}
+
+std::optional<double> gpu_batch_time_ms(const GpuModelParams& params,
+                                        const GpuWorkload& w) {
+  BPAR_CHECK(w.layers > 0 && w.seq_length > 0 && w.batch_size > 0,
+             "bad GPU workload");
+  const double param_count = brnn_param_count(w);
+  if (params.hang_above_params > 0.0 &&
+      param_count > params.hang_above_params) {
+    return std::nullopt;
+  }
+
+  const double cells =
+      static_cast<double>(w.layers) * 2.0 * w.seq_length;  // per direction
+  const double launch_ms = cells * params.per_cell_launch_ms;
+
+  // Gate GEMM flops: 2 * B * (gates*H) * (in + H) per cell, where `in` is
+  // the raw input at layer 0 and the H-wide merged output above (matching
+  // the paper's parameter accounting).
+  const double h = w.hidden_size;
+  double flops = 0.0;
+  for (int layer = 0; layer < w.layers; ++layer) {
+    const double in = layer == 0 ? w.input_size : h;
+    flops += 2.0 * w.batch_size * (w.gates * h) * (in + h) * 2.0 *
+             w.seq_length;  // 2 directions
+  }
+  if (w.training) flops *= 3.0;  // backward ≈ 2x forward
+
+  const double bh = static_cast<double>(w.batch_size) * h;
+  const double eff_tflops =
+      params.peak_tflops * bh / (bh + params.saturation_bh);
+  const double compute_ms = flops / (eff_tflops * 1e12) * 1e3;
+
+  return params.base_ms + launch_ms + compute_ms;
+}
+
+}  // namespace bpar::perf

@@ -1,0 +1,51 @@
+// Analytic V100 cost model for the GPU columns of Tables III/IV.
+//
+// We have no GPU (see DESIGN.md §4), so the K-GPU / P-GPU entries are
+// produced by a two-term model calibrated against the paper's own numbers:
+//
+//   time = framework_base                      (session/dispatch floor)
+//        + n_cells * per_cell_launch           (kernel-launch latency term)
+//        + training_flops / eff_throughput(B,H)  (GEMM throughput term)
+//
+// with eff_throughput saturating toward the card's peak as batch*hidden
+// grows (small batches leave the GPU latency-bound — exactly the regime
+// where the paper shows B-Par on CPUs winning). The PyTorch profile has a
+// ~10x higher launch term and, like the paper ("executions often hung"),
+// reports no result above ~90 M parameters.
+#pragma once
+
+#include <optional>
+
+namespace bpar::perf {
+
+struct GpuModelParams {
+  double base_ms = 0.0;             // fixed per-batch framework overhead
+  double per_cell_launch_ms = 0.0;  // per (layer, direction, timestep) cell
+  double peak_tflops = 0.0;         // asymptotic fp32 GEMM throughput
+  double saturation_bh = 0.0;       // batch*hidden at half of peak
+  double hang_above_params = 0.0;   // 0 = never hangs
+};
+
+/// Calibrated profiles for the paper's Tesla V100 SXM2 setup.
+[[nodiscard]] GpuModelParams keras_v100();
+[[nodiscard]] GpuModelParams pytorch_v100();
+
+struct GpuWorkload {
+  int gates = 4;  // 4 for LSTM, 3 for GRU
+  int input_size = 0;
+  int hidden_size = 0;
+  int batch_size = 0;
+  int seq_length = 0;
+  int layers = 0;
+  bool training = true;  // training ≈ 3x forward flops (fwd + bwd + update)
+};
+
+/// Trainable-parameter count of the bidirectional model (for hang check).
+[[nodiscard]] double brnn_param_count(const GpuWorkload& w);
+
+/// Modeled single-batch time in ms; nullopt when the profile "hangs"
+/// (matching the dashes in Tables III/IV).
+[[nodiscard]] std::optional<double> gpu_batch_time_ms(
+    const GpuModelParams& params, const GpuWorkload& w);
+
+}  // namespace bpar::perf

@@ -1,0 +1,52 @@
+#include "perf/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace bpar::perf {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  BPAR_CHECK(!edges_.empty(), "histogram needs at least one edge");
+  BPAR_CHECK(std::is_sorted(edges_.begin(), edges_.end()),
+             "histogram edges must ascend");
+  weights_.assign(edges_.size() + 1, 0.0);
+}
+
+void Histogram::add(double value, double weight) {
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  const auto bin = static_cast<std::size_t>(it - edges_.begin());
+  weights_[bin] += weight;
+  total_ += weight;
+  weighted_sum_ += value * weight;
+}
+
+double Histogram::bin_weight(std::size_t bin) const {
+  BPAR_CHECK(bin < weights_.size(), "bin out of range");
+  return weights_[bin];
+}
+
+double Histogram::bin_fraction(std::size_t bin) const {
+  return total_ == 0.0 ? 0.0 : bin_weight(bin) / total_;
+}
+
+double Histogram::mean() const {
+  return total_ == 0.0 ? 0.0 : weighted_sum_ / total_;
+}
+
+std::string Histogram::bin_label(std::size_t bin, int digits) const {
+  BPAR_CHECK(bin < weights_.size(), "bin out of range");
+  char buf[64];
+  if (bin == 0) {
+    std::snprintf(buf, sizeof buf, "<%.*f", digits, edges_.front());
+  } else if (bin == weights_.size() - 1) {
+    std::snprintf(buf, sizeof buf, ">=%.*f", digits, edges_.back());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*f-%.*f", digits, edges_[bin - 1],
+                  digits, edges_[bin]);
+  }
+  return buf;
+}
+
+}  // namespace bpar::perf

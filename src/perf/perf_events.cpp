@@ -1,0 +1,84 @@
+#include "perf/perf_events.hpp"
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace bpar::perf {
+
+#if defined(__linux__)
+namespace {
+
+int open_counter(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = type;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.inherit = 1;  // count child threads (the runtime's workers)
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+std::uint64_t read_counter(int fd) {
+  std::uint64_t value = 0;
+  if (fd >= 0 && read(fd, &value, sizeof value) != sizeof value) value = 0;
+  return value;
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  fd_cycles_ = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  fd_instructions_ =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  fd_llc_misses_ =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  available_ =
+      fd_cycles_ >= 0 && fd_instructions_ >= 0 && fd_llc_misses_ >= 0;
+}
+
+PerfCounters::~PerfCounters() {
+  for (const int fd : {fd_cycles_, fd_instructions_, fd_llc_misses_}) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+void PerfCounters::start() {
+  if (!available_) return;
+  for (const int fd : {fd_cycles_, fd_instructions_, fd_llc_misses_}) {
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+std::optional<CounterSample> PerfCounters::stop() {
+  if (!available_) return std::nullopt;
+  for (const int fd : {fd_cycles_, fd_instructions_, fd_llc_misses_}) {
+    ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+  CounterSample sample;
+  sample.cycles = read_counter(fd_cycles_);
+  sample.instructions = read_counter(fd_instructions_);
+  sample.llc_misses = read_counter(fd_llc_misses_);
+  return sample;
+}
+
+#else  // !__linux__
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::start() {}
+std::optional<CounterSample> PerfCounters::stop() { return std::nullopt; }
+
+#endif
+
+}  // namespace bpar::perf

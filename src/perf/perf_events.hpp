@@ -1,0 +1,53 @@
+// Hardware performance counters via perf_event_open (Linux).
+//
+// Used to measure IPC and LLC misses for the Fig. 7 locality study when the
+// kernel allows it. Containers frequently deny perf_event_open; in that
+// case `PerfCounters::available()` is false and callers fall back to the
+// simulator's cache model (see DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace bpar::perf {
+
+struct CounterSample {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+  [[nodiscard]] double mpki() const {
+    return instructions == 0 ? 0.0
+                             : 1000.0 * static_cast<double>(llc_misses) /
+                                   static_cast<double>(instructions);
+  }
+};
+
+class PerfCounters {
+ public:
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True if all three counters opened successfully.
+  [[nodiscard]] bool available() const { return available_; }
+
+  void start();
+  /// Stops counting and returns the deltas since start(); nullopt when
+  /// counters are unavailable.
+  std::optional<CounterSample> stop();
+
+ private:
+  int fd_cycles_ = -1;
+  int fd_instructions_ = -1;
+  int fd_llc_misses_ = -1;
+  bool available_ = false;
+};
+
+}  // namespace bpar::perf

@@ -1,0 +1,31 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace bpar::perf {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+  [[nodiscard]] double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+  [[nodiscard]] double elapsed_s() const {
+    return static_cast<double>(elapsed_ns()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bpar::perf

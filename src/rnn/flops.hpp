@@ -1,0 +1,36 @@
+// Arithmetic-work and working-set accounting per task type. These feed the
+// simulator's roofline cost model and the Fig. 7 cache model.
+#pragma once
+
+#include <cstddef>
+
+#include "rnn/network.hpp"
+#include "rnn/types.hpp"
+
+namespace bpar::rnn {
+
+/// Flops of one cell forward update (GEMM-dominated).
+[[nodiscard]] double cell_forward_flops(CellType cell, int batch, int input,
+                                        int hidden);
+
+/// Flops of one cell backward update (≈ 2x forward: dW GEMMs + dx GEMMs).
+[[nodiscard]] double cell_backward_flops(CellType cell, int batch, int input,
+                                         int hidden);
+
+/// Bytes a cell task touches: shared weights + states + tape.
+[[nodiscard]] std::size_t cell_working_set_bytes(CellType cell, int batch,
+                                                 int input, int hidden);
+
+[[nodiscard]] double merge_flops(MergeOp op, int batch, int hidden);
+[[nodiscard]] std::size_t merge_working_set_bytes(MergeOp op, int batch,
+                                                  int hidden);
+
+[[nodiscard]] double dense_forward_flops(int batch, int in, int classes);
+[[nodiscard]] double dense_backward_flops(int batch, int in, int classes);
+
+/// Total training flops (forward + backward) of one batch of the model.
+[[nodiscard]] double network_training_flops(const NetworkConfig& cfg);
+/// Total inference (forward-only) flops of one batch.
+[[nodiscard]] double network_inference_flops(const NetworkConfig& cfg);
+
+}  // namespace bpar::rnn

@@ -1,0 +1,49 @@
+#include "rnn/layer_params.hpp"
+
+#include <cmath>
+
+#include "kernels/elementwise.hpp"
+
+namespace bpar::rnn {
+
+void LayerParams::init_shape(CellType cell_type, int input, int hidden) {
+  BPAR_CHECK(input > 0 && hidden > 0, "bad layer shape ", input, "/", hidden);
+  cell = cell_type;
+  input_size = input;
+  hidden_size = hidden;
+}
+
+void LayerParams::init(CellType cell_type, int input, int hidden,
+                       util::Rng& rng) {
+  init_shape(cell_type, input, hidden);
+  const int rows = gates() * hidden;
+  w.resize(rows, input + hidden);
+  b.resize(1, rows);
+  // Xavier-style uniform init over fan-in.
+  const float scale =
+      1.0F / std::sqrt(static_cast<float>(input + hidden));
+  tensor::fill_weights(w.view(), rng, scale);
+  b.zero();
+  if (cell == CellType::kLstm) {
+    // Forget-gate bias of 1.0 — the standard trick for stable training.
+    auto bias = b.view();
+    for (int j = 0; j < hidden; ++j) bias.at(0, j) = 1.0F;
+  }
+}
+
+void LayerGrads::init_like(const LayerParams& params) {
+  dw.resize(params.w.rows(), params.w.cols());
+  db.resize(params.b.rows(), params.b.cols());
+}
+
+void LayerGrads::zero() {
+  dw.zero();
+  db.zero();
+}
+
+void LayerGrads::accumulate(const LayerGrads& other) {
+  kernels::accumulate(dw.view(), other.dw.cview());
+  kernels::accumulate(db.view(), other.db.cview());
+}
+
+}  // namespace bpar::rnn

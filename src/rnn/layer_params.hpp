@@ -1,0 +1,63 @@
+// Weights and biases of one direction of one BRNN layer.
+//
+// As in the paper (§II), the unrolled timesteps of a layer share a single
+// copy of the weights; only outputs and internal states are per-timestep.
+// The fused weight matrix W has shape (gates*H) x (in + H): the left `in`
+// columns multiply the layer input x_t, the right `H` columns multiply the
+// recurrent state h_{t-1}. Gate row-block order is:
+//   LSTM: f, i, g (=c̄), o     (Eqs. 1-4)
+//   GRU:  z, r, h̄             (Eqs. 7-9)
+#pragma once
+
+#include "rnn/types.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace bpar::rnn {
+
+struct LayerParams {
+  CellType cell = CellType::kLstm;
+  int input_size = 0;
+  int hidden_size = 0;
+  tensor::Matrix w;  // (gates*H) x (input + H)
+  tensor::Matrix b;  // 1 x (gates*H)
+
+  void init(CellType cell_type, int input, int hidden, util::Rng& rng);
+  /// Records only the shape — no weight buffers (shape-only simulations).
+  void init_shape(CellType cell_type, int input, int hidden);
+
+  [[nodiscard]] int gates() const { return gate_count(cell); }
+  /// Weight + bias element count, computed from the shape (valid with or
+  /// without allocated buffers).
+  [[nodiscard]] std::size_t param_count() const {
+    const auto rows = static_cast<std::size_t>(gates()) * hidden_size;
+    return rows * (static_cast<std::size_t>(input_size) + hidden_size) + rows;
+  }
+  /// Columns [0, input) of W — the input projection.
+  [[nodiscard]] tensor::ConstMatrixView w_input() const {
+    return w.cview().block(0, 0, w.rows(), input_size);
+  }
+  /// Columns [input, input+H) of W — the recurrent projection.
+  [[nodiscard]] tensor::ConstMatrixView w_recurrent() const {
+    return w.cview().block(0, input_size, w.rows(), hidden_size);
+  }
+};
+
+struct LayerGrads {
+  tensor::Matrix dw;  // same shape as LayerParams::w
+  tensor::Matrix db;  // same shape as LayerParams::b
+
+  void init_like(const LayerParams& params);
+  void zero();
+  void accumulate(const LayerGrads& other);
+
+  [[nodiscard]] tensor::MatrixView dw_input(int input_size) {
+    return dw.view().block(0, 0, dw.rows(), input_size);
+  }
+  [[nodiscard]] tensor::MatrixView dw_recurrent(int input_size,
+                                                int hidden_size) {
+    return dw.view().block(0, input_size, dw.rows(), hidden_size);
+  }
+};
+
+}  // namespace bpar::rnn

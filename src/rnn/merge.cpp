@@ -1,0 +1,65 @@
+#include "rnn/merge.hpp"
+
+#include "kernels/elementwise.hpp"
+#include "util/check.hpp"
+
+namespace bpar::rnn {
+
+using tensor::ConstMatrixView;
+using tensor::MatrixView;
+
+void merge_forward(MergeOp op, ConstMatrixView h_fwd, ConstMatrixView h_rev,
+                   MatrixView y) {
+  BPAR_CHECK(h_fwd.rows == h_rev.rows && h_fwd.cols == h_rev.cols,
+             "merge input shape mismatch");
+  BPAR_CHECK(y.rows == h_fwd.rows &&
+                 y.cols == merge_output_size(op, h_fwd.cols),
+             "merge output shape mismatch");
+  switch (op) {
+    case MergeOp::kConcat:
+      tensor::copy(h_fwd, y.block(0, 0, y.rows, h_fwd.cols));
+      tensor::copy(h_rev, y.block(0, h_fwd.cols, y.rows, h_rev.cols));
+      break;
+    case MergeOp::kSum:
+      kernels::add(h_fwd, h_rev, y);
+      break;
+    case MergeOp::kAverage:
+      kernels::average(h_fwd, h_rev, y);
+      break;
+    case MergeOp::kMul:
+      kernels::multiply(h_fwd, h_rev, y);
+      break;
+  }
+}
+
+void merge_backward(MergeOp op, ConstMatrixView h_fwd, ConstMatrixView h_rev,
+                    ConstMatrixView dy, MatrixView dh_fwd_acc,
+                    MatrixView dh_rev_acc) {
+  BPAR_CHECK(dy.cols == merge_output_size(op, h_fwd.cols),
+             "merge grad shape mismatch");
+  const int h = h_fwd.cols;
+  switch (op) {
+    case MergeOp::kConcat:
+      kernels::accumulate(dh_fwd_acc, dy.block(0, 0, dy.rows, h));
+      kernels::accumulate(dh_rev_acc, dy.block(0, h, dy.rows, h));
+      break;
+    case MergeOp::kSum:
+      kernels::accumulate(dh_fwd_acc, dy);
+      kernels::accumulate(dh_rev_acc, dy);
+      break;
+    case MergeOp::kAverage:
+      for (int r = 0; r < dy.rows; ++r) {
+        kernels::axpy(0.5F, dy.row(r), dh_fwd_acc.row(r));
+        kernels::axpy(0.5F, dy.row(r), dh_rev_acc.row(r));
+      }
+      break;
+    case MergeOp::kMul:
+      for (int r = 0; r < dy.rows; ++r) {
+        kernels::hadamard_acc(dy.row(r), h_rev.row(r), dh_fwd_acc.row(r));
+        kernels::hadamard_acc(dy.row(r), h_fwd.row(r), dh_rev_acc.row(r));
+      }
+      break;
+  }
+}
+
+}  // namespace bpar::rnn

@@ -1,0 +1,23 @@
+// Eq. 11 merge of forward and reverse hidden states, plus its backward.
+//
+// B-Par keeps merges as separate tasks so forward- and reverse-order cells
+// of the same layer never depend on each other directly (paper §III-A).
+#pragma once
+
+#include "rnn/types.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bpar::rnn {
+
+/// y = merge(h_fwd, h_rev). y is B x merge_output_size(op, H).
+void merge_forward(MergeOp op, tensor::ConstMatrixView h_fwd,
+                   tensor::ConstMatrixView h_rev, tensor::MatrixView y);
+
+/// Backward of the merge: accumulates ∂L/∂h_fwd and ∂L/∂h_rev from ∂L/∂y.
+/// For kMul the forward inputs are needed again.
+void merge_backward(MergeOp op, tensor::ConstMatrixView h_fwd,
+                    tensor::ConstMatrixView h_rev, tensor::ConstMatrixView dy,
+                    tensor::MatrixView dh_fwd_acc,
+                    tensor::MatrixView dh_rev_acc);
+
+}  // namespace bpar::rnn

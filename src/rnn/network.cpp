@@ -1,0 +1,299 @@
+#include "rnn/network.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "kernels/elementwise.hpp"
+#include "util/check.hpp"
+
+namespace bpar::rnn {
+
+void NetworkConfig::validate() const {
+  BPAR_CHECK(input_size > 0, "input_size must be positive");
+  BPAR_CHECK(hidden_size > 0, "hidden_size must be positive");
+  BPAR_CHECK(num_layers > 0, "num_layers must be positive");
+  BPAR_CHECK(seq_length > 0, "seq_length must be positive");
+  BPAR_CHECK(batch_size > 0, "batch_size must be positive");
+  BPAR_CHECK(num_classes > 0, "num_classes must be positive");
+}
+
+Network::Network(const NetworkConfig& config, bool allocate_weights)
+    : config_(config) {
+  config_.validate();
+  util::Rng rng(config_.seed);
+  for (int dir = 0; dir < 2; ++dir) {
+    params_[dir].resize(static_cast<std::size_t>(config_.num_layers));
+    for (int l = 0; l < config_.num_layers; ++l) {
+      auto& p = params_[dir][static_cast<std::size_t>(l)];
+      if (allocate_weights) {
+        p.init(config_.cell, config_.layer_input_size(l), config_.hidden_size,
+               rng);
+      } else {
+        p.init_shape(config_.cell, config_.layer_input_size(l),
+                     config_.hidden_size);
+      }
+    }
+  }
+  if (!allocate_weights) return;
+  w_out.resize(config_.num_classes, config_.merged_size());
+  b_out.resize(1, config_.num_classes);
+  const float scale =
+      1.0F / std::sqrt(static_cast<float>(config_.merged_size()));
+  tensor::fill_weights(w_out.view(), rng, scale);
+}
+
+LayerParams& Network::layer(int dir, int l) {
+  BPAR_CHECK(dir == 0 || dir == 1, "bad direction ", dir);
+  BPAR_CHECK(l >= 0 && l < config_.num_layers, "bad layer ", l);
+  return params_[dir][static_cast<std::size_t>(l)];
+}
+
+const LayerParams& Network::layer(int dir, int l) const {
+  return const_cast<Network*>(this)->layer(dir, l);
+}
+
+std::size_t Network::param_count() const {
+  // Computed from shapes so it also works for shape-only networks.
+  std::size_t count =
+      static_cast<std::size_t>(config_.num_classes) *
+      (static_cast<std::size_t>(config_.merged_size()) + 1U);
+  for (int dir = 0; dir < 2; ++dir) {
+    for (const auto& p : params_[dir]) count += p.param_count();
+  }
+  return count;
+}
+
+using tensor::read_matrix;
+using tensor::write_matrix;
+
+void Network::save(std::ostream& os) const {
+  static constexpr char kMagic[8] = {'B', 'P', 'A', 'R', 'N', 'E', 'T', '1'};
+  os.write(kMagic, sizeof kMagic);
+  for (int dir = 0; dir < 2; ++dir) {
+    for (const auto& p : params_[dir]) {
+      write_matrix(os, p.w);
+      write_matrix(os, p.b);
+    }
+  }
+  write_matrix(os, w_out);
+  write_matrix(os, b_out);
+}
+
+void Network::load(std::istream& is) {
+  char magic[8] = {};
+  is.read(magic, sizeof magic);
+  BPAR_CHECK(is.good() && std::string_view(magic, 8) == "BPARNET1",
+             "not a B-Par weight file");
+  for (int dir = 0; dir < 2; ++dir) {
+    for (auto& p : params_[dir]) {
+      read_matrix(is, p.w);
+      read_matrix(is, p.b);
+    }
+  }
+  read_matrix(is, w_out);
+  read_matrix(is, b_out);
+}
+
+void NetworkGrads::init_like(const Network& net) {
+  const auto& cfg = net.config();
+  for (int dir = 0; dir < 2; ++dir) {
+    layers[dir].resize(static_cast<std::size_t>(cfg.num_layers));
+    for (int l = 0; l < cfg.num_layers; ++l) {
+      layers[dir][static_cast<std::size_t>(l)].init_like(net.layer(dir, l));
+    }
+  }
+  dw_out.resize(net.w_out.rows(), net.w_out.cols());
+  db_out.resize(net.b_out.rows(), net.b_out.cols());
+}
+
+void NetworkGrads::zero() {
+  for (auto& dir : layers) {
+    for (auto& g : dir) g.zero();
+  }
+  dw_out.zero();
+  db_out.zero();
+}
+
+void NetworkGrads::accumulate(const NetworkGrads& other) {
+  for (int dir = 0; dir < 2; ++dir) {
+    BPAR_CHECK(layers[dir].size() == other.layers[dir].size(),
+               "grad layer count mismatch");
+    for (std::size_t l = 0; l < layers[dir].size(); ++l) {
+      layers[dir][l].accumulate(other.layers[dir][l]);
+    }
+  }
+  kernels::accumulate(dw_out.view(), other.dw_out.cview());
+  kernels::accumulate(db_out.view(), other.db_out.cview());
+}
+
+void NetworkGrads::scale(float s) {
+  for (auto& dir : layers) {
+    for (auto& g : dir) {
+      for (int r = 0; r < g.dw.rows(); ++r) {
+        kernels::scale_inplace(g.dw.view().row(r), s);
+      }
+      kernels::scale_inplace(g.db.view().row(0), s);
+    }
+  }
+  for (int r = 0; r < dw_out.rows(); ++r) {
+    kernels::scale_inplace(dw_out.view().row(r), s);
+  }
+  kernels::scale_inplace(db_out.view().row(0), s);
+}
+
+double NetworkGrads::l2_norm() const {
+  double acc = 0.0;
+  auto add_sq = [&acc](const tensor::Matrix& m) {
+    const double n = tensor::l2_norm(m.cview());
+    acc += n * n;
+  };
+  for (const auto& dir : layers) {
+    for (const auto& g : dir) {
+      add_sq(g.dw);
+      add_sq(g.db);
+    }
+  }
+  add_sq(dw_out);
+  add_sq(db_out);
+  return std::sqrt(acc);
+}
+
+Workspace::Workspace(const NetworkConfig& config, int batch,
+                     bool alloc_input_grads)
+    : config_(config), batch_(batch) {
+  BPAR_CHECK(batch > 0, "batch must be positive");
+  const int layers = config_.num_layers;
+  const int steps = config_.seq_length;
+  const int hidden = config_.hidden_size;
+  const int merged_width = config_.merged_size();
+  const bool lstm = config_.cell == CellType::kLstm;
+
+  for (int dir = 0; dir < 2; ++dir) {
+    tapes_[dir].resize(static_cast<std::size_t>(layers * steps));
+    dh_[dir].resize(static_cast<std::size_t>(layers * steps));
+    if (lstm) dc_[dir].resize(static_cast<std::size_t>(layers * steps));
+    for (int l = 0; l < layers; ++l) {
+      for (int s = 0; s < steps; ++s) {
+        const auto idx = static_cast<std::size_t>(l * steps + s);
+        tapes_[dir][idx].init(config_.cell, batch, hidden);
+        dh_[dir][idx].resize(batch, hidden);
+        if (lstm) dc_[dir][idx].resize(batch, hidden);
+      }
+    }
+  }
+
+  const int n_merged_layers = merged_layers();
+  merged_.resize(static_cast<std::size_t>(n_merged_layers * steps));
+  for (auto& m : merged_) m.resize(batch, merged_width);
+  for (auto& dir : dmerged_) {
+    dir.resize(merged_.size());
+    for (auto& m : dir) m.resize(batch, merged_width);
+  }
+
+  if (!config_.many_to_many) {
+    final_merged.resize(batch, merged_width);
+    dfinal.resize(batch, merged_width);
+  }
+
+  const int outputs = num_outputs();
+  logits_.resize(static_cast<std::size_t>(outputs));
+  probs_.resize(static_cast<std::size_t>(outputs));
+  dlogits_.resize(static_cast<std::size_t>(outputs));
+  for (int t = 0; t < outputs; ++t) {
+    logits_[static_cast<std::size_t>(t)].resize(batch, config_.num_classes);
+    probs_[static_cast<std::size_t>(t)].resize(batch, config_.num_classes);
+    dlogits_[static_cast<std::size_t>(t)].resize(batch, config_.num_classes);
+  }
+
+  zero_state.resize(batch, hidden);
+  for (int dir = 0; dir < 2; ++dir) {
+    sinks_[dir].resize(static_cast<std::size_t>(layers));
+    for (auto& m : sinks_[dir]) m.resize(batch, hidden);
+  }
+
+  if (alloc_input_grads) {
+    for (auto& dir : dx_) {
+      dir.resize(static_cast<std::size_t>(steps));
+      for (auto& m : dir) m.resize(batch, config_.input_size);
+    }
+  }
+}
+
+tensor::Matrix& Workspace::dx(int src_dir, int t) {
+  BPAR_DCHECK(src_dir == 0 || src_dir == 1);
+  BPAR_CHECK(has_input_grads(), "workspace built without input grads");
+  BPAR_DCHECK(t >= 0 && t < config_.seq_length);
+  return dx_[src_dir][static_cast<std::size_t>(t)];
+}
+
+void Workspace::input_grad(int t, tensor::MatrixView out) const {
+  auto& self = const_cast<Workspace&>(*this);
+  kernels::add(self.dx(0, t).cview(), self.dx(1, t).cview(), out);
+}
+
+tensor::Matrix& Workspace::sink(int dir, int l) {
+  BPAR_DCHECK(dir == 0 || dir == 1);
+  BPAR_DCHECK(l >= 0 && l < config_.num_layers);
+  return sinks_[dir][static_cast<std::size_t>(l)];
+}
+
+CellTape& Workspace::tape(int dir, int l, int step) {
+  BPAR_DCHECK(dir == 0 || dir == 1);
+  BPAR_DCHECK(l >= 0 && l < config_.num_layers);
+  BPAR_DCHECK(step >= 0 && step < config_.seq_length);
+  return tapes_[dir][static_cast<std::size_t>(l * config_.seq_length + step)];
+}
+
+const CellTape& Workspace::tape(int dir, int l, int step) const {
+  return const_cast<Workspace*>(this)->tape(dir, l, step);
+}
+
+tensor::Matrix& Workspace::merged(int l, int t) {
+  BPAR_DCHECK(l >= 0 && l < merged_layers());
+  BPAR_DCHECK(t >= 0 && t < config_.seq_length);
+  return merged_[static_cast<std::size_t>(l * config_.seq_length + t)];
+}
+
+tensor::Matrix& Workspace::logits(int t) {
+  return logits_[static_cast<std::size_t>(t)];
+}
+tensor::Matrix& Workspace::probs(int t) {
+  return probs_[static_cast<std::size_t>(t)];
+}
+tensor::Matrix& Workspace::dlogits(int t) {
+  return dlogits_[static_cast<std::size_t>(t)];
+}
+
+tensor::Matrix& Workspace::dh(int dir, int l, int step) {
+  return dh_[dir][static_cast<std::size_t>(l * config_.seq_length + step)];
+}
+
+tensor::Matrix& Workspace::dc(int dir, int l, int step) {
+  BPAR_DCHECK(config_.cell == CellType::kLstm);
+  return dc_[dir][static_cast<std::size_t>(l * config_.seq_length + step)];
+}
+
+tensor::Matrix& Workspace::dmerged(int src_dir, int l, int t) {
+  BPAR_DCHECK(src_dir == 0 || src_dir == 1);
+  BPAR_DCHECK(l >= 0 && l < merged_layers());
+  return dmerged_[src_dir]
+                 [static_cast<std::size_t>(l * config_.seq_length + t)];
+}
+
+void Workspace::zero_backward() {
+  for (int dir = 0; dir < 2; ++dir) {
+    for (auto& m : dh_[dir]) m.zero();
+    for (auto& m : dc_[dir]) m.zero();
+    for (auto& m : dmerged_[dir]) m.zero();
+    for (auto& m : dx_[dir]) m.zero();
+  }
+  if (dfinal.count() != 0) dfinal.zero();
+  for (auto& m : dlogits_) m.zero();
+}
+
+std::size_t Workspace::tape_bytes(int dir, int l, int step) const {
+  return tape(dir, l, step).bytes();
+}
+
+}  // namespace bpar::rnn

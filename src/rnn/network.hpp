@@ -1,0 +1,168 @@
+// Deep BRNN model container: per-layer, per-direction weights plus a dense
+// output (classifier) layer, and the per-replica workspace holding every
+// per-timestep buffer the forward and backward passes touch.
+//
+// Indexing conventions used across the whole library:
+//   * direction 0 = forward order; direction 1 = reverse order.
+//   * reverse tapes are indexed by *processing step* k: tape(1, l, k)
+//     processes input index (T-1-k). So tape(1, l, T-1) handles input 0 and
+//     is the last reverse cell to run — the paper's 3r/6r/9r cells.
+//   * merged(l, t) = merge(h_fwd(l, t), h_rev(l, T-1-t)) aligns by *input
+//     index* t and feeds layer l+1 in both directions.
+//   * many-to-one models merge only the final cells of the last layer
+//     (paper Fig. 1: 9f with 9r); many-to-many models merge every t.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "rnn/cell_kernels.hpp"
+#include "rnn/layer_params.hpp"
+#include "rnn/types.hpp"
+
+namespace bpar::rnn {
+
+struct NetworkConfig {
+  CellType cell = CellType::kLstm;
+  MergeOp merge = MergeOp::kConcat;
+  int input_size = 8;
+  int hidden_size = 16;
+  int num_layers = 2;
+  int seq_length = 4;
+  int batch_size = 2;
+  int num_classes = 4;
+  bool many_to_many = false;
+  std::uint64_t seed = 1234;
+
+  /// Width of the input consumed by layer `l` in either direction.
+  [[nodiscard]] int layer_input_size(int layer) const {
+    return layer == 0 ? input_size : merged_size();
+  }
+  /// Width of a merged bidirectional output.
+  [[nodiscard]] int merged_size() const {
+    return merge_output_size(merge, hidden_size);
+  }
+  void validate() const;
+};
+
+class Network {
+ public:
+  /// With allocate_weights == false, only the layer shapes are recorded
+  /// (param_count() still works) — used by the shape-only simulation
+  /// benches where full-size weight buffers would waste gigabytes.
+  explicit Network(const NetworkConfig& config, bool allocate_weights = true);
+
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+  [[nodiscard]] LayerParams& layer(int dir, int l);
+  [[nodiscard]] const LayerParams& layer(int dir, int l) const;
+
+  /// Dense classifier: logits = y * w_out^T + b_out.
+  tensor::Matrix w_out;  // C x merged_size
+  tensor::Matrix b_out;  // 1 x C
+
+  [[nodiscard]] std::size_t param_count() const;
+
+  void save(std::ostream& os) const;
+  /// Loads weights saved by save(); shapes must match this config.
+  void load(std::istream& is);
+
+ private:
+  NetworkConfig config_;
+  std::vector<LayerParams> params_[2];  // [dir][layer]
+};
+
+struct NetworkGrads {
+  std::vector<LayerGrads> layers[2];  // [dir][layer]
+  tensor::Matrix dw_out;
+  tensor::Matrix db_out;
+
+  void init_like(const Network& net);
+  void zero();
+  void accumulate(const NetworkGrads& other);
+  void scale(float s);
+  [[nodiscard]] double l2_norm() const;
+};
+
+/// Per-replica forward tape + backward accumulation buffers.
+class Workspace {
+ public:
+  /// `batch` overrides config.batch_size (mini-batch replicas are smaller).
+  /// `alloc_input_grads` additionally allocates ∂L/∂x buffers (needed only
+  /// when the caller wants input gradients, e.g. for encoder stacking or
+  /// saliency analysis).
+  Workspace(const NetworkConfig& config, int batch,
+            bool alloc_input_grads = false);
+
+  [[nodiscard]] int batch() const { return batch_; }
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+  [[nodiscard]] CellTape& tape(int dir, int l, int step);
+  [[nodiscard]] const CellTape& tape(int dir, int l, int step) const;
+
+  /// Merged output feeding layer l+1 at input index t. For many-to-many
+  /// models, l ranges over all layers; otherwise over [0, L-1).
+  [[nodiscard]] tensor::Matrix& merged(int l, int t);
+  /// Final merged output of a many-to-one model.
+  tensor::Matrix final_merged;
+
+  /// Per-output logits/probs/dlogits: index 0 for many-to-one, else t.
+  [[nodiscard]] tensor::Matrix& logits(int t);
+  [[nodiscard]] tensor::Matrix& probs(int t);
+  [[nodiscard]] tensor::Matrix& dlogits(int t);
+  [[nodiscard]] int num_outputs() const {
+    return config_.many_to_many ? config_.seq_length : 1;
+  }
+
+  // Backward accumulators (zeroed by zero_backward()).
+  [[nodiscard]] tensor::Matrix& dh(int dir, int l, int step);
+  [[nodiscard]] tensor::Matrix& dc(int dir, int l, int step);
+  /// Gradient of merged(l, t) contributed by the backward pass of the
+  /// layer above. Split per contributing direction (`src_dir`) so the two
+  /// directions' backward chains never serialize on a shared accumulator —
+  /// the merge-backward task sums both halves.
+  [[nodiscard]] tensor::Matrix& dmerged(int src_dir, int l, int t);
+
+  /// ∂L/∂x at timestep t, contributed by direction `src_dir` of layer 0
+  /// (allocated only with alloc_input_grads; split per direction like
+  /// dmerged). Use input_grad() to obtain the combined gradient.
+  [[nodiscard]] tensor::Matrix& dx(int src_dir, int t);
+  [[nodiscard]] bool has_input_grads() const { return !dx_[0].empty(); }
+  /// Combined ∂L/∂x at timestep t, written into `out` (B x input_size).
+  void input_grad(int t, tensor::MatrixView out) const;
+  tensor::Matrix dfinal;  // many-to-one: grad of final_merged
+
+  /// Shared all-zero initial state (read-only by convention).
+  tensor::Matrix zero_state;
+
+  /// Write-only target for the t==0 backward outputs (dh_prev / dc_prev of
+  /// the first timestep have no consumer). One per (dir, layer) so
+  /// unrelated tasks never serialize on it.
+  [[nodiscard]] tensor::Matrix& sink(int dir, int l);
+
+  /// Zeroes every backward accumulator (call before each backward pass).
+  void zero_backward();
+
+  /// Total bytes of forward tape per cell (cache-model working sets).
+  [[nodiscard]] std::size_t tape_bytes(int dir, int l, int step) const;
+
+ private:
+  [[nodiscard]] int merged_layers() const {
+    return config_.many_to_many ? config_.num_layers : config_.num_layers - 1;
+  }
+
+  NetworkConfig config_;
+  int batch_;
+  std::vector<CellTape> tapes_[2];         // [l * T + step]
+  std::vector<tensor::Matrix> merged_;     // [l * T + t]
+  std::vector<tensor::Matrix> logits_;
+  std::vector<tensor::Matrix> probs_;
+  std::vector<tensor::Matrix> dlogits_;
+  std::vector<tensor::Matrix> dh_[2];
+  std::vector<tensor::Matrix> dc_[2];
+  std::vector<tensor::Matrix> dmerged_[2];  // [src_dir][l * T + t]
+  std::vector<tensor::Matrix> dx_[2];       // [src_dir][t] (optional)
+  std::vector<tensor::Matrix> sinks_[2];    // [layer]
+};
+
+}  // namespace bpar::rnn

@@ -1,0 +1,40 @@
+// Cell and merge-operation enums shared across the RNN subsystem.
+#pragma once
+
+#include "util/check.hpp"
+
+namespace bpar::rnn {
+
+enum class CellType { kLstm, kGru };
+
+/// Eq. 11 merge of forward/reverse hidden states.
+enum class MergeOp { kConcat, kSum, kAverage, kMul };
+
+[[nodiscard]] constexpr int gate_count(CellType cell) {
+  return cell == CellType::kLstm ? 4 : 3;
+}
+
+[[nodiscard]] constexpr const char* cell_name(CellType cell) {
+  return cell == CellType::kLstm ? "LSTM" : "GRU";
+}
+
+[[nodiscard]] constexpr const char* merge_name(MergeOp op) {
+  switch (op) {
+    case MergeOp::kConcat:
+      return "concat";
+    case MergeOp::kSum:
+      return "sum";
+    case MergeOp::kAverage:
+      return "average";
+    case MergeOp::kMul:
+      return "mul";
+  }
+  return "unknown";
+}
+
+/// Width of the merged bidirectional output for hidden size `h`.
+[[nodiscard]] constexpr int merge_output_size(MergeOp op, int h) {
+  return op == MergeOp::kConcat ? 2 * h : h;
+}
+
+}  // namespace bpar::rnn

@@ -1,0 +1,53 @@
+// Per-task cost assignment for the simulator.
+//
+// Costs come from one of two sources:
+//  * measured — a real (threaded or sequential) run of the very same task
+//    graph on this machine records per-task durations; or
+//  * modeled — a roofline estimate from the task's declared flops and
+//    working-set bytes, calibrated against this machine's measured GEMM
+//    throughput (see `calibrate`). Used when the full-size configuration is
+//    too large to execute within the harness budget.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "taskrt/task_graph.hpp"
+
+namespace bpar::sim {
+
+struct Calibration {
+  /// Sustained single-core fp32 GEMM throughput of this host.
+  double gflops = 4.0;
+  /// Sustained single-core memory streaming bandwidth (DRAM).
+  double mem_gbps = 8.0;
+  /// Effective bandwidth for a task's working set, assuming shared weights
+  /// are mostly L2/L3-resident across the unrolled chain (the DRAM-vs-cache
+  /// split is refined further by the simulator's locality model). Bounds
+  /// the throughput of low-arithmetic-intensity tasks, e.g. batch-1 cells.
+  double cache_gbps = 50.0;
+  /// Fixed per-task body overhead (function call, loop setup).
+  double fixed_ns = 300.0;
+};
+
+/// Measures the host's single-core GEMM throughput and stream bandwidth
+/// with short self-timed loops (~50 ms total).
+[[nodiscard]] Calibration calibrate();
+
+/// cost = max(flops-bound, bytes-bound) + fixed.
+[[nodiscard]] std::uint64_t roofline_cost_ns(double flops, std::size_t bytes,
+                                             const Calibration& cal);
+
+/// Costs for every task in `graph` from its spec (flops / working set),
+/// falling back to spec.cost_hint_ns when flops == 0.
+[[nodiscard]] std::vector<std::uint64_t> modeled_costs(
+    const taskrt::TaskGraph& graph, const Calibration& cal);
+
+/// Per-task costs taken from a real run's durations, with zero entries
+/// (tasks too fast to time) replaced by the modeled estimate.
+[[nodiscard]] std::vector<std::uint64_t> measured_costs(
+    const taskrt::TaskGraph& graph, std::span<const std::uint64_t> durations,
+    const Calibration& cal);
+
+}  // namespace bpar::sim

@@ -1,0 +1,9 @@
+#include "sim/machine.hpp"
+
+namespace bpar::sim {
+
+MachineModel xeon8160_dual_socket() {
+  return MachineModel{};  // defaults encode Table I
+}
+
+}  // namespace bpar::sim

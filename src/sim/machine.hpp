@@ -1,0 +1,59 @@
+// Machine model for the discrete-event simulator.
+//
+// Mirrors the paper's CPU platform (Table I): dual-socket Intel Xeon
+// Platinum 8160, 24 cores per socket, 33 MB shared L3 per socket. The
+// parameters below drive the cost adjustments the simulator applies on top
+// of measured/modeled task costs: NUMA penalties when a consumer runs on a
+// different socket than its producer, a cache-hot discount when it runs on
+// the same core while the data is still L3-resident, and the IPC / MPKI
+// proxies of the Fig. 7 study.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bpar::sim {
+
+struct MachineModel {
+  int cores = 48;
+  int cores_per_socket = 24;
+  double clock_ghz = 2.1;
+
+  std::size_t l3_bytes_per_socket = 33792UL * 1024UL;  // 33 MB (Table I)
+  std::size_t cache_line_bytes = 64;
+
+  /// Cost multiplier when a task's primary input lives on the other socket.
+  double numa_remote_penalty = 1.35;
+  /// Cost multiplier when the primary input is still L3-resident on the
+  /// executing socket (locality-aware scheduling's win; the paper reports a
+  /// ~20% average batch-time reduction).
+  double cache_hot_discount = 0.78;
+  /// Per-task dispatch/scheduling overhead added to every task.
+  double dispatch_overhead_ns = 2000.0;
+
+  /// IPC proxy when the working set streams from DRAM vs when it hits L3.
+  double ipc_cold = 0.7;
+  double ipc_hot = 1.9;
+  /// How many times a task's working set is re-streamed during its GEMMs
+  /// when it does not fit in cache (drives the MPKI proxy of Fig. 7).
+  double streaming_passes = 20.0;
+
+  /// Optional per-socket memory-bandwidth contention model (the effect
+  /// ParaX [17] targets): when more than `bw_saturation_cores` tasks run
+  /// concurrently on a socket, each additional task inflates their cost.
+  /// cost *= 1 + bw_contention_factor * excess / bw_saturation_cores.
+  /// Disabled (0.0) by default — the paper-reproduction benches calibrate
+  /// without it; enable to study contention sensitivity.
+  double bw_contention_factor = 0.0;
+  int bw_saturation_cores = 8;
+
+  [[nodiscard]] int socket_of(int core) const { return core / cores_per_socket; }
+  [[nodiscard]] int sockets_used(int active_cores) const {
+    return (active_cores + cores_per_socket - 1) / cores_per_socket;
+  }
+};
+
+/// The paper's experimental platform (Table I).
+[[nodiscard]] MachineModel xeon8160_dual_socket();
+
+}  // namespace bpar::sim

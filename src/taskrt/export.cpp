@@ -1,0 +1,119 @@
+#include "taskrt/export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace bpar::taskrt {
+namespace {
+
+const char* kind_color(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kCellForward:
+      return "#7aa6c2";
+    case TaskKind::kCellBackward:
+      return "#c27a7a";
+    case TaskKind::kMerge:
+      return "#8fc27a";
+    case TaskKind::kMergeBackward:
+      return "#c2a57a";
+    case TaskKind::kLoss:
+      return "#b07ac2";
+    case TaskKind::kGradReduce:
+      return "#c2c07a";
+    case TaskKind::kWeightUpdate:
+      return "#7ac2b9";
+    case TaskKind::kGemmChunk:
+      return "#9a9a9a";
+    case TaskKind::kBarrier:
+      return "#4d4d4d";
+    case TaskKind::kGeneric:
+      return "#cccccc";
+  }
+  return "#cccccc";
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_dot(const TaskGraph& graph, std::ostream& os,
+               const DotOptions& options) {
+  const std::size_t limit =
+      options.max_tasks == 0 ? graph.size()
+                             : std::min(options.max_tasks, graph.size());
+  os << "digraph bpar {\n  rankdir=TB;\n  node [style=filled, "
+        "shape=box, fontsize=10];\n";
+  for (TaskId id = 0; id < limit; ++id) {
+    const Task& t = graph.task(id);
+    os << "  t" << id << " [fillcolor=\"" << kind_color(t.spec.kind)
+       << "\", label=\"";
+    if (options.include_names && !t.spec.name.empty()) {
+      os << escape(t.spec.name);
+    } else {
+      os << task_kind_name(t.spec.kind) << ' ' << id;
+    }
+    os << "\"];\n";
+  }
+  for (TaskId id = 0; id < limit; ++id) {
+    for (const TaskId succ : graph.task(id).successors) {
+      if (succ < limit) os << "  t" << id << " -> t" << succ << ";\n";
+    }
+  }
+  if (limit < graph.size()) {
+    os << "  truncated [shape=plaintext, label=\"... "
+       << graph.size() - limit << " more tasks\"];\n";
+  }
+  os << "}\n";
+}
+
+void write_dot_file(const TaskGraph& graph, const std::string& path,
+                    const DotOptions& options) {
+  std::ofstream os(path);
+  BPAR_CHECK(os.good(), "cannot open ", path);
+  write_dot(graph, os, options);
+}
+
+void write_chrome_trace(const TaskGraph& graph,
+                        std::span<const TaskTrace> trace, std::ostream& os) {
+  BPAR_CHECK(trace.size() == graph.size(),
+             "stats have no trace — run with record_trace = true");
+  os << "[";
+  bool first = true;
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    const TaskTrace& tr = trace[id];
+    const Task& t = graph.task(id);
+    if (!first) os << ",";
+    first = false;
+    const std::string name =
+        t.spec.name.empty() ? task_kind_name(t.spec.kind) : t.spec.name;
+    os << "\n  {\"name\": \"" << escape(name) << "\", \"cat\": \""
+       << task_kind_name(t.spec.kind) << "\", \"ph\": \"X\", \"ts\": "
+       << static_cast<double>(tr.start_ns) / 1e3
+       << ", \"dur\": " << static_cast<double>(tr.end_ns - tr.start_ns) / 1e3
+       << ", \"pid\": 1, \"tid\": " << tr.worker << "}";
+  }
+  os << "\n]\n";
+}
+
+void write_chrome_trace(const TaskGraph& graph, const RunStats& stats,
+                        std::ostream& os) {
+  write_chrome_trace(graph, std::span<const TaskTrace>(stats.trace), os);
+}
+
+void write_chrome_trace_file(const TaskGraph& graph, const RunStats& stats,
+                             const std::string& path) {
+  std::ofstream os(path);
+  BPAR_CHECK(os.good(), "cannot open ", path);
+  write_chrome_trace(graph, stats, os);
+}
+
+}  // namespace bpar::taskrt

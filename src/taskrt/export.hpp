@@ -1,0 +1,42 @@
+// Diagnostics exports for task graphs and executions:
+//  * Graphviz DOT of a TaskGraph (colored by task kind, grouped by layer),
+//    like the paper's Fig. 2 dependency diagrams;
+//  * Chrome-tracing JSON ("chrome://tracing" / Perfetto) of a recorded
+//    RunStats trace, one row per worker.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "taskrt/runtime.hpp"
+#include "taskrt/task_graph.hpp"
+
+namespace bpar::taskrt {
+
+struct DotOptions {
+  /// Cap on emitted tasks (large graphs become unreadable); 0 = no cap.
+  std::size_t max_tasks = 2000;
+  bool include_names = true;
+};
+
+/// Writes the graph in Graphviz DOT format.
+void write_dot(const TaskGraph& graph, std::ostream& os,
+               const DotOptions& options = {});
+void write_dot_file(const TaskGraph& graph, const std::string& path,
+                    const DotOptions& options = {});
+
+/// Writes a Chrome-tracing JSON document from per-task (start, end,
+/// worker) tuples — one per task in `graph` (works for real executions and
+/// for simulated schedules alike).
+void write_chrome_trace(const TaskGraph& graph,
+                        std::span<const TaskTrace> trace, std::ostream& os);
+
+/// Convenience overload for a run recorded with
+/// RuntimeOptions::record_trace.
+void write_chrome_trace(const TaskGraph& graph, const RunStats& stats,
+                        std::ostream& os);
+void write_chrome_trace_file(const TaskGraph& graph, const RunStats& stats,
+                             const std::string& path);
+
+}  // namespace bpar::taskrt

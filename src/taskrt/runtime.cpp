@@ -1,0 +1,296 @@
+#include "taskrt/runtime.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace bpar::taskrt {
+
+const char* scheduler_policy_name(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kFifo:
+      return "fifo";
+    case SchedulerPolicy::kLocalityAware:
+      return "locality";
+  }
+  return "unknown";
+}
+
+double RunStats::parallel_efficiency() const {
+  if (wall_ns == 0 || worker_busy_ns.empty()) return 0.0;
+  return static_cast<double>(total_busy_ns()) /
+         (static_cast<double>(wall_ns) *
+          static_cast<double>(worker_busy_ns.size()));
+}
+
+std::uint64_t RunStats::total_busy_ns() const {
+  std::uint64_t total = 0;
+  for (const auto busy : worker_busy_ns) total += busy;
+  return total;
+}
+
+Runtime::Runtime(RuntimeOptions options) : options_(options) {
+  num_workers_ = options_.num_workers > 0
+                     ? options_.num_workers
+                     : static_cast<int>(std::thread::hardware_concurrency());
+  if (num_workers_ <= 0) num_workers_ = 1;
+  local_queues_.resize(static_cast<std::size_t>(num_workers_));
+  worker_busy_ns_.resize(static_cast<std::size_t>(num_workers_));
+  workers_.reserve(static_cast<std::size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+#if defined(__linux__)
+    if (options_.pin_threads) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(static_cast<std::size_t>(w) %
+                  std::max(1U, std::thread::hardware_concurrency()),
+              &set);
+      // Best effort: pinning may be forbidden in containers.
+      pthread_setaffinity_np(workers_.back().native_handle(), sizeof set,
+                             &set);
+    }
+#endif
+  }
+}
+
+Runtime::~Runtime() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+std::uint64_t Runtime::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - session_start_)
+          .count());
+}
+
+void Runtime::begin(TaskGraph& graph) {
+  std::unique_lock<std::mutex> lock(mu_);
+  BPAR_CHECK(!session_active_, "Runtime session already active");
+  graph_ = &graph;
+  pending_.clear();
+  completed_.clear();
+  preferred_.clear();
+  durations_.clear();
+  traces_.clear();
+  global_queue_.clear();
+  for (auto& q : local_queues_) q.clear();
+  executed_ = 0;
+  submitted_ = 0;
+  active_ = 0;
+  max_active_ = 0;
+  locality_hits_ = 0;
+  tasks_with_affinity_ = 0;
+  std::fill(worker_busy_ns_.begin(), worker_busy_ns_.end(), 0);
+  first_error_ = nullptr;
+  session_start_ = std::chrono::steady_clock::now();
+  session_active_ = true;
+
+  // Tasks already present in the graph are published immediately. Their
+  // dependency counts come straight from the graph (nothing has run yet).
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    const Task& t = graph.task(id);
+    pending_.push_back(t.num_deps);
+    completed_.push_back(false);
+    preferred_.push_back(-1);
+    durations_.push_back(0);
+    if (options_.record_trace) traces_.push_back({});
+    if (t.affinity_pred != kInvalidTask) ++tasks_with_affinity_;
+    ++submitted_;
+    if (t.num_deps == 0) enqueue_ready(id);
+  }
+  lock.unlock();
+  work_cv_.notify_all();
+}
+
+TaskId Runtime::submit(std::function<void()> fn,
+                       std::span<const Access> accesses, TaskSpec spec) {
+  std::unique_lock<std::mutex> lock(mu_);
+  BPAR_CHECK(session_active_, "submit() outside a session");
+  const TaskId id =
+      graph_->add(std::move(fn), accesses, std::move(spec), &scratch_preds_);
+  publish(id, scratch_preds_);
+  lock.unlock();
+  work_cv_.notify_all();
+  return id;
+}
+
+void Runtime::publish(TaskId id, const std::vector<TaskId>& preds) {
+  // Count only predecessors that have not yet completed; completed ones
+  // will never decrement us.
+  std::uint32_t unmet = 0;
+  for (const TaskId pred : preds) {
+    if (!completed_[pred]) ++unmet;
+  }
+  pending_.push_back(unmet);
+  completed_.push_back(false);
+  preferred_.push_back(-1);
+  durations_.push_back(0);
+  if (options_.record_trace) traces_.push_back({});
+  if (graph_->task(id).affinity_pred != kInvalidTask) {
+    ++tasks_with_affinity_;
+  }
+  ++submitted_;
+  if (unmet == 0) enqueue_ready(id);
+}
+
+void Runtime::taskwait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  BPAR_CHECK(session_active_, "taskwait() outside a session");
+  done_cv_.wait(lock, [this] { return executed_ == submitted_; });
+}
+
+RunStats Runtime::end() {
+  std::unique_lock<std::mutex> lock(mu_);
+  BPAR_CHECK(session_active_, "end() outside a session");
+  done_cv_.wait(lock, [this] { return executed_ == submitted_; });
+  RunStats stats;
+  stats.wall_ns = now_ns();
+  stats.tasks_executed = executed_;
+  stats.max_concurrency = max_active_;
+  stats.tasks_with_affinity = tasks_with_affinity_;
+  stats.locality_hits = locality_hits_;
+  stats.task_duration_ns.assign(durations_.begin(), durations_.end());
+  stats.worker_busy_ns = worker_busy_ns_;
+  if (options_.record_trace) {
+    stats.trace.assign(traces_.begin(), traces_.end());
+  }
+  session_active_ = false;
+  graph_ = nullptr;
+  const std::exception_ptr error = first_error_;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+  return stats;
+}
+
+RunStats Runtime::run(TaskGraph& graph) {
+  begin(graph);
+  return end();
+}
+
+void Runtime::parallel_for(
+    std::int64_t begin_index, std::int64_t end_index, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  BPAR_CHECK(grain > 0, "grain must be positive");
+  if (begin_index >= end_index) return;
+  TaskGraph graph;
+  begin(graph);
+  for (std::int64_t lo = begin_index; lo < end_index; lo += grain) {
+    const std::int64_t hi = std::min(end_index, lo + grain);
+    TaskSpec spec;
+    spec.kind = TaskKind::kGemmChunk;
+    // Chunks are independent: give each a distinct output address.
+    submit([fn, lo, hi] { fn(lo, hi); },
+           {out(reinterpret_cast<const void*>(lo + 1))}, std::move(spec));
+  }
+  end();
+}
+
+void Runtime::worker_loop(int worker_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const TaskId id = next_task(worker_id, lock);
+    if (shutdown_) return;
+    if (id == kInvalidTask) continue;
+    ++active_;
+    max_active_ = std::max(max_active_, active_);
+    if (options_.policy == SchedulerPolicy::kLocalityAware &&
+        preferred_[id] == worker_id) {
+      ++locality_hits_;
+    }
+    // The Task element is stable (deque storage); the function can be
+    // invoked outside the lock.
+    const Task* task = &graph_->task(id);
+    const std::uint64_t start = now_ns();
+    lock.unlock();
+    try {
+      task->fn();
+    } catch (...) {
+      const std::lock_guard<std::mutex> guard(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    lock.lock();
+    const std::uint64_t finish = now_ns();
+    durations_[id] = finish - start;
+    worker_busy_ns_[static_cast<std::size_t>(worker_id)] += finish - start;
+    if (options_.record_trace) {
+      traces_[id] = {start, finish, worker_id};
+    }
+    --active_;
+    completed_[id] = true;
+    ++executed_;
+    for (const TaskId succ : task->successors) {
+      if (options_.policy == SchedulerPolicy::kLocalityAware &&
+          graph_->task(succ).affinity_pred == id) {
+        preferred_[succ] = worker_id;
+      }
+      BPAR_DCHECK(pending_[succ] > 0);
+      if (--pending_[succ] == 0) enqueue_ready(succ);
+    }
+    if (executed_ == submitted_) done_cv_.notify_all();
+  }
+}
+
+TaskId Runtime::next_task(int worker_id, std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    if (shutdown_) return kInvalidTask;
+    if (session_active_) {
+      auto& local = local_queues_[static_cast<std::size_t>(worker_id)];
+      if (!local.empty()) {
+        const TaskId id = local.front();
+        local.pop_front();
+        return id;
+      }
+      if (!global_queue_.empty()) {
+        const TaskId id = global_queue_.front();
+        global_queue_.pop_front();
+        return id;
+      }
+      // Steal from the longest sibling queue, but leave a lone entry for
+      // its owner: locality-aware scheduling keeps a ready consumer on the
+      // core holding its producer's data even if that core is still busy.
+      std::size_t victim = local_queues_.size();
+      std::size_t best_len = 1;
+      for (std::size_t w = 0; w < local_queues_.size(); ++w) {
+        if (static_cast<int>(w) == worker_id) continue;
+        if (local_queues_[w].size() > best_len) {
+          best_len = local_queues_[w].size();
+          victim = w;
+        }
+      }
+      if (victim != local_queues_.size()) {
+        const TaskId id = local_queues_[victim].front();
+        local_queues_[victim].pop_front();
+        return id;
+      }
+    }
+    work_cv_.wait(lock);
+  }
+}
+
+void Runtime::enqueue_ready(TaskId id) {
+  if (options_.policy == SchedulerPolicy::kLocalityAware) {
+    const std::int32_t pref = preferred_[id];
+    if (pref >= 0) {
+      local_queues_[static_cast<std::size_t>(pref)].push_back(id);
+      work_cv_.notify_all();
+      return;
+    }
+  }
+  global_queue_.push_back(id);
+  work_cv_.notify_all();
+}
+
+}  // namespace bpar::taskrt

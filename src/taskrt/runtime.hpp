@@ -1,0 +1,162 @@
+// Threaded execution of a TaskGraph — the run-time system software of the
+// paper's §III-B: a worker pool consuming a ready queue of tasks whose
+// dependencies are fulfilled.
+//
+// Two execution modes:
+//  * run(graph)   — execute a fully built graph (blocking);
+//  * begin/submit/taskwait/end — OmpSs-style *dynamic* task creation: the
+//    main thread keeps submitting tasks while workers already execute
+//    earlier ones, which is how B-Par "adjusts the computation graph
+//    dynamically at run-time" for variable sequence lengths (paper
+//    §III-B).
+//
+// Two scheduling policies (paper §IV-A):
+//  * kFifo — a single global FIFO ready queue ("breadth-first"), no
+//    locality: any idle worker takes the oldest ready task.
+//  * kLocalityAware — when a task completes, ready successors whose primary
+//    input was produced by that task are enqueued on the producing worker's
+//    local queue, so consumers run where their data is cache-hot; idle
+//    workers fall back to the global queue, then steal (never a queue's
+//    last entry — that one stays reserved for its cache-hot owner).
+//
+// Workers are persistent across runs. Tasks may throw: the first exception
+// is captured and rethrown from run()/end() after the graph drains.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "taskrt/task_graph.hpp"
+
+namespace bpar::taskrt {
+
+enum class SchedulerPolicy { kFifo, kLocalityAware };
+
+[[nodiscard]] const char* scheduler_policy_name(SchedulerPolicy policy);
+
+struct RuntimeOptions {
+  int num_workers = 0;  // 0 → hardware_concurrency()
+  SchedulerPolicy policy = SchedulerPolicy::kFifo;
+  bool record_trace = false;  // keep per-task (start, end, worker) tuples
+  bool pin_threads = false;   // best-effort core pinning (Linux)
+};
+
+struct TaskTrace {
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::int32_t worker = -1;
+};
+
+struct RunStats {
+  std::uint64_t wall_ns = 0;
+  std::size_t tasks_executed = 0;
+  std::int32_t max_concurrency = 0;
+  std::size_t tasks_with_affinity = 0;
+  std::size_t locality_hits = 0;  // ran on the preferred (producer's) worker
+  std::vector<std::uint64_t> task_duration_ns;   // indexed by TaskId
+  std::vector<std::uint64_t> worker_busy_ns;     // indexed by worker
+  std::vector<TaskTrace> trace;                  // empty unless record_trace
+
+  [[nodiscard]] double wall_ms() const {
+    return static_cast<double>(wall_ns) / 1e6;
+  }
+  /// Sum of task durations / (workers * wall) — parallel efficiency.
+  [[nodiscard]] double parallel_efficiency() const;
+  [[nodiscard]] std::uint64_t total_busy_ns() const;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options = {});
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Executes every task in `graph`, respecting dependencies. Blocking.
+  /// The graph can be re-run (execution state is external to the graph).
+  RunStats run(TaskGraph& graph);
+
+  // ---- dynamic (OmpSs-style) sessions ----
+
+  /// Starts a session over `graph` (usually empty). Tasks already in the
+  /// graph are scheduled immediately; more can be submitted while workers
+  /// execute. The graph must outlive the session.
+  void begin(TaskGraph& graph);
+  /// Adds one task; it becomes runnable the moment its dependencies (among
+  /// previously submitted tasks) are fulfilled. Only the thread that called
+  /// begin() may submit.
+  TaskId submit(std::function<void()> fn, std::span<const Access> accesses,
+                TaskSpec spec = {});
+  TaskId submit(std::function<void()> fn,
+                std::initializer_list<Access> accesses, TaskSpec spec = {}) {
+    return submit(std::move(fn),
+                  std::span<const Access>(accesses.begin(), accesses.size()),
+                  std::move(spec));
+  }
+  /// Blocks until every task submitted so far has executed (OmpSs
+  /// `taskwait`). More submissions may follow.
+  void taskwait();
+  /// taskwait() + finalize; returns the session's stats and rethrows the
+  /// first task exception, if any.
+  RunStats end();
+
+  /// Convenience fork-join: fn(i) for i in [begin, end), chunked by grain.
+  /// Used by the per-layer-barrier baseline executors for intra-op
+  /// parallelism.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  [[nodiscard]] int num_workers() const { return num_workers_; }
+  [[nodiscard]] SchedulerPolicy policy() const { return options_.policy; }
+
+ private:
+  void worker_loop(int worker_id);
+  /// Pops the next task for `worker_id` per policy; blocks until one is
+  /// available or shutdown. Returns kInvalidTask on spurious wakes.
+  TaskId next_task(int worker_id, std::unique_lock<std::mutex>& lock);
+  void enqueue_ready(TaskId id);
+  /// Publishes task `id` into the session (pending counts, ready queues).
+  /// Caller holds mu_.
+  void publish(TaskId id, const std::vector<TaskId>& preds);
+  std::uint64_t now_ns() const;
+
+  RuntimeOptions options_;
+  int num_workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;
+
+  // Session state, valid while session_active_. All mutation under mu_.
+  bool session_active_ = false;
+  TaskGraph* graph_ = nullptr;
+  std::deque<std::uint32_t> pending_;      // unmet deps per task
+  std::deque<bool> completed_;             // per task
+  std::deque<std::int32_t> preferred_;     // locality hint per task
+  std::deque<std::uint64_t> durations_;    // per task, ns
+  std::deque<TaskTrace> traces_;           // per task (if record_trace)
+  std::deque<TaskId> global_queue_;
+  std::vector<std::deque<TaskId>> local_queues_;
+  std::size_t executed_ = 0;
+  std::size_t submitted_ = 0;
+  std::int32_t active_ = 0;
+  std::int32_t max_active_ = 0;
+  std::size_t locality_hits_ = 0;
+  std::size_t tasks_with_affinity_ = 0;
+  std::vector<std::uint64_t> worker_busy_ns_;
+  std::exception_ptr first_error_;
+  std::chrono::steady_clock::time_point session_start_;
+  std::vector<TaskId> scratch_preds_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bpar::taskrt

@@ -1,0 +1,27 @@
+// Cache-line aligned allocation for numeric buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+namespace bpar::tensor {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+struct AlignedDeleter {
+  void operator()(float* p) const noexcept { ::operator delete[](p, std::align_val_t{kCacheLineBytes}); }
+};
+
+using AlignedFloatPtr = std::unique_ptr<float[], AlignedDeleter>;
+
+/// Allocates `n` floats aligned to a cache line. `n == 0` yields nullptr.
+inline AlignedFloatPtr allocate_floats(std::size_t n) {
+  if (n == 0) return nullptr;
+  auto* p = static_cast<float*>(
+      ::operator new[](n * sizeof(float), std::align_val_t{kCacheLineBytes}));
+  return AlignedFloatPtr(p);
+}
+
+}  // namespace bpar::tensor

@@ -1,0 +1,78 @@
+#include "train/gradient_check.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace bpar::train {
+namespace {
+
+struct ParamRef {
+  tensor::Matrix* param;
+  const tensor::Matrix* grad;
+};
+
+std::vector<ParamRef> collect(rnn::Network& net, rnn::NetworkGrads& grads) {
+  std::vector<ParamRef> refs;
+  const auto& cfg = net.config();
+  for (int dir = 0; dir < 2; ++dir) {
+    for (int l = 0; l < cfg.num_layers; ++l) {
+      auto& p = net.layer(dir, l);
+      auto& g = grads.layers[dir][static_cast<std::size_t>(l)];
+      refs.push_back({&p.w, &g.dw});
+      refs.push_back({&p.b, &g.db});
+    }
+  }
+  refs.push_back({&net.w_out, &grads.dw_out});
+  refs.push_back({&net.b_out, &grads.db_out});
+  return refs;
+}
+
+}  // namespace
+
+GradCheckResult check_gradients(rnn::Network& net, exec::Executor& executor,
+                                const rnn::BatchData& batch, int samples,
+                                float epsilon, std::uint64_t seed) {
+  // Analytic gradients at the current weights.
+  executor.train_batch(batch);
+  auto refs = collect(net, executor.grads());
+
+  util::Rng rng(seed);
+  GradCheckResult result;
+  double sum_rel = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    auto& ref = refs[rng.uniform_index(refs.size())];
+    const int r = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(ref.param->rows())));
+    const int c = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(ref.param->cols())));
+    const float analytic = ref.grad->at(r, c);
+
+    float& w = ref.param->at(r, c);
+    const float saved = w;
+    w = saved + epsilon;
+    const double loss_plus = executor.infer_batch(batch, {}).loss;
+    w = saved - epsilon;
+    const double loss_minus = executor.infer_batch(batch, {}).loss;
+    w = saved;
+
+    const double numeric =
+        (loss_plus - loss_minus) / (2.0 * static_cast<double>(epsilon));
+    const double denom =
+        std::max({std::abs(numeric), std::abs(static_cast<double>(analytic)),
+                  1e-4});
+    const double rel =
+        std::abs(numeric - static_cast<double>(analytic)) / denom;
+    result.max_rel_error = std::max(result.max_rel_error, rel);
+    sum_rel += rel;
+    ++result.checked;
+  }
+  if (result.checked > 0) {
+    result.mean_rel_error = sum_rel / result.checked;
+  }
+  return result;
+}
+
+}  // namespace bpar::train

@@ -1,0 +1,34 @@
+// Finite-difference gradient verification.
+//
+// Perturbs individual weights, re-runs the forward pass, and compares the
+// numeric derivative against the analytic gradient an executor produced.
+// Used by the test suite to validate the BPTT kernels and the task-graph
+// construction end to end.
+#pragma once
+
+#include "exec/executor.hpp"
+#include "rnn/batch.hpp"
+#include "rnn/network.hpp"
+
+namespace bpar::train {
+
+struct GradCheckResult {
+  double max_rel_error = 0.0;
+  double mean_rel_error = 0.0;
+  int checked = 0;
+
+  [[nodiscard]] bool ok(double tolerance = 5e-2) const {
+    return checked > 0 && max_rel_error < tolerance;
+  }
+};
+
+/// Checks `samples` randomly chosen parameters of every weight matrix.
+/// `epsilon` is the central-difference step (float32 → keep ~1e-2 relative
+/// tolerance in mind). The executor's gradients must already be computed
+/// for `batch` before calling — the function calls train_batch itself.
+GradCheckResult check_gradients(rnn::Network& net, exec::Executor& executor,
+                                const rnn::BatchData& batch, int samples,
+                                float epsilon = 1e-2F,
+                                std::uint64_t seed = 99);
+
+}  // namespace bpar::train

@@ -1,0 +1,76 @@
+// Optimizers applying reduced gradients to a Network's weights.
+//
+// The weight update runs after the batch graph drains (its time is part of
+// the paper's per-batch training time). Updates are deterministic and
+// identical regardless of which executor produced the gradients.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "rnn/network.hpp"
+
+namespace bpar::train {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// net -= update(grads). Gradients are whole-batch means.
+  virtual void step(rnn::Network& net, const rnn::NetworkGrads& grads) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Serialize internal state (momentum/moment buffers, step count) so a
+  /// checkpointed training run resumes bit-exactly. Default: stateless.
+  virtual void save_state(std::ostream& os) const;
+  virtual void load_state(std::istream& is, const rnn::Network& net);
+};
+
+/// Plain SGD with optional momentum and gradient clipping.
+class Sgd final : public Optimizer {
+ public:
+  struct Config {
+    float learning_rate = 0.05F;
+    float momentum = 0.0F;      // 0 → vanilla SGD
+    float clip_norm = 0.0F;     // 0 → no clipping
+  };
+  explicit Sgd(Config config) : config_(config) {}
+
+  void step(rnn::Network& net, const rnn::NetworkGrads& grads) override;
+  [[nodiscard]] const char* name() const override { return "sgd"; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is, const rnn::Network& net) override;
+
+ private:
+  Config config_;
+  std::unique_ptr<rnn::NetworkGrads> velocity_;  // lazily initialized
+};
+
+/// Adam (Kingma & Ba) with bias correction; weight_decay > 0 turns it into
+/// AdamW (decoupled weight decay, Loshchilov & Hutter).
+class Adam final : public Optimizer {
+ public:
+  struct Config {
+    float learning_rate = 1e-3F;
+    float beta1 = 0.9F;
+    float beta2 = 0.999F;
+    float epsilon = 1e-8F;
+    float weight_decay = 0.0F;  // decoupled (AdamW) when non-zero
+  };
+  explicit Adam(Config config) : config_(config) {}
+
+  void step(rnn::Network& net, const rnn::NetworkGrads& grads) override;
+  [[nodiscard]] const char* name() const override {
+    return config_.weight_decay > 0.0F ? "adamw" : "adam";
+  }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is, const rnn::Network& net) override;
+
+ private:
+  Config config_;
+  std::unique_ptr<rnn::NetworkGrads> m_;
+  std::unique_ptr<rnn::NetworkGrads> v_;
+  long step_count_ = 0;
+};
+
+}  // namespace bpar::train

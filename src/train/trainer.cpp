@@ -1,0 +1,66 @@
+#include "train/trainer.hpp"
+
+#include <numeric>
+
+#include "perf/timer.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace bpar::train {
+
+double accuracy(std::span<const int> predictions,
+                std::span<const int> labels) {
+  BPAR_CHECK(predictions.size() == labels.size(), "accuracy size mismatch");
+  if (predictions.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / predictions.size();
+}
+
+EpochStats Trainer::train_epoch(const std::vector<rnn::BatchData>& batches) {
+  perf::WallTimer timer;
+  EpochStats stats;
+  // Visit order: identity, or a deterministic Fisher-Yates shuffle keyed by
+  // (seed, epoch index) so runs are reproducible.
+  std::vector<std::size_t> order(batches.size());
+  std::iota(order.begin(), order.end(), 0U);
+  if (shuffle_) {
+    util::Rng rng(shuffle_seed_ + 0x9e37ULL * (history_.size() + 1));
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const auto j = rng.uniform_index(i);
+      std::swap(order[i - 1], order[j]);
+    }
+  }
+  for (const std::size_t idx : order) {
+    const auto result = executor_.train_batch(batches[idx]);
+    optimizer_.step(net_, executor_.grads());
+    stats.mean_loss += result.loss;
+  }
+  if (!batches.empty()) stats.mean_loss /= static_cast<double>(batches.size());
+  stats.wall_ms = timer.elapsed_ms();
+  history_.push_back(stats);
+  return stats;
+}
+
+EpochStats Trainer::evaluate(const std::vector<rnn::BatchData>& batches) {
+  perf::WallTimer timer;
+  EpochStats stats;
+  std::size_t total = 0;
+  double correct = 0.0;
+  for (const auto& batch : batches) {
+    std::vector<int> predictions(batch.labels.size());
+    const auto result = executor_.infer_batch(batch, predictions);
+    stats.mean_loss += result.loss;
+    correct += accuracy(predictions, batch.labels) *
+               static_cast<double>(batch.labels.size());
+    total += batch.labels.size();
+  }
+  if (!batches.empty()) stats.mean_loss /= static_cast<double>(batches.size());
+  if (total > 0) stats.accuracy = correct / static_cast<double>(total);
+  stats.wall_ms = timer.elapsed_ms();
+  return stats;
+}
+
+}  // namespace bpar::train

@@ -1,0 +1,53 @@
+// Epoch-level training loop over a dataset of batches.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "rnn/batch.hpp"
+#include "train/optimizer.hpp"
+
+namespace bpar::train {
+
+struct EpochStats {
+  double mean_loss = 0.0;
+  double accuracy = 0.0;  // fraction of correct argmax predictions
+  double wall_ms = 0.0;
+};
+
+/// Fraction of predictions matching labels (both in batch layout).
+[[nodiscard]] double accuracy(std::span<const int> predictions,
+                              std::span<const int> labels);
+
+class Trainer {
+ public:
+  Trainer(rnn::Network& net, exec::Executor& executor, Optimizer& optimizer)
+      : net_(net), executor_(executor), optimizer_(optimizer) {}
+
+  /// Shuffle the batch order each epoch (deterministic per seed + epoch).
+  void set_shuffle(bool shuffle, std::uint64_t seed = 1) {
+    shuffle_ = shuffle;
+    shuffle_seed_ = seed;
+  }
+
+  /// Trains one epoch over `batches`, applying the optimizer per batch.
+  EpochStats train_epoch(const std::vector<rnn::BatchData>& batches);
+
+  /// Evaluates loss/accuracy without weight updates.
+  EpochStats evaluate(const std::vector<rnn::BatchData>& batches);
+
+  [[nodiscard]] const std::vector<EpochStats>& history() const {
+    return history_;
+  }
+
+ private:
+  rnn::Network& net_;
+  exec::Executor& executor_;
+  Optimizer& optimizer_;
+  std::vector<EpochStats> history_;
+  bool shuffle_ = false;
+  std::uint64_t shuffle_seed_ = 1;
+};
+
+}  // namespace bpar::train

@@ -1,0 +1,49 @@
+// Lightweight runtime invariant checks, active in all build types.
+//
+// BPAR_CHECK(cond, msg...)  — aborts with a diagnostic when `cond` is false.
+// BPAR_DCHECK(cond, msg...) — same, but compiled out in NDEBUG builds; use
+//                             on hot paths where the check itself costs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bpar::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::fprintf(stderr, "FATAL %s:%d: check `%s` failed%s%s\n", file, line,
+               expr, msg.empty() ? "" : ": ", msg.c_str());
+  std::abort();
+}
+
+namespace detail {
+inline std::string stringize() { return {}; }
+template <typename... Ts>
+std::string stringize(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace bpar::util
+
+#define BPAR_CHECK(cond, ...)                                       \
+  do {                                                              \
+    if (!(cond)) [[unlikely]] {                                     \
+      ::bpar::util::check_failed(                                   \
+          #cond, __FILE__, __LINE__,                                \
+          ::bpar::util::detail::stringize(__VA_ARGS__));            \
+    }                                                               \
+  } while (0)
+
+#ifdef NDEBUG
+#define BPAR_DCHECK(cond, ...) \
+  do {                         \
+  } while (0)
+#else
+#define BPAR_DCHECK(cond, ...) BPAR_CHECK(cond, __VA_ARGS__)
+#endif

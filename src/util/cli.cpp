@@ -1,0 +1,163 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace bpar::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  BPAR_CHECK(options_.find(name) == options_.end(), "duplicate option ", name);
+  Option opt;
+  opt.kind = Kind::kFlag;
+  opt.help = help;
+  opt.default_text = "false";
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void ArgParser::add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help) {
+  BPAR_CHECK(options_.find(name) == options_.end(), "duplicate option ", name);
+  Option opt;
+  opt.kind = Kind::kInt;
+  opt.help = help;
+  opt.int_value = default_value;
+  opt.default_text = std::to_string(default_value);
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void ArgParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  BPAR_CHECK(options_.find(name) == options_.end(), "duplicate option ", name);
+  Option opt;
+  opt.kind = Kind::kDouble;
+  opt.help = help;
+  opt.double_value = default_value;
+  opt.default_text = std::to_string(default_value);
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void ArgParser::add_string(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  BPAR_CHECK(options_.find(name) == options_.end(), "duplicate option ", name);
+  Option opt;
+  opt.kind = Kind::kString;
+  opt.help = help;
+  opt.string_value = default_value;
+  opt.default_text = default_value.empty() ? "\"\"" : default_value;
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+ArgParser::Option* ArgParser::find(const std::string& name) {
+  auto it = options_.find(name);
+  return it == options_.end() ? nullptr : &it->second;
+}
+
+const ArgParser::Option& ArgParser::require(const std::string& name,
+                                            Kind kind) const {
+  auto it = options_.find(name);
+  BPAR_CHECK(it != options_.end(), "unknown option ", name);
+  BPAR_CHECK(it->second.kind == kind, "option ", name,
+             " accessed with wrong type");
+  return it->second;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name.resize(eq);
+    }
+    Option* opt = find(name);
+    if (opt == nullptr) {
+      std::fprintf(stderr, "%s: unknown option --%s\n", program_.c_str(),
+                   name.c_str());
+      print_help();
+      return false;
+    }
+    if (opt->kind == Kind::kFlag) {
+      opt->flag_value =
+          !inline_value.has_value() || *inline_value == "true" || *inline_value == "1";
+      continue;
+    }
+    std::string value;
+    if (inline_value.has_value()) {
+      value = *inline_value;
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "%s: option --%s requires a value\n",
+                   program_.c_str(), name.c_str());
+      return false;
+    }
+    try {
+      switch (opt->kind) {
+        case Kind::kInt:
+          opt->int_value = std::stoll(value);
+          break;
+        case Kind::kDouble:
+          opt->double_value = std::stod(value);
+          break;
+        case Kind::kString:
+          opt->string_value = value;
+          break;
+        case Kind::kFlag:
+          break;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "%s: bad value '%s' for option --%s\n",
+                   program_.c_str(), value.c_str(), name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  return require(name, Kind::kFlag).flag_value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return require(name, Kind::kInt).int_value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return require(name, Kind::kDouble).double_value;
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return require(name, Kind::kString).string_value;
+}
+
+void ArgParser::print_help() const {
+  std::fprintf(stderr, "%s — %s\n\nOptions:\n", program_.c_str(),
+               description_.c_str());
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    std::fprintf(stderr, "  --%-22s %s (default: %s)\n", name.c_str(),
+                 opt.help.c_str(), opt.default_text.c_str());
+  }
+}
+
+}  // namespace bpar::util

@@ -1,0 +1,63 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+namespace bpar::util {
+namespace {
+
+LogLevel initial_threshold() {
+  const char* env = std::getenv("BPAR_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& threshold_storage() {
+  static std::atomic<int> threshold{static_cast<int>(initial_threshold())};
+  return threshold;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DBG";
+    case LogLevel::kInfo:
+      return "INF";
+    case LogLevel::kWarn:
+      return "WRN";
+    case LogLevel::kError:
+      return "ERR";
+  }
+  return "???";
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(threshold_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, std::string_view msg) {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%9.3f %s] %.*s\n", elapsed_s, level_tag(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace bpar::util

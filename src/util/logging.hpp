@@ -1,0 +1,50 @@
+// Minimal leveled logger. Thread-safe line emission; no allocation on the
+// disabled-level fast path.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace bpar::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Defaults to kInfo,
+/// overridable with the BPAR_LOG environment variable (debug|info|warn|error).
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+/// Emits one formatted line (timestamped, level-tagged) to stderr.
+void log_line(LogLevel level, std::string_view msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace bpar::util
+
+#define BPAR_LOG(level)                                              \
+  if (::bpar::util::LogLevel::level < ::bpar::util::log_threshold()) \
+    ;                                                                \
+  else                                                               \
+    ::bpar::util::detail::LogMessage(::bpar::util::LogLevel::level)
+
+#define BPAR_LOG_DEBUG BPAR_LOG(kDebug)
+#define BPAR_LOG_INFO BPAR_LOG(kInfo)
+#define BPAR_LOG_WARN BPAR_LOG(kWarn)
+#define BPAR_LOG_ERROR BPAR_LOG(kError)

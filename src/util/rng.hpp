@@ -1,0 +1,56 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library (weight init, synthetic datasets,
+// noise injection in tests) draw from Xoshiro256** seeded via SplitMix64, so
+// every run is reproducible from a single integer seed and independent of
+// the standard library's distribution implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace bpar::util {
+
+/// SplitMix64: used to expand a single seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+  double normal(double mean, double stddev);
+  /// Uniform float in [-scale, scale] — the classic RNN weight init.
+  float weight(float scale);
+
+  /// Deterministically derives an independent stream, e.g. per worker.
+  Rng split(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace bpar::util

@@ -1,0 +1,118 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace bpar::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  BPAR_CHECK(row.size() == header_.size(), "row width ", row.size(),
+             " != header width ", header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  if (!title.empty()) std::printf("\n== %s ==\n", title.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%-*s", c == 0 ? "" : "  ", static_cast<int>(widths[c]),
+                  row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  std::size_t total = header_.size() - 1;
+  for (const auto w : widths) total += w + 1;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(stdout);
+}
+
+void Table::write_csv(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  BPAR_CHECK(out.good(), "cannot open ", path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      const bool quote = row[c].find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        out << '"';
+        for (const char ch : row[c]) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << row[c];
+      }
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_ms(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", ms);
+  // Insert thousands separators for readability, matching the paper's style.
+  std::string s(buf);
+  const auto dot = s.find('.');
+  std::string head = s.substr(0, dot);
+  const std::string tail = s.substr(dot);
+  std::string out;
+  const bool neg = !head.empty() && head[0] == '-';
+  if (neg) head.erase(head.begin());
+  int count = 0;
+  for (auto it = head.rbegin(); it != head.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return (neg ? "-" : "") + out + tail;
+}
+
+std::string fmt_speedup(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fx", ratio);
+  return buf;
+}
+
+std::string fmt_params(double count) {
+  char buf[32];
+  if (count >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fM", count / 1e6);
+  } else if (count >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fK", count / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", count);
+  }
+  return buf;
+}
+
+}  // namespace bpar::util

@@ -1,0 +1,40 @@
+// Console table rendering and CSV emission for the benchmark harnesses.
+//
+// Every bench binary prints the paper's rows with aligned columns and also
+// writes a machine-readable CSV next to it (bench_results/<name>.csv).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bpar::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with aligned columns to stdout.
+  void print(const std::string& title = "") const;
+
+  /// Writes header+rows as CSV. Creates parent directories as needed.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string fmt(double value, int digits = 2);
+/// Formats milliseconds with adaptive precision (e.g. "1,770.76").
+std::string fmt_ms(double ms);
+/// Formats a ratio as e.g. "2.34x".
+std::string fmt_speedup(double ratio);
+/// Formats a parameter count as e.g. "6.3M".
+std::string fmt_params(double count);
+
+}  // namespace bpar::util

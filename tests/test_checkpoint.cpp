@@ -1,0 +1,128 @@
+// Checkpointing tests: save/load of weights + optimizer state must make
+// resumed training bit-exact with uninterrupted training.
+#include <gtest/gtest.h>
+
+#include "core/bpar.hpp"
+#include "util/rng.hpp"
+
+namespace bpar {
+namespace {
+
+using rnn::BatchData;
+using rnn::NetworkConfig;
+
+NetworkConfig small_config() {
+  NetworkConfig cfg;
+  cfg.cell = rnn::CellType::kLstm;
+  cfg.input_size = 4;
+  cfg.hidden_size = 6;
+  cfg.num_layers = 2;
+  cfg.seq_length = 4;
+  cfg.batch_size = 6;
+  cfg.num_classes = 3;
+  cfg.seed = 55;
+  return cfg;
+}
+
+BatchData make_batch(const NetworkConfig& cfg, std::uint64_t seed) {
+  util::Rng rng(seed);
+  BatchData batch;
+  batch.x.resize(static_cast<std::size_t>(cfg.seq_length));
+  for (auto& m : batch.x) {
+    m.resize(cfg.batch_size, cfg.input_size);
+    tensor::fill_uniform(m.view(), rng, -1.0F, 1.0F);
+  }
+  batch.labels.resize(static_cast<std::size_t>(cfg.batch_size));
+  for (auto& l : batch.labels) {
+    l = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(cfg.num_classes)));
+  }
+  return batch;
+}
+
+template <typename MakeOptimizer>
+void expect_bit_exact_resume(MakeOptimizer make_optimizer) {
+  const NetworkConfig cfg = small_config();
+  const BatchData batch = make_batch(cfg, 3);
+  const std::string path = ::testing::TempDir() + "/bpar_ckpt.bin";
+
+  // Uninterrupted run: 10 steps; checkpoint after step 5.
+  Model reference(cfg);
+  reference.set_optimizer(make_optimizer());
+  std::vector<double> reference_losses;
+  for (int i = 0; i < 10; ++i) {
+    reference_losses.push_back(reference.train_batch(batch).loss);
+    if (i == 4) reference.save_checkpoint(path);
+  }
+
+  // Resumed run: fresh model, different seed, load checkpoint, 5 steps.
+  NetworkConfig other = cfg;
+  other.seed = 999;
+  Model resumed(other);
+  resumed.set_optimizer(make_optimizer());
+  resumed.load_checkpoint(path);
+  for (int i = 5; i < 10; ++i) {
+    const double loss = resumed.train_batch(batch).loss;
+    EXPECT_EQ(loss, reference_losses[static_cast<std::size_t>(i)])
+        << "step " << i;
+  }
+}
+
+TEST(Checkpoint, SgdMomentumResumesBitExactly) {
+  expect_bit_exact_resume([] {
+    return std::make_unique<train::Sgd>(
+        train::Sgd::Config{.learning_rate = 0.1F, .momentum = 0.9F});
+  });
+}
+
+TEST(Checkpoint, AdamResumesBitExactly) {
+  expect_bit_exact_resume([] {
+    return std::make_unique<train::Adam>(
+        train::Adam::Config{.learning_rate = 3e-3F});
+  });
+}
+
+TEST(Checkpoint, AdamWResumesBitExactly) {
+  expect_bit_exact_resume([] {
+    return std::make_unique<train::Adam>(train::Adam::Config{
+        .learning_rate = 3e-3F, .weight_decay = 1e-3F});
+  });
+}
+
+TEST(Checkpoint, RejectsOptimizerMismatch) {
+  const NetworkConfig cfg = small_config();
+  const std::string path = ::testing::TempDir() + "/bpar_ckpt_mismatch.bin";
+  Model a(cfg);
+  a.set_optimizer(std::make_unique<train::Adam>(train::Adam::Config{}));
+  a.save_checkpoint(path);
+
+  Model b(cfg);
+  b.set_optimizer(std::make_unique<train::Sgd>(train::Sgd::Config{}));
+  EXPECT_DEATH(b.load_checkpoint(path), "optimizer");
+}
+
+TEST(Checkpoint, RejectsPlainWeightFile) {
+  const NetworkConfig cfg = small_config();
+  const std::string path = ::testing::TempDir() + "/bpar_weights_only.bin";
+  Model a(cfg);
+  a.save(path);  // weight file, not a checkpoint
+  Model b(cfg);
+  EXPECT_DEATH(b.load_checkpoint(path), "checkpoint");
+}
+
+TEST(Checkpoint, FreshOptimizerStateRoundTrips) {
+  // Checkpointing before any step (no moment buffers yet) must also work.
+  const NetworkConfig cfg = small_config();
+  const std::string path = ::testing::TempDir() + "/bpar_ckpt_fresh.bin";
+  Model a(cfg);
+  a.set_optimizer(std::make_unique<train::Adam>(train::Adam::Config{}));
+  a.save_checkpoint(path);
+  Model b(cfg);
+  b.set_optimizer(std::make_unique<train::Adam>(train::Adam::Config{}));
+  b.load_checkpoint(path);
+  const BatchData batch = make_batch(cfg, 4);
+  EXPECT_EQ(a.train_batch(batch).loss, b.train_batch(batch).loss);
+}
+
+}  // namespace
+}  // namespace bpar

@@ -1,0 +1,110 @@
+// DOT / Chrome-trace export tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <fstream>
+
+#include "taskrt/export.hpp"
+#include "taskrt/runtime.hpp"
+
+namespace bpar::taskrt {
+namespace {
+
+TaskGraph diamond(int& a, int& b, int& c) {
+  TaskGraph g;
+  TaskSpec root;
+  root.name = "root";
+  root.kind = TaskKind::kCellForward;
+  g.add([] {}, {out(&a)}, root);
+  TaskSpec left;
+  left.name = "left \"quoted\"";
+  left.kind = TaskKind::kMerge;
+  g.add([] {}, {in(&a), out(&b)}, left);
+  TaskSpec right;
+  right.kind = TaskKind::kCellBackward;  // unnamed → kind label
+  g.add([] {}, {in(&a), out(&c)}, right);
+  TaskSpec join;
+  join.name = "join";
+  g.add([] {}, {in(&b), in(&c)}, join);
+  return g;
+}
+
+TEST(DotExport, ContainsNodesEdgesAndEscapes) {
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  const TaskGraph g = diamond(a, b, c);
+  std::ostringstream os;
+  write_dot(g, os);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph bpar"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t2"), std::string::npos);
+  EXPECT_NE(dot.find("t1 -> t3"), std::string::npos);
+  EXPECT_NE(dot.find("t2 -> t3"), std::string::npos);
+  EXPECT_NE(dot.find("root"), std::string::npos);
+  EXPECT_NE(dot.find("left \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(dot.find("cell_bwd 2"), std::string::npos);  // unnamed fallback
+  EXPECT_EQ(dot.find("truncated"), std::string::npos);
+}
+
+TEST(DotExport, TruncatesLargeGraphs) {
+  TaskGraph g;
+  std::vector<int> slots(50);
+  for (auto& s : slots) g.add([] {}, {out(&s)});
+  std::ostringstream os;
+  write_dot(g, os, {.max_tasks = 10});
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("t9 "), std::string::npos);
+  EXPECT_EQ(dot.find("t10 "), std::string::npos);
+  EXPECT_NE(dot.find("40 more tasks"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmitsOneEventPerTask) {
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  TaskGraph g = diamond(a, b, c);
+  Runtime rt({.num_workers = 2, .record_trace = true});
+  const RunStats stats = rt.run(g);
+  std::ostringstream os;
+  write_chrome_trace(g, stats, os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  std::size_t events = 0;
+  for (std::size_t pos = json.find("\"ph\": \"X\"");
+       pos != std::string::npos; pos = json.find("\"ph\": \"X\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 4U);
+  EXPECT_NE(json.find("\"name\": \"root\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"merge\""), std::string::npos);
+}
+
+TEST(ChromeTrace, RequiresRecordedTrace) {
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  TaskGraph g = diamond(a, b, c);
+  Runtime rt({.num_workers = 1});  // no trace
+  const RunStats stats = rt.run(g);
+  std::ostringstream os;
+  EXPECT_DEATH(write_chrome_trace(g, stats, os), "record_trace");
+}
+
+TEST(FileExports, WriteToDisk) {
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  TaskGraph g = diamond(a, b, c);
+  const std::string dot_path = ::testing::TempDir() + "/bpar_test.dot";
+  write_dot_file(g, dot_path);
+  std::ifstream in(dot_path);
+  EXPECT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "digraph bpar {");
+}
+
+}  // namespace
+}  // namespace bpar::taskrt

@@ -1,0 +1,255 @@
+// GEMM and elementwise kernel tests, including parameterized shape sweeps
+// against a naive reference implementation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "kernels/elementwise.hpp"
+#include "kernels/gemm.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace bpar {
+namespace {
+
+using kernels::gemm_nn;
+using kernels::gemm_nt;
+using kernels::gemm_tn;
+using tensor::Matrix;
+
+Matrix random_matrix(int rows, int cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  tensor::fill_uniform(m.view(), rng, -1.0F, 1.0F);
+  return m;
+}
+
+// Naive reference: C = alpha * op(A) * op(B) + beta * C.
+void naive_gemm(const Matrix& a, bool ta, const Matrix& b, bool tb, Matrix& c,
+                float alpha, float beta) {
+  const int m = c.rows();
+  const int n = c.cols();
+  const int k = ta ? a.rows() : a.cols();
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) {
+        const float av = ta ? a.at(p, i) : a.at(i, p);
+        const float bv = tb ? b.at(j, p) : b.at(p, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      c.at(i, j) = alpha * static_cast<float>(acc) + beta * c.at(i, j);
+    }
+  }
+}
+
+using GemmShape = std::tuple<int, int, int>;  // m, n, k
+
+class GemmShapes : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmShapes, NnMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  util::Rng rng(1);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix c = random_matrix(m, n, rng);
+  Matrix expected = c;
+  gemm_nn(a.cview(), b.cview(), c.view(), 0.7F, 0.3F);
+  naive_gemm(a, false, b, false, expected, 0.7F, 0.3F);
+  EXPECT_TRUE(tensor::allclose(c.cview(), expected.cview(), 1e-4F, 1e-4F))
+      << "max diff " << tensor::max_abs_diff(c.cview(), expected.cview());
+}
+
+TEST_P(GemmShapes, NtMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  util::Rng rng(2);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(n, k, rng);  // used transposed
+  Matrix c = random_matrix(m, n, rng);
+  Matrix expected = c;
+  gemm_nt(a.cview(), b.cview(), c.view(), 1.3F, 0.5F);
+  naive_gemm(a, false, b, true, expected, 1.3F, 0.5F);
+  EXPECT_TRUE(tensor::allclose(c.cview(), expected.cview(), 1e-4F, 1e-4F));
+}
+
+TEST_P(GemmShapes, TnMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  util::Rng rng(3);
+  Matrix a = random_matrix(k, m, rng);  // used transposed
+  Matrix b = random_matrix(k, n, rng);
+  Matrix c = random_matrix(m, n, rng);
+  Matrix expected = c;
+  gemm_tn(a.cview(), b.cview(), c.view(), 1.0F, 1.0F);
+  naive_gemm(a, true, b, false, expected, 1.0F, 1.0F);
+  EXPECT_TRUE(tensor::allclose(c.cview(), expected.cview(), 1e-4F, 1e-4F));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{2, 3, 4},
+                      GemmShape{7, 5, 9}, GemmShape{16, 16, 16},
+                      GemmShape{33, 65, 17}, GemmShape{64, 70, 300},
+                      GemmShape{1, 128, 256}, GemmShape{128, 1, 300},
+                      GemmShape{96, 257, 64}));
+
+TEST(Gemm, BlockViewsComputeSubsets) {
+  // Row-split computation must equal the full GEMM (basis of intra-op
+  // parallelism in the barrier baseline).
+  util::Rng rng(4);
+  Matrix a = random_matrix(24, 32, rng);
+  Matrix b = random_matrix(40, 32, rng);
+  Matrix full(24, 40);
+  gemm_nt(a.cview(), b.cview(), full.view());
+
+  Matrix split(24, 40);
+  for (int r0 = 0; r0 < 24; r0 += 7) {
+    const int rows = std::min(7, 24 - r0);
+    gemm_nt(a.cview().block(r0, 0, rows, 32), b.cview(),
+            split.view().block(r0, 0, rows, 40));
+  }
+  EXPECT_EQ(tensor::max_abs_diff(full.cview(), split.cview()), 0.0F);
+}
+
+TEST(Gemm, GemvTransposed) {
+  util::Rng rng(5);
+  Matrix a = random_matrix(6, 4, rng);
+  std::vector<float> x = {1.0F, -2.0F, 0.5F, 3.0F, -1.0F, 2.0F};
+  std::vector<float> y(4, 1.0F);
+  kernels::gemv_t(a.cview(), x, y, 2.0F, 0.5F);
+  for (int j = 0; j < 4; ++j) {
+    double expect = 0.5;
+    for (int i = 0; i < 6; ++i) {
+      expect += 2.0 * static_cast<double>(x[static_cast<std::size_t>(i)]) *
+                a.at(i, j);
+    }
+    EXPECT_NEAR(y[static_cast<std::size_t>(j)], expect, 1e-4);
+  }
+}
+
+TEST(Elementwise, SigmoidRangeAndDerivative) {
+  EXPECT_NEAR(kernels::sigmoid(0.0F), 0.5F, 1e-6F);
+  EXPECT_GT(kernels::sigmoid(10.0F), 0.9999F);
+  EXPECT_LT(kernels::sigmoid(-10.0F), 1e-4F);
+  const float y = kernels::sigmoid(0.3F);
+  // Numeric derivative check.
+  const float eps = 1e-3F;
+  const float numeric =
+      (kernels::sigmoid(0.3F + eps) - kernels::sigmoid(0.3F - eps)) /
+      (2.0F * eps);
+  EXPECT_NEAR(kernels::dsigmoid_from_y(y), numeric, 1e-4F);
+}
+
+TEST(Elementwise, TanhDerivative) {
+  const float y = std::tanh(0.7F);
+  const float eps = 1e-3F;
+  const float numeric =
+      (std::tanh(0.7F + eps) - std::tanh(0.7F - eps)) / (2.0F * eps);
+  EXPECT_NEAR(kernels::dtanh_from_y(y), numeric, 1e-4F);
+}
+
+TEST(Elementwise, FusedVectorOps) {
+  std::vector<float> a = {1, 2, 3};
+  std::vector<float> b = {4, 5, 6};
+  std::vector<float> d(3);
+  kernels::hadamard(a, b, d);
+  EXPECT_EQ(d, (std::vector<float>{4, 10, 18}));
+  kernels::hadamard_acc(a, b, d);
+  EXPECT_EQ(d, (std::vector<float>{8, 20, 36}));
+  kernels::axpy(2.0F, a, d);
+  EXPECT_EQ(d, (std::vector<float>{10, 24, 42}));
+  kernels::scale_inplace(d, 0.5F);
+  EXPECT_EQ(d, (std::vector<float>{5, 12, 21}));
+}
+
+TEST(Elementwise, SoftmaxRowsSumToOne) {
+  util::Rng rng(6);
+  Matrix logits = random_matrix(5, 9, rng);
+  // Inject large magnitudes to verify numerical stability.
+  logits.at(0, 0) = 500.0F;
+  logits.at(1, 3) = -500.0F;
+  Matrix probs(5, 9);
+  kernels::softmax_rows(logits.cview(), probs.view());
+  for (int r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < 9; ++c) {
+      EXPECT_GE(probs.at(r, c), 0.0F);
+      sum += static_cast<double>(probs.at(r, c));
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+  EXPECT_NEAR(probs.at(0, 0), 1.0F, 1e-5F);  // dominated row
+}
+
+TEST(Elementwise, CrossEntropyOfPerfectPrediction) {
+  Matrix probs(2, 3);
+  probs.at(0, 1) = 1.0F;
+  probs.at(1, 2) = 1.0F;
+  const std::vector<int> labels = {1, 2};
+  EXPECT_NEAR(kernels::cross_entropy(probs.cview(), labels), 0.0, 1e-5);
+}
+
+TEST(Elementwise, SoftmaxCeGradSumsToZeroPerRow) {
+  util::Rng rng(7);
+  Matrix logits = random_matrix(4, 6, rng);
+  Matrix probs(4, 6);
+  kernels::softmax_rows(logits.cview(), probs.view());
+  const std::vector<int> labels = {0, 5, 2, 3};
+  Matrix grad(4, 6);
+  kernels::softmax_ce_grad(probs.cview(), labels, grad.view());
+  for (int r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < 6; ++c) sum += static_cast<double>(grad.at(r, c));
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(Elementwise, SoftmaxCeGradMatchesNumericDerivative) {
+  // d/dlogit of mean CE: perturb one logit, compare losses.
+  util::Rng rng(8);
+  Matrix logits = random_matrix(3, 5, rng);
+  const std::vector<int> labels = {2, 0, 4};
+  auto loss_of = [&](const Matrix& lg) {
+    Matrix p(3, 5);
+    kernels::softmax_rows(lg.cview(), p.view());
+    return kernels::cross_entropy(p.cview(), labels);
+  };
+  Matrix probs(3, 5);
+  kernels::softmax_rows(logits.cview(), probs.view());
+  Matrix grad(3, 5);
+  kernels::softmax_ce_grad(probs.cview(), labels, grad.view());
+
+  const float eps = 1e-2F;
+  for (const auto [r, c] : {std::pair{0, 2}, {1, 1}, {2, 4}}) {
+    Matrix plus = logits;
+    plus.at(r, c) += eps;
+    Matrix minus = logits;
+    minus.at(r, c) -= eps;
+    const double numeric = (loss_of(plus) - loss_of(minus)) / (2.0 * eps);
+    EXPECT_NEAR(grad.at(r, c), numeric, 2e-3) << "at (" << r << "," << c << ")";
+  }
+}
+
+TEST(Elementwise, ArgmaxRows) {
+  Matrix m(2, 4);
+  m.at(0, 2) = 5.0F;
+  m.at(1, 0) = 1.0F;
+  std::vector<int> out(2);
+  kernels::argmax_rows(m.cview(), out);
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(out[1], 0);
+}
+
+TEST(Elementwise, AddBiasAndRowSums) {
+  Matrix m(3, 2);
+  std::vector<float> bias = {1.0F, -1.0F};
+  kernels::add_bias_rows(m.view(), bias);
+  EXPECT_EQ(m.at(2, 0), 1.0F);
+  EXPECT_EQ(m.at(2, 1), -1.0F);
+  std::vector<float> sums(2, 0.0F);
+  kernels::sum_rows_acc(m.cview(), sums);
+  EXPECT_EQ(sums[0], 3.0F);
+  EXPECT_EQ(sums[1], -3.0F);
+}
+
+}  // namespace
+}  // namespace bpar

@@ -1,0 +1,194 @@
+// Network/workspace tests, including parameter-count validation against the
+// numbers the paper reports in Tables III and IV.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rnn/flops.hpp"
+#include "rnn/network.hpp"
+
+namespace bpar::rnn {
+namespace {
+
+NetworkConfig table_config(CellType cell, int input, int hidden) {
+  // Tables III/IV use 6-layer deep BRNNs. The paper's parameter counts
+  // (e.g. 6.3M for input 256 / hidden 256 BLSTM) imply deeper layers see an
+  // H-wide merged input, i.e. a sum/average-style merge.
+  NetworkConfig cfg;
+  cfg.cell = cell;
+  cfg.merge = MergeOp::kSum;
+  cfg.input_size = input;
+  cfg.hidden_size = hidden;
+  cfg.num_layers = 6;
+  cfg.seq_length = 4;   // irrelevant for parameter count
+  cfg.batch_size = 2;
+  cfg.num_classes = 11;
+  return cfg;
+}
+
+TEST(ParamCount, MatchesTableIIIBlstm) {
+  // Paper Table III: 6-layer BLSTM parameter counts (in millions).
+  struct Row {
+    int input;
+    int hidden;
+    double expected_m;
+  };
+  for (const Row row : {Row{64, 256, 5.9}, Row{256, 256, 6.3},
+                        Row{1024, 256, 7.8}, Row{64, 1024, 92.8},
+                        Row{256, 1024, 94.4}, Row{1024, 1024, 100.7}}) {
+    Network net(table_config(CellType::kLstm, row.input, row.hidden));
+    const double millions =
+        static_cast<double>(net.param_count()) / 1e6;
+    EXPECT_NEAR(millions, row.expected_m, row.expected_m * 0.02)
+        << "input " << row.input << " hidden " << row.hidden;
+  }
+}
+
+TEST(ParamCount, MatchesTableIVBgru) {
+  struct Row {
+    int input;
+    int hidden;
+    double expected_m;
+  };
+  for (const Row row : {Row{64, 256, 4.4}, Row{256, 256, 4.7},
+                        Row{1024, 256, 5.9}, Row{64, 1024, 69.6},
+                        Row{256, 1024, 70.8}, Row{1024, 1024, 75.5}}) {
+    Network net(table_config(CellType::kGru, row.input, row.hidden));
+    const double millions =
+        static_cast<double>(net.param_count()) / 1e6;
+    EXPECT_NEAR(millions, row.expected_m, row.expected_m * 0.02)
+        << "input " << row.input << " hidden " << row.hidden;
+  }
+}
+
+TEST(Network, LayerInputWidths) {
+  NetworkConfig cfg = table_config(CellType::kLstm, 64, 256);
+  cfg.merge = MergeOp::kConcat;
+  EXPECT_EQ(cfg.layer_input_size(0), 64);
+  EXPECT_EQ(cfg.layer_input_size(1), 512);  // concat of two 256s
+  cfg.merge = MergeOp::kSum;
+  EXPECT_EQ(cfg.layer_input_size(1), 256);
+}
+
+TEST(Network, SameSeedSameWeights) {
+  const NetworkConfig cfg = table_config(CellType::kGru, 8, 8);
+  Network a(cfg);
+  Network b(cfg);
+  EXPECT_TRUE(tensor::allclose(a.layer(0, 0).w.cview(),
+                               b.layer(0, 0).w.cview(), 0.0F, 0.0F));
+  EXPECT_TRUE(tensor::allclose(a.layer(1, 3).w.cview(),
+                               b.layer(1, 3).w.cview(), 0.0F, 0.0F));
+}
+
+TEST(Network, DirectionsGetDistinctWeights) {
+  const NetworkConfig cfg = table_config(CellType::kLstm, 8, 8);
+  Network net(cfg);
+  EXPECT_FALSE(tensor::allclose(net.layer(0, 0).w.cview(),
+                                net.layer(1, 0).w.cview(), 1e-6F, 0.0F));
+}
+
+TEST(Network, SaveLoadRoundTripExactly) {
+  const NetworkConfig cfg = table_config(CellType::kLstm, 8, 8);
+  Network a(cfg);
+  std::stringstream buffer;
+  a.save(buffer);
+  NetworkConfig cfg2 = cfg;
+  cfg2.seed = 4242;
+  Network b(cfg2);
+  EXPECT_FALSE(tensor::allclose(a.w_out.cview(), b.w_out.cview(), 1e-6F, 0.0F));
+  b.load(buffer);
+  EXPECT_TRUE(tensor::allclose(a.w_out.cview(), b.w_out.cview(), 0.0F, 0.0F));
+  EXPECT_TRUE(tensor::allclose(a.layer(1, 5).w.cview(),
+                               b.layer(1, 5).w.cview(), 0.0F, 0.0F));
+}
+
+TEST(Network, LoadRejectsGarbage) {
+  const NetworkConfig cfg = table_config(CellType::kLstm, 8, 8);
+  Network net(cfg);
+  std::stringstream buffer("not a weight file at all");
+  EXPECT_DEATH(net.load(buffer), "not a B-Par weight file");
+}
+
+TEST(Workspace, ShapesFollowConfig) {
+  NetworkConfig cfg = table_config(CellType::kLstm, 16, 8);
+  cfg.merge = MergeOp::kConcat;
+  cfg.seq_length = 5;
+  cfg.many_to_many = false;
+  Workspace ws(cfg, 3);
+  EXPECT_EQ(ws.batch(), 3);
+  EXPECT_EQ(ws.tape(0, 0, 0).gates.cols(), 32);  // 4 * hidden
+  EXPECT_EQ(ws.merged(0, 4).cols(), 16);         // concat = 2 * hidden
+  EXPECT_EQ(ws.final_merged.rows(), 3);
+  EXPECT_EQ(ws.num_outputs(), 1);
+  EXPECT_EQ(ws.logits(0).cols(), cfg.num_classes);
+}
+
+TEST(Workspace, ManyToManyAllocatesPerStepOutputs) {
+  NetworkConfig cfg = table_config(CellType::kGru, 16, 8);
+  cfg.seq_length = 5;
+  cfg.many_to_many = true;
+  Workspace ws(cfg, 2);
+  EXPECT_EQ(ws.num_outputs(), 5);
+  EXPECT_EQ(ws.merged(cfg.num_layers - 1, 4).rows(), 2);
+  EXPECT_EQ(ws.final_merged.count(), 0U);  // unused for many-to-many
+}
+
+TEST(Workspace, ZeroBackwardClearsAccumulators) {
+  NetworkConfig cfg = table_config(CellType::kLstm, 8, 8);
+  Workspace ws(cfg, 2);
+  ws.dh(0, 0, 0).at(0, 0) = 5.0F;
+  ws.dmerged(1, 0, 0).at(1, 1) = 3.0F;
+  ws.dfinal.at(0, 0) = 2.0F;
+  ws.zero_backward();
+  EXPECT_EQ(ws.dh(0, 0, 0).at(0, 0), 0.0F);
+  EXPECT_EQ(ws.dmerged(1, 0, 0).at(1, 1), 0.0F);
+  EXPECT_EQ(ws.dfinal.at(0, 0), 0.0F);
+}
+
+TEST(NetworkGrads, AccumulateAndScale) {
+  const NetworkConfig cfg = table_config(CellType::kGru, 8, 8);
+  Network net(cfg);
+  NetworkGrads a;
+  NetworkGrads b;
+  a.init_like(net);
+  b.init_like(net);
+  a.layers[0][0].dw.at(0, 0) = 2.0F;
+  b.layers[0][0].dw.at(0, 0) = 3.0F;
+  a.accumulate(b);
+  EXPECT_EQ(a.layers[0][0].dw.at(0, 0), 5.0F);
+  a.scale(0.5F);
+  EXPECT_EQ(a.layers[0][0].dw.at(0, 0), 2.5F);
+  EXPECT_NEAR(a.l2_norm(), 2.5, 1e-6);
+}
+
+TEST(Flops, FormulasScaleAsExpected) {
+  // LSTM has 4 gates, GRU 3 → 4:3 flop ratio at the same shape.
+  const double lstm = cell_forward_flops(CellType::kLstm, 8, 16, 32);
+  const double gru = cell_forward_flops(CellType::kGru, 8, 16, 32);
+  EXPECT_NEAR(lstm / gru, 4.0 / 3.0, 0.05);
+  // Backward ≈ 2x forward.
+  EXPECT_NEAR(cell_backward_flops(CellType::kLstm, 8, 16, 32) / lstm, 2.0,
+              1e-9);
+  // Training ≈ 3x inference.
+  NetworkConfig cfg = table_config(CellType::kLstm, 64, 128);
+  EXPECT_NEAR(network_training_flops(cfg) / network_inference_flops(cfg), 3.0,
+              1e-9);
+}
+
+TEST(Flops, PaperTaskWorkingSetIsPlausible) {
+  // §IV-B: an LSTM cell task at Seq=100, Batch=128, Input=64, Hidden=512
+  // has a ~4.71 MB working set. Our accounting should be the same order.
+  const std::size_t bytes =
+      cell_working_set_bytes(CellType::kLstm, 128, 64, 512);
+  EXPECT_GT(bytes, 3U << 20);
+  EXPECT_LT(bytes, 8U << 20);
+}
+
+TEST(ConfigValidation, RejectsNonPositiveDimensions) {
+  NetworkConfig cfg = table_config(CellType::kLstm, 8, 8);
+  cfg.hidden_size = 0;
+  EXPECT_DEATH(cfg.validate(), "hidden_size");
+}
+
+}  // namespace
+}  // namespace bpar::rnn

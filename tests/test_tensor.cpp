@@ -1,0 +1,121 @@
+// Tensor container and view tests.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace bpar::tensor {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(m.at(r, c), 0.0F);
+  }
+}
+
+TEST(Matrix, CacheLineAligned) {
+  Matrix m(5, 7);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % kCacheLineBytes, 0U);
+}
+
+TEST(Matrix, CopySemanticsDeep) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0F;
+  Matrix b = a;
+  b.at(0, 0) = 2.0F;
+  EXPECT_EQ(a.at(0, 0), 1.0F);
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(Matrix, MoveTransfersStorage) {
+  Matrix a(2, 2);
+  const float* data = a.data();
+  Matrix b = std::move(a);
+  EXPECT_EQ(b.data(), data);
+}
+
+TEST(Matrix, EmptyMatrixIsSafe) {
+  Matrix m;
+  EXPECT_EQ(m.count(), 0U);
+  EXPECT_EQ(m.data(), nullptr);
+  m.zero();  // no-op, no crash
+}
+
+TEST(Views, BlockAliasesParentStorage) {
+  Matrix m(4, 6);
+  auto block = m.view().block(1, 2, 2, 3);
+  block.at(0, 0) = 42.0F;
+  EXPECT_EQ(m.at(1, 2), 42.0F);
+  EXPECT_EQ(block.ld, 6);
+  EXPECT_FALSE(block.contiguous());
+}
+
+TEST(Views, RowSpan) {
+  Matrix m(2, 3);
+  m.at(1, 2) = 7.0F;
+  const auto row = m.cview().row(1);
+  EXPECT_EQ(row.size(), 3U);
+  EXPECT_EQ(row[2], 7.0F);
+}
+
+TEST(Helpers, FillAndCompare) {
+  util::Rng rng(3);
+  Matrix a(5, 5);
+  fill_uniform(a.view(), rng, 0.5F, 1.5F);
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_GE(a.at(r, c), 0.5F);
+      EXPECT_LT(a.at(r, c), 1.5F);
+    }
+  }
+  Matrix b = a;
+  EXPECT_TRUE(allclose(a.cview(), b.cview()));
+  b.at(2, 2) += 0.1F;
+  EXPECT_FALSE(allclose(a.cview(), b.cview(), 1e-3F, 1e-3F));
+  EXPECT_NEAR(max_abs_diff(a.cview(), b.cview()), 0.1F, 1e-6F);
+}
+
+TEST(Helpers, CopyRespectsStridedViews) {
+  Matrix src(4, 4);
+  util::Rng rng(4);
+  fill_uniform(src.view(), rng, -1.0F, 1.0F);
+  Matrix dst(4, 4);
+  copy(src.cview().block(0, 0, 2, 2), dst.view().block(2, 2, 2, 2));
+  EXPECT_EQ(dst.at(2, 2), src.at(0, 0));
+  EXPECT_EQ(dst.at(3, 3), src.at(1, 1));
+  EXPECT_EQ(dst.at(0, 0), 0.0F);
+}
+
+TEST(Helpers, NormsAndSums) {
+  Matrix m(1, 4);
+  m.at(0, 0) = 3.0F;
+  m.at(0, 1) = 4.0F;
+  EXPECT_NEAR(l2_norm(m.cview()), 5.0, 1e-6);
+  EXPECT_NEAR(sum(m.cview()), 7.0, 1e-6);
+}
+
+TEST(Helpers, AllFiniteDetectsNanAndInf) {
+  Matrix m(2, 2);
+  EXPECT_TRUE(all_finite(m.cview()));
+  m.at(0, 1) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(all_finite(m.cview()));
+  m.at(0, 1) = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(all_finite(m.cview()));
+}
+
+TEST(Helpers, FillConstantAndWeights) {
+  Matrix m(3, 3);
+  fill_constant(m.view(), 2.5F);
+  EXPECT_EQ(sum(m.cview()), 22.5);
+  util::Rng rng(5);
+  fill_weights(m.view(), rng, 0.1F);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_LE(std::abs(m.at(r, c)), 0.1F);
+  }
+}
+
+}  // namespace
+}  // namespace bpar::tensor

@@ -1,0 +1,142 @@
+// Utility tests: deterministic RNG, CLI parsing, table formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace bpar::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(9);
+  std::array<int, 7> counts{};
+  for (int i = 0; i < 7000; ++i) ++counts[rng.uniform_index(7)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 700);   // roughly uniform
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.08);
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfCallOrder) {
+  Rng parent(5);
+  Rng s1 = parent.split(1);
+  Rng s2 = parent.split(2);
+  Rng parent2(5);
+  Rng s2_again = parent2.split(2);
+  EXPECT_EQ(s2.next_u64(), s2_again.next_u64());
+  EXPECT_NE(s1.next_u64(), s2.next_u64());
+}
+
+TEST(ArgParser, ParsesTypesAndDefaults) {
+  ArgParser parser("prog", "test");
+  parser.add_int("cores", 4, "core count");
+  parser.add_double("rate", 0.5, "rate");
+  parser.add_string("name", "x", "name");
+  parser.add_flag("fast", "go fast");
+  const char* argv[] = {"prog", "--cores", "8", "--rate=0.25", "--fast"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_EQ(parser.get_int("cores"), 8);
+  EXPECT_EQ(parser.get_double("rate"), 0.25);
+  EXPECT_EQ(parser.get_string("name"), "x");
+  EXPECT_TRUE(parser.flag("fast"));
+}
+
+TEST(ArgParser, RejectsUnknownOption) {
+  ArgParser parser("prog", "test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_FALSE(parser.parse(3, argv));
+}
+
+TEST(ArgParser, RejectsBadValue) {
+  ArgParser parser("prog", "test");
+  parser.add_int("n", 1, "n");
+  const char* argv[] = {"prog", "--n", "abc"};
+  EXPECT_FALSE(parser.parse(3, argv));
+}
+
+TEST(ArgParser, CollectsPositional) {
+  ArgParser parser("prog", "test");
+  const char* argv[] = {"prog", "hello", "world"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  ASSERT_EQ(parser.positional().size(), 2U);
+  EXPECT_EQ(parser.positional()[0], "hello");
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_ms(1770.757), "1,770.76");
+  EXPECT_EQ(fmt_ms(12.3), "12.30");
+  EXPECT_EQ(fmt_ms(1234567.89), "1,234,567.89");
+  EXPECT_EQ(fmt_speedup(2.345), "2.35x");
+  EXPECT_EQ(fmt_params(6.3e6), "6.3M");
+  EXPECT_EQ(fmt_params(4500), "4.5K");
+  EXPECT_EQ(fmt_params(12), "12");
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({"1", "hello, world"});
+  t.add_row({"2", "quote\"inside"});
+  const std::string path = ::testing::TempDir() + "/bpar_table.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"hello, world\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,\"quote\"\"inside\"");
+}
+
+}  // namespace
+}  // namespace bpar::util

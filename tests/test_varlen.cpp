@@ -1,0 +1,141 @@
+// Variable sequence lengths between batches (paper §III-B: "For variable
+// sequence length in between batches, B-Par adjusts the computation graph
+// dynamically on run-time"). One BParExecutor must handle batches of
+// different lengths, caching one graph per length, with results matching a
+// dedicated fixed-length reference.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exec/bpar_executor.hpp"
+#include "exec/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace bpar {
+namespace {
+
+using rnn::BatchData;
+using rnn::NetworkConfig;
+
+NetworkConfig base_config() {
+  NetworkConfig cfg;
+  cfg.cell = rnn::CellType::kLstm;
+  cfg.input_size = 5;
+  cfg.hidden_size = 7;
+  cfg.num_layers = 2;
+  cfg.seq_length = 4;  // default length; batches may deviate
+  cfg.batch_size = 6;
+  cfg.num_classes = 4;
+  cfg.seed = 77;
+  return cfg;
+}
+
+BatchData make_batch(const NetworkConfig& cfg, int steps,
+                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  BatchData batch;
+  batch.x.resize(static_cast<std::size_t>(steps));
+  for (auto& m : batch.x) {
+    m.resize(cfg.batch_size, cfg.input_size);
+    tensor::fill_uniform(m.view(), rng, -1.0F, 1.0F);
+  }
+  const int labels =
+      cfg.many_to_many ? steps * cfg.batch_size : cfg.batch_size;
+  batch.labels.resize(static_cast<std::size_t>(labels));
+  for (auto& l : batch.labels) {
+    l = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(cfg.num_classes)));
+  }
+  return batch;
+}
+
+// Reference executor for an arbitrary length: a fresh network with the
+// length baked into the config, loaded with the same weights.
+double reference_loss(const rnn::Network& net, const BatchData& batch,
+                      rnn::NetworkGrads* grads_out) {
+  NetworkConfig cfg = net.config();
+  cfg.seq_length = batch.steps();
+  rnn::Network ref_net(cfg);
+  std::stringstream weights;
+  net.save(weights);
+  ref_net.load(weights);
+  exec::SequentialExecutor ref(ref_net);
+  const double loss = ref.train_batch(batch).loss;
+  if (grads_out != nullptr) {
+    grads_out->init_like(ref_net);
+    grads_out->zero();
+    grads_out->accumulate(ref.grads());
+  }
+  return loss;
+}
+
+TEST(VariableLength, TrainAcceptsMultipleLengths) {
+  const NetworkConfig cfg = base_config();
+  rnn::Network net(cfg);
+  exec::BParExecutor bpar(net, {.num_workers = 4, .num_replicas = 2});
+
+  for (const int steps : {4, 7, 2, 4, 9}) {
+    const BatchData batch = make_batch(cfg, steps, 100 + steps);
+    rnn::NetworkGrads ref_grads;
+    const double ref_loss = reference_loss(net, batch, &ref_grads);
+    const double loss = bpar.train_batch(batch).loss;
+    EXPECT_NEAR(loss, ref_loss, 1e-5 + 1e-4 * std::abs(ref_loss))
+        << "steps=" << steps;
+    EXPECT_NEAR(bpar.grads().l2_norm(), ref_grads.l2_norm(),
+                1e-4 * ref_grads.l2_norm() + 1e-6)
+        << "steps=" << steps;
+  }
+  // 4 distinct lengths → 4 cached training graphs (length 4 reused).
+  EXPECT_EQ(bpar.cached_programs(/*training=*/true), 4U);
+}
+
+TEST(VariableLength, InferCachesPerLengthToo) {
+  const NetworkConfig cfg = base_config();
+  rnn::Network net(cfg);
+  exec::BParExecutor bpar(net, {.num_workers = 2});
+  for (const int steps : {3, 5, 3}) {
+    const BatchData batch = make_batch(cfg, steps, 200 + steps);
+    const double loss = bpar.infer_batch(batch, {}).loss;
+    EXPECT_GT(loss, 0.0);
+  }
+  EXPECT_EQ(bpar.cached_programs(/*training=*/false), 2U);
+  EXPECT_EQ(bpar.cached_programs(/*training=*/true), 0U);
+}
+
+TEST(VariableLength, ManyToManyLabelsScaleWithLength) {
+  NetworkConfig cfg = base_config();
+  cfg.many_to_many = true;
+  rnn::Network net(cfg);
+  exec::BParExecutor bpar(net, {.num_workers = 3, .num_replicas = 3});
+  for (const int steps : {2, 6}) {
+    const BatchData batch = make_batch(cfg, steps, 300 + steps);
+    const double ref_loss = reference_loss(net, batch, nullptr);
+    EXPECT_NEAR(bpar.train_batch(batch).loss, ref_loss,
+                1e-5 + 1e-4 * std::abs(ref_loss))
+        << "steps=" << steps;
+  }
+}
+
+TEST(VariableLength, GraphSizesScaleWithLength) {
+  const NetworkConfig cfg = base_config();
+  rnn::Network net(cfg);
+  exec::BParExecutor bpar(net, {.num_workers = 1});
+  const std::size_t small = bpar.train_program(2).graph().size();
+  const std::size_t large = bpar.train_program(8).graph().size();
+  EXPECT_GT(large, 3 * small / 2);
+  EXPECT_EQ(bpar.train_program(2).config().seq_length, 2);
+  EXPECT_EQ(bpar.train_program(8).config().seq_length, 8);
+}
+
+TEST(VariableLength, SequenceLengthOneWorks) {
+  const NetworkConfig cfg = base_config();
+  rnn::Network net(cfg);
+  exec::BParExecutor bpar(net, {.num_workers = 2, .num_replicas = 2});
+  const BatchData batch = make_batch(cfg, 1, 999);
+  const double ref_loss = reference_loss(net, batch, nullptr);
+  EXPECT_NEAR(bpar.train_batch(batch).loss, ref_loss,
+              1e-5 + 1e-4 * std::abs(ref_loss));
+}
+
+}  // namespace
+}  // namespace bpar
