@@ -54,7 +54,30 @@ void BM_RuntimeEmptyTasks(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 1000);
 }
-BENCHMARK(BM_RuntimeEmptyTasks)->Arg(1)->Arg(4);
+BENCHMARK(BM_RuntimeEmptyTasks)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+// Per-task dispatch overhead with every worker contending for the
+// scheduler: tiny independent tasks submitted dynamically. This is the
+// quantity the Fig. 4 core-scaling claim rests on.
+void BM_DispatchOverheadDynamic(benchmark::State& state) {
+  const auto workers = static_cast<int>(state.range(0));
+  Runtime rt({.num_workers = workers,
+              .policy = SchedulerPolicy::kLocalityAware});
+  constexpr int kTasks = 2000;
+  for (auto _ : state) {
+    bpar::taskrt::TaskGraph g;
+    rt.begin(g);
+    for (int i = 0; i < kTasks; ++i) {
+      rt.submit([] {
+        volatile int spin = 0;
+        for (int j = 0; j < 64; ++j) spin = spin + j;
+      });
+    }
+    rt.end();
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_DispatchOverheadDynamic)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_RuntimeChainLatency(benchmark::State& state) {
   Runtime rt({.num_workers = 2,

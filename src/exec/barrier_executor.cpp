@@ -18,7 +18,8 @@ BarrierExecutor::BarrierExecutor(rnn::Network& net, BarrierOptions options)
       options_(options),
       runtime_({.num_workers = options.num_workers,
                 .policy = taskrt::SchedulerPolicy::kFifo,
-                .record_trace = false}) {
+                .record_trace = false,
+                .pin_threads = options.pin_threads}) {
   ws_ = std::make_unique<rnn::Workspace>(net_.config(),
                                          net_.config().batch_size);
   grads_.init_like(net_);

@@ -18,6 +18,7 @@ struct BarrierOptions {
   int num_workers = 0;
   /// Minimum batch rows per intra-op chunk.
   int row_grain = 8;
+  bool pin_threads = false;  // pin workers to the allowed cpuset (Linux)
 };
 
 class BarrierExecutor final : public Executor {

@@ -12,6 +12,7 @@ taskrt::RuntimeOptions runtime_options(const BParOptions& options) {
   ro.num_workers = options.num_workers;
   ro.policy = options.policy;
   ro.record_trace = options.record_trace;
+  ro.pin_threads = options.pin_threads;
   return ro;
 }
 }  // namespace

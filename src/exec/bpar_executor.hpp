@@ -23,6 +23,7 @@ struct BParOptions {
   taskrt::SchedulerPolicy policy = taskrt::SchedulerPolicy::kLocalityAware;
   int num_replicas = 1;  // mbs:N
   bool record_trace = false;
+  bool pin_threads = false;  // pin workers to the allowed cpuset (Linux)
   bool fuse_merge = false;  // ablation knob (see DESIGN.md §5.1)
   bool compute_input_grads = false;  // also produce per-timestep dL/dx
 };

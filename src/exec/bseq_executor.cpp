@@ -12,7 +12,8 @@ BSeqExecutor::BSeqExecutor(rnn::Network& net, BSeqOptions options)
       options_(options),
       runtime_({.num_workers = options.num_workers,
                 .policy = taskrt::SchedulerPolicy::kFifo,
-                .record_trace = false}) {
+                .record_trace = false,
+                .pin_threads = options.pin_threads}) {
   const auto& cfg = net_.config();
   BPAR_CHECK(options_.num_replicas >= 1 &&
                  options_.num_replicas <= cfg.batch_size,

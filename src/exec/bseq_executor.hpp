@@ -16,6 +16,7 @@ namespace bpar::exec {
 struct BSeqOptions {
   int num_workers = 0;
   int num_replicas = 1;
+  bool pin_threads = false;  // pin workers to the allowed cpuset (Linux)
 };
 
 class BSeqExecutor final : public Executor {

@@ -12,6 +12,12 @@
 
 namespace bpar::taskrt {
 
+using sync::mo_acq_rel;
+using sync::mo_acquire;
+using sync::mo_relaxed;
+using sync::mo_release;
+using sync::mo_seq_cst;
+
 const char* scheduler_policy_name(SchedulerPolicy policy) {
   switch (policy) {
     case SchedulerPolicy::kFifo:
@@ -40,20 +46,44 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
                      ? options_.num_workers
                      : static_cast<int>(std::thread::hardware_concurrency());
   if (num_workers_ <= 0) num_workers_ = 1;
-  local_queues_.resize(static_cast<std::size_t>(num_workers_));
-  worker_busy_ns_.resize(static_cast<std::size_t>(num_workers_));
-  workers_.reserve(static_cast<std::size_t>(num_workers_));
-  for (int w = 0; w < num_workers_; ++w) {
-    workers_.emplace_back([this, w] { worker_loop(w); });
+  steal_min_keep_ =
+      options_.policy == SchedulerPolicy::kLocalityAware ? 1 : 0;
+  state_chunks_.reset(new std::atomic<TaskState*>[kMaxStateChunks]);
+  for (std::size_t c = 0; c < kMaxStateChunks; ++c) {
+    state_chunks_[c].store(nullptr, std::memory_order_relaxed);
+  }
+  workers_ = std::make_unique<Worker[]>(static_cast<std::size_t>(num_workers_));
+
 #if defined(__linux__)
-    if (options_.pin_threads) {
+  // Pin onto the CPUs this process is actually allowed to run on (the
+  // container/cgroup cpuset), not onto raw 0..hardware_concurrency-1 —
+  // those ids can lie outside the allowed mask and the pin would either
+  // fail or strand a worker.
+  std::vector<int> allowed_cpus;
+  if (options_.pin_threads) {
+    cpu_set_t process_mask;
+    CPU_ZERO(&process_mask);
+    if (sched_getaffinity(0, sizeof process_mask, &process_mask) == 0) {
+      for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+        if (CPU_ISSET(cpu, &process_mask)) allowed_cpus.push_back(cpu);
+      }
+    }
+  }
+#endif
+
+  threads_.reserve(static_cast<std::size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+#if defined(__linux__)
+    if (!allowed_cpus.empty()) {
       cpu_set_t set;
       CPU_ZERO(&set);
-      CPU_SET(static_cast<std::size_t>(w) %
-                  std::max(1U, std::thread::hardware_concurrency()),
+      CPU_SET(static_cast<std::size_t>(
+                  allowed_cpus[static_cast<std::size_t>(w) %
+                               allowed_cpus.size()]),
               &set);
-      // Best effort: pinning may be forbidden in containers.
-      pthread_setaffinity_np(workers_.back().native_handle(), sizeof set,
+      // Best effort: pinning may still be forbidden.
+      pthread_setaffinity_np(threads_.back().native_handle(), sizeof set,
                              &set);
     }
 #endif
@@ -61,12 +91,16 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
 }
 
 Runtime::~Runtime() {
+  shutdown_.store(true, mo_seq_cst);
   {
-    const std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
+    const std::lock_guard<std::mutex> guard(park_mu_);
+    park_epoch_.fetch_add(1, mo_release);
   }
-  work_cv_.notify_all();
-  for (auto& t : workers_) t.join();
+  park_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  for (std::size_t c = 0; c < kMaxStateChunks; ++c) {
+    delete[] state_chunks_[c].load(std::memory_order_relaxed);
+  }
 }
 
 std::uint64_t Runtime::now_ns() const {
@@ -76,96 +110,138 @@ std::uint64_t Runtime::now_ns() const {
           .count());
 }
 
+Runtime::TaskState& Runtime::init_state(TaskId id) {
+  const std::size_t chunk = id >> kStateChunkBits;
+  BPAR_CHECK(chunk < kMaxStateChunks, "session exceeds ",
+             kMaxStateChunks * kStateChunkSize, " tasks");
+  TaskState* base = state_chunks_[chunk].load(mo_relaxed);
+  if (base == nullptr) {
+    base = new TaskState[kStateChunkSize];
+    state_chunks_[chunk].store(base, mo_release);
+  }
+  TaskState& st = base[id & (kStateChunkSize - 1)];
+  const Task& task = graph_->task(id);
+  st.pending.store(0, mo_relaxed);
+  st.preferred.store(-1, mo_relaxed);
+  st.completed = false;
+  st.task = &task;
+  st.affinity = task.affinity_pred;
+  st.duration_ns = 0;
+  st.trace = {};
+  return st;
+}
+
 void Runtime::begin(TaskGraph& graph) {
-  std::unique_lock<std::mutex> lock(mu_);
+  const std::lock_guard<std::mutex> lock(mu_);
   BPAR_CHECK(!session_active_, "Runtime session already active");
   graph_ = &graph;
-  pending_.clear();
-  completed_.clear();
-  preferred_.clear();
-  durations_.clear();
-  traces_.clear();
-  global_queue_.clear();
-  for (auto& q : local_queues_) q.clear();
-  executed_ = 0;
-  submitted_ = 0;
-  active_ = 0;
-  max_active_ = 0;
-  locality_hits_ = 0;
+  // Quiescent point: the previous session drained every queue, so the
+  // FIFO's consumed segments can be freed without a reclamation protocol.
+  ready_fifo_.reclaim_consumed();
+  executed_.store(0, mo_relaxed);
+  submitted_.store(graph.size(), mo_relaxed);
+  active_.store(0, mo_relaxed);
+  max_active_.store(0, mo_relaxed);
+  locality_hits_.store(0, mo_relaxed);
   tasks_with_affinity_ = 0;
-  std::fill(worker_busy_ns_.begin(), worker_busy_ns_.end(), 0);
+  for (int w = 0; w < num_workers_; ++w) workers_[w].busy_ns = 0;
   first_error_ = nullptr;
   session_start_ = std::chrono::steady_clock::now();
   session_active_ = true;
 
-  // Tasks already present in the graph are published immediately. Their
-  // dependency counts come straight from the graph (nothing has run yet).
+  // Tasks already present in the graph are published in two phases: every
+  // task needs its state in place before any root can run and decrement a
+  // successor's dependency counter.
   for (TaskId id = 0; id < graph.size(); ++id) {
-    const Task& t = graph.task(id);
-    pending_.push_back(t.num_deps);
-    completed_.push_back(false);
-    preferred_.push_back(-1);
-    durations_.push_back(0);
-    if (options_.record_trace) traces_.push_back({});
-    if (t.affinity_pred != kInvalidTask) ++tasks_with_affinity_;
-    ++submitted_;
-    if (t.num_deps == 0) enqueue_ready(id);
+    TaskState& st = init_state(id);
+    st.pending.store(st.task->num_deps, mo_relaxed);
+    if (st.affinity != kInvalidTask) ++tasks_with_affinity_;
   }
-  lock.unlock();
-  work_cv_.notify_all();
+  // Readiness must come from the graph's static num_deps: once the first
+  // root is enqueued, workers run and decrement live counters concurrently
+  // with this scan, and a task whose last predecessor finishes mid-scan
+  // would otherwise be enqueued twice (once by the worker, once here).
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    if (graph.task(id).num_deps == 0) enqueue_ready(id, -1);
+  }
 }
 
 TaskId Runtime::submit(std::function<void()> fn,
                        std::span<const Access> accesses, TaskSpec spec) {
   std::unique_lock<std::mutex> lock(mu_);
   BPAR_CHECK(session_active_, "submit() outside a session");
-  const TaskId id =
-      graph_->add(std::move(fn), accesses, std::move(spec), &scratch_preds_);
+  const TaskId id = graph_->add_unlinked(std::move(fn), accesses,
+                                         std::move(spec), &scratch_preds_);
   publish(id, scratch_preds_);
   lock.unlock();
-  work_cv_.notify_all();
+  release_publish_bias(id);
   return id;
 }
 
-void Runtime::publish(TaskId id, const std::vector<TaskId>& preds) {
-  // Count only predecessors that have not yet completed; completed ones
-  // will never decrement us.
-  std::uint32_t unmet = 0;
+Runtime::TaskState& Runtime::publish(TaskId id,
+                                     const std::vector<TaskId>& preds) {
+  TaskState& st = init_state(id);
+  // Bias the dependency counter by one so it cannot reach zero (and the
+  // task cannot be enqueued) until release_publish_bias(); predecessors
+  // may complete and decrement concurrently while we are still linking.
+  st.pending.store(1, mo_relaxed);
+  if (st.affinity != kInvalidTask) ++tasks_with_affinity_;
   for (const TaskId pred : preds) {
-    if (!completed_[pred]) ++unmet;
+    // Count the dependency before the edge becomes visible, so a
+    // predecessor finishing right now cannot decrement below the bias.
+    st.pending.fetch_add(1, mo_relaxed);
+    TaskState& ps = state(pred);
+    bool will_notify;
+    {
+      const sync::SpinGuard guard(ps.succ_lock);
+      graph_->link(pred, id);
+      will_notify = !ps.completed;
+    }
+    if (!will_notify) st.pending.fetch_sub(1, mo_relaxed);
   }
-  pending_.push_back(unmet);
-  completed_.push_back(false);
-  preferred_.push_back(-1);
-  durations_.push_back(0);
-  if (options_.record_trace) traces_.push_back({});
-  if (graph_->task(id).affinity_pred != kInvalidTask) {
-    ++tasks_with_affinity_;
+  submitted_.store(submitted_.load(mo_relaxed) + 1, mo_release);
+  return st;
+}
+
+void Runtime::release_publish_bias(TaskId id) {
+  if (state(id).pending.fetch_sub(1, mo_acq_rel) == 1) {
+    enqueue_ready(id, -1);
   }
-  ++submitted_;
-  if (unmet == 0) enqueue_ready(id);
 }
 
 void Runtime::taskwait() {
   std::unique_lock<std::mutex> lock(mu_);
   BPAR_CHECK(session_active_, "taskwait() outside a session");
-  done_cv_.wait(lock, [this] { return executed_ == submitted_; });
+  done_cv_.wait(lock, [this] {
+    return executed_.load(std::memory_order_acquire) ==
+           submitted_.load(mo_relaxed);
+  });
 }
 
 RunStats Runtime::end() {
   std::unique_lock<std::mutex> lock(mu_);
   BPAR_CHECK(session_active_, "end() outside a session");
-  done_cv_.wait(lock, [this] { return executed_ == submitted_; });
+  done_cv_.wait(lock, [this] {
+    return executed_.load(std::memory_order_acquire) ==
+           submitted_.load(mo_relaxed);
+  });
   RunStats stats;
   stats.wall_ns = now_ns();
-  stats.tasks_executed = executed_;
-  stats.max_concurrency = max_active_;
+  const std::size_t total = submitted_.load(mo_relaxed);
+  stats.tasks_executed = total;
+  stats.max_concurrency = max_active_.load(mo_relaxed);
   stats.tasks_with_affinity = tasks_with_affinity_;
-  stats.locality_hits = locality_hits_;
-  stats.task_duration_ns.assign(durations_.begin(), durations_.end());
-  stats.worker_busy_ns = worker_busy_ns_;
-  if (options_.record_trace) {
-    stats.trace.assign(traces_.begin(), traces_.end());
+  stats.locality_hits = locality_hits_.load(mo_relaxed);
+  stats.task_duration_ns.resize(total);
+  if (options_.record_trace) stats.trace.resize(total);
+  for (TaskId id = 0; id < total; ++id) {
+    const TaskState& st = state(id);
+    stats.task_duration_ns[id] = st.duration_ns;
+    if (options_.record_trace) stats.trace[id] = st.trace;
+  }
+  stats.worker_busy_ns.resize(static_cast<std::size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    stats.worker_busy_ns[static_cast<std::size_t>(w)] = workers_[w].busy_ns;
   }
   session_active_ = false;
   graph_ = nullptr;
@@ -191,106 +267,156 @@ void Runtime::parallel_for(
     const std::int64_t hi = std::min(end_index, lo + grain);
     TaskSpec spec;
     spec.kind = TaskKind::kGemmChunk;
-    // Chunks are independent: give each a distinct output address.
-    submit([fn, lo, hi] { fn(lo, hi); },
-           {out(reinterpret_cast<const void*>(lo + 1))}, std::move(spec));
+    submit([fn, lo, hi] { fn(lo, hi); }, std::move(spec));
   }
   end();
 }
 
 void Runtime::worker_loop(int worker_id) {
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    const TaskId id = next_task(worker_id, lock);
-    if (shutdown_) return;
-    if (id == kInvalidTask) continue;
-    ++active_;
-    max_active_ = std::max(max_active_, active_);
+    const TaskId id = next_task(worker_id);
+    if (id == kInvalidTask) return;  // shutdown
+    execute_task(id, worker_id);
+  }
+}
+
+void Runtime::execute_task(TaskId id, int worker_id) {
+  TaskState& st = state(id);
+  Worker& self = workers_[worker_id];
+  if (options_.policy == SchedulerPolicy::kLocalityAware &&
+      st.preferred.load(mo_relaxed) == worker_id) {
+    locality_hits_.fetch_add(1, mo_relaxed);
+  }
+  const std::int32_t concurrent = active_.fetch_add(1, mo_relaxed) + 1;
+  std::int32_t seen_max = max_active_.load(mo_relaxed);
+  while (seen_max < concurrent &&
+         !max_active_.compare_exchange_weak(seen_max, concurrent,
+                                            mo_relaxed)) {
+  }
+  const std::uint64_t start = now_ns();
+  try {
+    st.task->fn();
+  } catch (...) {
+    const std::lock_guard<std::mutex> guard(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  // Sample the finish time before any scheduler bookkeeping: durations and
+  // busy time cover the task body only, so parallel_efficiency() does not
+  // absorb scheduler overhead or (formerly) mutex wait.
+  const std::uint64_t finish = now_ns();
+  active_.fetch_sub(1, mo_relaxed);
+  st.duration_ns = finish - start;
+  self.busy_ns += finish - start;
+  if (options_.record_trace) st.trace = {start, finish, worker_id};
+
+  // Completion snapshot: after `completed` flips under the lock, submit()
+  // counts any new edge to this task as already satisfied, so exactly the
+  // successors captured here are the ones we must notify.
+  self.succ_scratch.clear();
+  {
+    const sync::SpinGuard guard(st.succ_lock);
+    st.completed = true;
+    const auto& succs = st.task->successors;
+    self.succ_scratch.assign(succs.begin(), succs.end());
+  }
+  for (const TaskId succ : self.succ_scratch) {
+    TaskState& succ_state = state(succ);
     if (options_.policy == SchedulerPolicy::kLocalityAware &&
-        preferred_[id] == worker_id) {
-      ++locality_hits_;
+        succ_state.affinity == id) {
+      succ_state.preferred.store(worker_id, mo_relaxed);
     }
-    // The Task element is stable (deque storage); the function can be
-    // invoked outside the lock.
-    const Task* task = &graph_->task(id);
-    const std::uint64_t start = now_ns();
-    lock.unlock();
-    try {
-      task->fn();
-    } catch (...) {
-      const std::lock_guard<std::mutex> guard(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
+    BPAR_DCHECK(succ_state.pending.load(mo_relaxed) > 0);
+    if (succ_state.pending.fetch_sub(1, mo_acq_rel) == 1) {
+      enqueue_ready(succ, worker_id);
     }
-    lock.lock();
-    const std::uint64_t finish = now_ns();
-    durations_[id] = finish - start;
-    worker_busy_ns_[static_cast<std::size_t>(worker_id)] += finish - start;
-    if (options_.record_trace) {
-      traces_[id] = {start, finish, worker_id};
-    }
-    --active_;
-    completed_[id] = true;
-    ++executed_;
-    for (const TaskId succ : task->successors) {
-      if (options_.policy == SchedulerPolicy::kLocalityAware &&
-          graph_->task(succ).affinity_pred == id) {
-        preferred_[succ] = worker_id;
-      }
-      BPAR_DCHECK(pending_[succ] > 0);
-      if (--pending_[succ] == 0) enqueue_ready(succ);
-    }
-    if (executed_ == submitted_) done_cv_.notify_all();
+  }
+  const std::size_t done =
+      executed_.fetch_add(1, std::memory_order_release) + 1;
+  if (done == submitted_.load(std::memory_order_acquire)) {
+    // Lock/unlock pairs with the waiter's predicate check under mu_ so the
+    // notify cannot slip between its check and its wait.
+    { const std::lock_guard<std::mutex> guard(mu_); }
+    done_cv_.notify_all();
   }
 }
 
-TaskId Runtime::next_task(int worker_id, std::unique_lock<std::mutex>& lock) {
+TaskId Runtime::next_task(int worker_id) {
+  Worker& self = workers_[worker_id];
+  int failures = 0;
   for (;;) {
-    if (shutdown_) return kInvalidTask;
-    if (session_active_) {
-      auto& local = local_queues_[static_cast<std::size_t>(worker_id)];
-      if (!local.empty()) {
-        const TaskId id = local.front();
-        local.pop_front();
-        return id;
-      }
-      if (!global_queue_.empty()) {
-        const TaskId id = global_queue_.front();
-        global_queue_.pop_front();
-        return id;
-      }
-      // Steal from the longest sibling queue, but leave a lone entry for
-      // its owner: locality-aware scheduling keeps a ready consumer on the
-      // core holding its producer's data even if that core is still busy.
-      std::size_t victim = local_queues_.size();
-      std::size_t best_len = 1;
-      for (std::size_t w = 0; w < local_queues_.size(); ++w) {
-        if (static_cast<int>(w) == worker_id) continue;
-        if (local_queues_[w].size() > best_len) {
-          best_len = local_queues_[w].size();
-          victim = w;
-        }
-      }
-      if (victim != local_queues_.size()) {
-        const TaskId id = local_queues_[victim].front();
-        local_queues_[victim].pop_front();
-        return id;
-      }
+    if (shutdown_.load(mo_acquire)) return kInvalidTask;
+    if (!self.deque.empty_approx()) {
+      if (const TaskId id = self.deque.pop(); id != kInvalidTask) return id;
     }
-    work_cv_.wait(lock);
+    if (const TaskId id = ready_fifo_.try_dequeue(); id != kInvalidTask) {
+      return id;
+    }
+    for (int i = 1; i < num_workers_; ++i) {
+      int victim = worker_id + i;
+      if (victim >= num_workers_) victim -= num_workers_;
+      const TaskId id = workers_[victim].deque.steal(steal_min_keep_);
+      if (id != kInvalidTask) return id;
+    }
+    ++failures;
+    if (failures <= 2) continue;  // immediate re-sweep
+    if (failures <= 5) {
+      std::this_thread::yield();
+      continue;
+    }
+    failures = 0;
+    // Park. The seq_cst sleeper registration pairs with the fence in
+    // notify_workers(): a producer either observes us sleeping (and
+    // notifies) or we observe its enqueue in the re-check below.
+    const std::uint64_t ticket = park_epoch_.load(mo_acquire);
+    sleepers_.fetch_add(1, mo_seq_cst);
+    if (has_visible_work(worker_id) || shutdown_.load(mo_relaxed)) {
+      sleepers_.fetch_sub(1, mo_relaxed);
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lock(park_mu_);
+      park_cv_.wait(lock, [&] {
+        return park_epoch_.load(mo_relaxed) != ticket ||
+               shutdown_.load(mo_relaxed);
+      });
+    }
+    sleepers_.fetch_sub(1, mo_relaxed);
   }
 }
 
-void Runtime::enqueue_ready(TaskId id) {
-  if (options_.policy == SchedulerPolicy::kLocalityAware) {
-    const std::int32_t pref = preferred_[id];
-    if (pref >= 0) {
-      local_queues_[static_cast<std::size_t>(pref)].push_back(id);
-      work_cv_.notify_all();
-      return;
-    }
+bool Runtime::has_visible_work(int worker_id) const {
+  if (!ready_fifo_.empty_approx()) return true;
+  for (int v = 0; v < num_workers_; ++v) {
+    // A sibling's reserved last entry is not stealable work; our own deque
+    // is checked without the reservation (we could pop it).
+    const int keep = v == worker_id ? 0 : steal_min_keep_;
+    if (workers_[v].deque.stealable(keep)) return true;
   }
-  global_queue_.push_back(id);
-  work_cv_.notify_all();
+  return false;
+}
+
+void Runtime::enqueue_ready(TaskId id, int from_worker) {
+  if (options_.policy == SchedulerPolicy::kLocalityAware &&
+      from_worker >= 0 &&
+      state(id).preferred.load(mo_relaxed) == from_worker) {
+    // Producer-consumer locality: the consumer joins the producing
+    // worker's own deque (owner push), where LIFO pop runs it while its
+    // input is still cache-hot.
+    workers_[from_worker].deque.push(id);
+  } else {
+    ready_fifo_.enqueue(id);
+  }
+  notify_workers();
+}
+
+void Runtime::notify_workers() {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (sleepers_.load(mo_relaxed) == 0) return;
+  {
+    const std::lock_guard<std::mutex> guard(park_mu_);
+    park_epoch_.fetch_add(1, mo_release);
+  }
+  park_cv_.notify_one();
 }
 
 }  // namespace bpar::taskrt

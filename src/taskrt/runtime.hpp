@@ -1,6 +1,6 @@
 // Threaded execution of a TaskGraph — the run-time system software of the
-// paper's §III-B: a worker pool consuming a ready queue of tasks whose
-// dependencies are fulfilled.
+// paper's §III-B: a worker pool consuming ready tasks whose dependencies
+// are fulfilled.
 //
 // Two execution modes:
 //  * run(graph)   — execute a fully built graph (blocking);
@@ -14,10 +14,21 @@
 //  * kFifo — a single global FIFO ready queue ("breadth-first"), no
 //    locality: any idle worker takes the oldest ready task.
 //  * kLocalityAware — when a task completes, ready successors whose primary
-//    input was produced by that task are enqueued on the producing worker's
-//    local queue, so consumers run where their data is cache-hot; idle
-//    workers fall back to the global queue, then steal (never a queue's
-//    last entry — that one stays reserved for its cache-hot owner).
+//    input was produced by that task are pushed onto the producing worker's
+//    own deque, so consumers run where their data is cache-hot; idle
+//    workers fall back to the global queue, then steal from the *cold* top
+//    end of sibling deques (never a deque's last entry — that one stays
+//    reserved for its cache-hot owner).
+//
+// The dispatch hot path is lock-free in steady state (see DESIGN.md
+// §task-runtime): per-worker Chase-Lev deques (owner pushes/pops bottom,
+// thieves steal top), a lock-free segmented MPMC FIFO for the global
+// queue, atomic per-task dependency counters, and atomic
+// executed/submitted counters for taskwait()/end(). Idle workers park on a
+// condition variable only after repeated failed steal sweeps; producers
+// wake them only when sleepers are registered. The global mutex `mu_` is
+// taken only for begin()/submit() graph mutation, error capture, and
+// taskwait()/end() blocking.
 //
 // Workers are persistent across runs. Tasks may throw: the first exception
 // is captured and rethrown from run()/end() after the graph drains.
@@ -27,13 +38,15 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "taskrt/ready_fifo.hpp"
 #include "taskrt/task_graph.hpp"
+#include "taskrt/work_steal_deque.hpp"
 
 namespace bpar::taskrt {
 
@@ -100,6 +113,13 @@ class Runtime {
                   std::span<const Access>(accesses.begin(), accesses.size()),
                   std::move(spec));
   }
+  /// First-class independent task: no accesses, so no dependency on any
+  /// other task and no traffic through the address table — in particular
+  /// no synthetic addresses that could alias a caller's real buffers.
+  /// Ready immediately.
+  TaskId submit(std::function<void()> fn, TaskSpec spec = {}) {
+    return submit(std::move(fn), std::span<const Access>{}, std::move(spec));
+  }
   /// Blocks until every task submitted so far has executed (OmpSs
   /// `taskwait`). More submissions may follow.
   void taskwait();
@@ -109,7 +129,7 @@ class Runtime {
 
   /// Convenience fork-join: fn(i) for i in [begin, end), chunked by grain.
   /// Used by the per-layer-barrier baseline executors for intra-op
-  /// parallelism.
+  /// parallelism. Chunks are independent tasks (no dependency addresses).
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
 
@@ -117,46 +137,86 @@ class Runtime {
   [[nodiscard]] SchedulerPolicy policy() const { return options_.policy; }
 
  private:
+  // Per-task execution state, separate from the graph so a graph can be
+  // re-run. Cache-line sized: adjacent tasks' counters never false-share.
+  struct alignas(64) TaskState {
+    std::atomic<std::uint32_t> pending{0};  // unmet deps (+1 publish bias)
+    std::atomic<std::int32_t> preferred{-1};  // locality hint (worker id)
+    sync::SpinLock succ_lock;  // orders link() vs the completion snapshot
+    bool completed = false;    // guarded by succ_lock
+    const Task* task = nullptr;      // stable (deque storage in TaskGraph)
+    TaskId affinity = kInvalidTask;  // copy of task->affinity_pred
+    std::uint64_t duration_ns = 0;   // written by the executing worker only
+    TaskTrace trace;
+  };
+
+  // Everything one worker touches every task, padded apart from siblings.
+  struct alignas(64) Worker {
+    WorkStealingDeque deque;
+    std::vector<TaskId> succ_scratch;  // completion-snapshot buffer
+    std::uint64_t busy_ns = 0;
+  };
+
+  static constexpr std::size_t kStateChunkBits = 10;  // 1024 states/chunk
+  static constexpr std::size_t kStateChunkSize = std::size_t{1}
+                                                 << kStateChunkBits;
+  static constexpr std::size_t kMaxStateChunks = 4096;  // ~4.2M tasks/session
+
   void worker_loop(int worker_id);
-  /// Pops the next task for `worker_id` per policy; blocks until one is
-  /// available or shutdown. Returns kInvalidTask on spurious wakes.
-  TaskId next_task(int worker_id, std::unique_lock<std::mutex>& lock);
-  void enqueue_ready(TaskId id);
-  /// Publishes task `id` into the session (pending counts, ready queues).
-  /// Caller holds mu_.
-  void publish(TaskId id, const std::vector<TaskId>& preds);
+  /// Finds the next task for `worker_id`: own deque, global FIFO, then a
+  /// steal sweep; parks after repeated failures. kInvalidTask ⇒ shutdown.
+  TaskId next_task(int worker_id);
+  void execute_task(TaskId id, int worker_id);
+  /// Routes a ready task: producer's own deque when the locality hint says
+  /// so (`from_worker` is the enqueuing worker, -1 for the main thread),
+  /// else the global FIFO. Wakes a parked worker if any.
+  void enqueue_ready(TaskId id, int from_worker);
+  /// Publishes task `id` into the session: initializes its TaskState and
+  /// links predecessor edges with the completion-safe protocol. Caller
+  /// holds mu_. Returns the state (pending still holds the publish bias).
+  TaskState& publish(TaskId id, const std::vector<TaskId>& preds);
+  TaskState& init_state(TaskId id);
+  [[nodiscard]] TaskState& state(TaskId id) const {
+    return state_chunks_[id >> kStateChunkBits].load(sync::mo_acquire)
+        [id & (kStateChunkSize - 1)];
+  }
+  /// Drops the publish bias; enqueues the task if it became ready.
+  void release_publish_bias(TaskId id);
+  void notify_workers();
+  [[nodiscard]] bool has_visible_work(int worker_id) const;
   std::uint64_t now_ns() const;
 
   RuntimeOptions options_;
   int num_workers_;
+  int steal_min_keep_;  // 1 under kLocalityAware (reserve the hot entry)
 
+  // --- cold path: session setup, blocking waits, error capture ---
   std::mutex mu_;
-  std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  bool shutdown_ = false;
-
-  // Session state, valid while session_active_. All mutation under mu_.
-  bool session_active_ = false;
-  TaskGraph* graph_ = nullptr;
-  std::deque<std::uint32_t> pending_;      // unmet deps per task
-  std::deque<bool> completed_;             // per task
-  std::deque<std::int32_t> preferred_;     // locality hint per task
-  std::deque<std::uint64_t> durations_;    // per task, ns
-  std::deque<TaskTrace> traces_;           // per task (if record_trace)
-  std::deque<TaskId> global_queue_;
-  std::vector<std::deque<TaskId>> local_queues_;
-  std::size_t executed_ = 0;
-  std::size_t submitted_ = 0;
-  std::int32_t active_ = 0;
-  std::int32_t max_active_ = 0;
-  std::size_t locality_hits_ = 0;
-  std::size_t tasks_with_affinity_ = 0;
-  std::vector<std::uint64_t> worker_busy_ns_;
-  std::exception_ptr first_error_;
+  bool session_active_ = false;  // main thread only
+  TaskGraph* graph_ = nullptr;   // main thread only
+  std::exception_ptr first_error_;  // guarded by mu_
+  std::size_t tasks_with_affinity_ = 0;  // main thread only
   std::chrono::steady_clock::time_point session_start_;
-  std::vector<TaskId> scratch_preds_;
+  std::vector<TaskId> scratch_preds_;  // main thread only
 
-  std::vector<std::thread> workers_;
+  // --- parking lot ---
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<std::uint64_t> park_epoch_{0};
+  std::atomic<std::int32_t> sleepers_{0};
+  std::atomic<bool> shutdown_{false};
+
+  // --- lock-free steady state ---
+  alignas(64) std::atomic<std::size_t> executed_{0};
+  alignas(64) std::atomic<std::size_t> submitted_{0};  // written under mu_
+  alignas(64) std::atomic<std::int32_t> active_{0};
+  std::atomic<std::int32_t> max_active_{0};
+  std::atomic<std::size_t> locality_hits_{0};
+  std::unique_ptr<std::atomic<TaskState*>[]> state_chunks_;
+  ReadyFifo ready_fifo_;
+  std::unique_ptr<Worker[]> workers_;
+  std::vector<std::thread> threads_;
 };
 
 }  // namespace bpar::taskrt

@@ -102,6 +102,22 @@ class TaskGraph {
                std::move(spec), preds_out);
   }
 
+  /// Like add(), but defers edge insertion: dependencies are *resolved*
+  /// (address table updated, `preds_out` filled with the deduplicated
+  /// direct predecessors) without touching any predecessor's successor
+  /// list. The caller then inserts each edge via link(), interleaved with
+  /// whatever synchronization it needs — Runtime uses this to order edge
+  /// appends against concurrent completion snapshots with a per-task lock.
+  /// An empty access list means an independent task: the address table is
+  /// not consulted at all, so synthetic addresses are never needed.
+  TaskId add_unlinked(std::function<void()> fn,
+                      std::span<const Access> accesses, TaskSpec spec,
+                      std::vector<TaskId>* preds_out);
+
+  /// Inserts the edge pred → succ (updates successor list, num_deps and
+  /// edge_count). Pair with add_unlinked(); `pred < succ` required.
+  void link(TaskId pred, TaskId succ);
+
   [[nodiscard]] std::size_t size() const { return tasks_.size(); }
   [[nodiscard]] bool empty() const { return tasks_.empty(); }
   [[nodiscard]] const Task& task(TaskId id) const { return tasks_[id]; }

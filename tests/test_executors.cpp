@@ -145,6 +145,12 @@ TEST_P(ExecutorEquivalence, AllExecutorsMatchSequential) {
     return std::make_unique<BParExecutor>(
         n, exec::BParOptions{.num_workers = 4, .fuse_merge = true});
   });
+  add("bpar_w4_pinned", [](rnn::Network& n) {
+    return std::make_unique<BParExecutor>(
+        n, exec::BParOptions{.num_workers = 4,
+                             .policy = taskrt::SchedulerPolicy::kLocalityAware,
+                             .pin_threads = true});
+  });
   add("barrier_w4", [](rnn::Network& n) {
     return std::make_unique<BarrierExecutor>(
         n, exec::BarrierOptions{.num_workers = 4, .row_grain = 3});

@@ -301,5 +301,146 @@ TEST(TaskKindNames, AllDistinct) {
   EXPECT_STREQ(task_kind_name(TaskKind::kBarrier), "barrier");
 }
 
+// ---- scheduler stress & regression tests -----------------------------------
+
+class RuntimeStress : public ::testing::TestWithParam<int> {};
+
+// Wide diamond DAG: fan-out of kWidth independent tiny tasks between two
+// serialization points, stacked kLayers deep — >10k tasks total. Exercises
+// the steal path, the parking lot, and the dependency counters under the
+// worst task granularity. Each task bumps its own slot so any double or
+// missed execution is caught exactly.
+TEST_P(RuntimeStress, WideDiamondExecutesEveryTaskOnce) {
+  const int workers = GetParam();
+  Runtime rt({.num_workers = workers, .policy = SchedulerPolicy::kLocalityAware});
+  constexpr int kLayers = 26;
+  constexpr int kWidth = 400;
+  constexpr int kTotal = kLayers * (kWidth + 1);  // 10426 tasks
+  TaskGraph g;
+  int gate = 0;
+  std::vector<int> slots(kLayers * kWidth);
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(kTotal));
+  std::size_t id = 0;
+  for (int layer = 0; layer < kLayers; ++layer) {
+    for (int i = 0; i < kWidth; ++i) {
+      int* slot = &slots[static_cast<std::size_t>(layer * kWidth + i)];
+      g.add([&hits, id] { hits[id].fetch_add(1, std::memory_order_relaxed); },
+            {in(&gate), out(slot)});
+      ++id;
+    }
+    // Join + re-fork point: writes the gate all next-layer tasks read.
+    g.add([&hits, id] { hits[id].fetch_add(1, std::memory_order_relaxed); },
+          {inout(&gate)});
+    ++id;
+  }
+  // Repeated runs reuse the same runtime (and its parked workers).
+  for (int rep = 0; rep < 2; ++rep) {
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    const RunStats stats = rt.run(g);
+    EXPECT_EQ(stats.tasks_executed, static_cast<std::size_t>(kTotal));
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, RuntimeStress,
+                         ::testing::Values(2, 4, 8, 16),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+TEST(Runtime, StressExceptionPropagatesOutOfEnd) {
+  Runtime rt({.num_workers = 4});
+  for (int rep = 0; rep < 3; ++rep) {
+    TaskGraph g;
+    rt.begin(g);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 2000; ++i) {
+      if (i == 997) {
+        rt.submit([] { throw std::runtime_error("boom"); });
+      } else {
+        rt.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    }
+    EXPECT_THROW(rt.end(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 1999);  // independent tasks still all ran
+  }
+}
+
+// Satellite regression: a thief stealing from a victim's deque must take the
+// cold (oldest) end, so the victim's freshly-pushed chain successor — the
+// cache-hot task — stays local. Two workers, one 120-link inout chain plus
+// independent filler the second worker can chew on: the chain should stay on
+// its producer's worker almost every hop even with an active thief around.
+TEST(Runtime, LocalityHitsSurviveActiveThief) {
+  Runtime rt({.num_workers = 2, .policy = SchedulerPolicy::kLocalityAware});
+  TaskGraph g;
+  int x = 0;
+  g.add([] {}, {out(&x)});
+  constexpr std::size_t kChain = 120;
+  for (std::size_t i = 0; i < kChain; ++i) {
+    g.add(
+        [] {
+          volatile int spin = 0;
+          for (int j = 0; j < 400; ++j) spin = spin + j;
+        },
+        {inout(&x)});
+  }
+  std::vector<int> filler(256);
+  for (auto& f : filler) {
+    g.add(
+        [] {
+          volatile int spin = 0;
+          for (int j = 0; j < 400; ++j) spin = spin + j;
+        },
+        {out(&f)});
+  }
+  const RunStats stats = rt.run(g);
+  EXPECT_EQ(stats.tasks_with_affinity, kChain);
+  // Steal-from-top plus the owner's min-keep reservation should keep nearly
+  // the whole chain local; the old steal-from-front code collapses this.
+  EXPECT_GE(stats.locality_hits, kChain * 9 / 10);
+}
+
+TEST(Runtime, IndependentSubmitCreatesNoEdgesOrAliases) {
+  Runtime rt({.num_workers = 4});
+  TaskGraph g;
+  rt.begin(g);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    rt.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // One real dependency pair sharing the session: must still link, and the
+  // independent tasks must not have polluted the address table around it.
+  int x = 0;
+  rt.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); },
+            {out(&x)});
+  rt.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); },
+            {in(&x)});
+  rt.end();
+  EXPECT_EQ(ran.load(), 66);
+  EXPECT_EQ(g.edge_count(), 1U);
+  for (TaskId id = 0; id < 64U; ++id) {
+    EXPECT_EQ(g.task(id).num_deps, 0U);
+    EXPECT_TRUE(g.task(id).successors.empty());
+  }
+}
+
+TEST(Runtime, PinnedThreadsExecuteNormally) {
+  // Pinning is best-effort: on any host this must not change semantics.
+  Runtime rt({.num_workers = 4,
+              .policy = SchedulerPolicy::kLocalityAware,
+              .pin_threads = true});
+  TaskGraph g;
+  std::atomic<int> count{0};
+  std::vector<int> slots(100);
+  for (auto& s : slots) {
+    g.add([&count] { count.fetch_add(1, std::memory_order_relaxed); },
+          {out(&s)});
+  }
+  const RunStats stats = rt.run(g);
+  EXPECT_EQ(stats.tasks_executed, 100U);
+  EXPECT_EQ(count.load(), 100);
+}
+
 }  // namespace
 }  // namespace bpar::taskrt
