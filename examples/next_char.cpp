@@ -3,12 +3,19 @@
 // After training, generates a text sample with a batch-1 copy of the model.
 //
 //   ./next_char [--epochs N] [--workers N] [--hidden N] [--generate N]
+//
+// Resilience knobs: --watchdog-ms arms the runtime watchdog, --faults
+// injects deterministic faults (see taskrt/fault.hpp for the spec syntax),
+// --checkpoint-every / --keep-checkpoints rotate crash-safe checkpoints,
+// and --max-retries bounds per-batch recovery attempts.
 #include <cstdio>
 #include <sstream>
 
 #include "core/bpar.hpp"
+#include "core/checkpoint.hpp"
 #include "data/wikipedia.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 
 namespace {
 
@@ -61,6 +68,12 @@ int main(int argc, char** argv) {
   args.add_int("layers", 2, "BGRU layers");
   args.add_int("batches", 8, "training batches per epoch");
   args.add_int("generate", 120, "characters to generate after training");
+  args.add_int("watchdog-ms", 0, "runtime no-progress deadline (0 = off)");
+  args.add_string("faults", "", "fault-injection spec (e.g. seed=1,throw=0.01)");
+  args.add_int("checkpoint-every", 0, "checkpoint every N batches (0 = off)");
+  args.add_int("keep-checkpoints", 3, "rotated checkpoints to keep");
+  args.add_string("checkpoint-prefix", "next_char", "checkpoint path prefix");
+  args.add_int("max-retries", 2, "retries per failed batch before fallback");
   if (!args.parse(argc, argv)) return 1;
 
   bpar::data::WikipediaConfig wcfg;
@@ -86,27 +99,49 @@ int main(int argc, char** argv) {
   cfg.many_to_many = true;
 
   bpar::Model model(cfg);
-  model.select_executor(
-      bpar::ExecutorKind::kBPar,
-      {.num_workers = static_cast<int>(args.get_int("workers")),
-       .num_replicas = static_cast<int>(args.get_int("replicas"))});
+  bpar::ExecutorOptions exec_opts;
+  exec_opts.num_workers = static_cast<int>(args.get_int("workers"));
+  exec_opts.num_replicas = static_cast<int>(args.get_int("replicas"));
+  exec_opts.watchdog_ms =
+      static_cast<std::uint32_t>(args.get_int("watchdog-ms"));
+  if (const auto& spec = args.get_string("faults"); !spec.empty()) {
+    exec_opts.faults = bpar::taskrt::FaultSpec::parse(spec);
+  }
+  model.select_executor(bpar::ExecutorKind::kBPar, exec_opts);
   model.set_optimizer(std::make_unique<bpar::train::Adam>(
       bpar::train::Adam::Config{.learning_rate = 5e-3F}));
   std::printf("model: %zu parameters (many-to-many BGRU)\n\n",
               model.network().param_count());
 
+  // Fault recovery: retry failed batches, degrade to the sequential
+  // reference if the task-based executor keeps failing, and rotate
+  // crash-safe checkpoints.
+  bpar::exec::SequentialExecutor fallback(model.network());
+  bpar::CheckpointManager checkpoints(
+      args.get_string("checkpoint-prefix"),
+      static_cast<int>(args.get_int("keep-checkpoints")));
+  bpar::train::TrainerOptions topts;
+  topts.max_retries = static_cast<int>(args.get_int("max-retries"));
+  topts.fallback = &fallback;
+  topts.checkpoint_every =
+      static_cast<std::uint64_t>(args.get_int("checkpoint-every"));
+  if (topts.checkpoint_every > 0) {
+    topts.on_checkpoint = [&](std::uint64_t step) {
+      const auto path = checkpoints.save(model, step);
+      std::printf("  checkpoint: %s\n", path.c_str());
+    };
+  }
+  bpar::train::Trainer trainer(model.network(), model.executor(),
+                               model.optimizer(), topts);
+
   const int epochs = static_cast<int>(args.get_int("epochs"));
   for (int epoch = 0; epoch < epochs; ++epoch) {
-    double loss = 0.0;
-    double ms = 0.0;
-    for (const auto& batch : batches) {
-      const auto result = model.train_batch(batch);
-      loss += result.loss;
-      ms += result.wall_ms;
-    }
-    std::printf("epoch %2d: loss %.4f (%.1f ms/batch)\n", epoch,
-                loss / static_cast<double>(batches.size()),
-                ms / static_cast<double>(batches.size()));
+    const auto stats = trainer.train_epoch(batches);
+    std::printf("epoch %2d: loss %.4f (%.1f ms/batch", epoch,
+                stats.mean_loss,
+                stats.wall_ms / static_cast<double>(batches.size()));
+    if (stats.retries > 0) std::printf(", %d retries", stats.retries);
+    std::printf(")%s\n", trainer.degraded() ? "  [degraded]" : "");
   }
 
   const int n = static_cast<int>(args.get_int("generate"));

@@ -6,11 +6,18 @@
 // B-Seq, the per-layer-barrier baseline, and the sequential reference.
 //
 //   ./speech_digits [--epochs N] [--workers N] [--replicas N] [--hidden N]
+//
+// Resilience knobs: --watchdog-ms arms the runtime watchdog, --faults
+// injects deterministic faults, --checkpoint-every / --keep-checkpoints
+// rotate crash-safe checkpoints (the run resumes from the newest good one),
+// and --max-retries bounds per-batch recovery attempts.
 #include <cstdio>
 
 #include "core/bpar.hpp"
+#include "core/checkpoint.hpp"
 #include "data/tidigits.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 
 int main(int argc, char** argv) {
   bpar::util::ArgParser args("speech_digits",
@@ -21,6 +28,13 @@ int main(int argc, char** argv) {
   args.add_int("hidden", 24, "hidden size");
   args.add_int("layers", 2, "BLSTM layers");
   args.add_int("utterances", 384, "corpus size");
+  args.add_int("watchdog-ms", 0, "runtime no-progress deadline (0 = off)");
+  args.add_string("faults", "", "fault-injection spec (e.g. seed=1,throw=0.01)");
+  args.add_int("checkpoint-every", 0, "checkpoint every N batches (0 = off)");
+  args.add_int("keep-checkpoints", 3, "rotated checkpoints to keep");
+  args.add_string("checkpoint-prefix", "speech_digits",
+                  "checkpoint path prefix");
+  args.add_int("max-retries", 2, "retries per failed batch before fallback");
   if (!args.parse(argc, argv)) return 1;
 
   // Synthesize the corpus and split train/test 3:1.
@@ -49,25 +63,52 @@ int main(int argc, char** argv) {
   cfg.num_classes = bpar::data::kTidigitsClasses;
 
   bpar::Model model(cfg);
-  model.select_executor(
-      bpar::ExecutorKind::kBPar,
-      {.num_workers = static_cast<int>(args.get_int("workers")),
-       .num_replicas = static_cast<int>(args.get_int("replicas"))});
+  bpar::ExecutorOptions exec_opts;
+  exec_opts.num_workers = static_cast<int>(args.get_int("workers"));
+  exec_opts.num_replicas = static_cast<int>(args.get_int("replicas"));
+  exec_opts.watchdog_ms =
+      static_cast<std::uint32_t>(args.get_int("watchdog-ms"));
+  if (const auto& spec = args.get_string("faults"); !spec.empty()) {
+    exec_opts.faults = bpar::taskrt::FaultSpec::parse(spec);
+  }
+  model.select_executor(bpar::ExecutorKind::kBPar, exec_opts);
   model.set_optimizer(std::make_unique<bpar::train::Adam>(
       bpar::train::Adam::Config{.learning_rate = 4e-3F}));
   std::printf("model: %zu parameters, executor %s\n",
               model.network().param_count(), model.executor().name());
 
+  // Fault recovery: retry failed batches, degrade to the sequential
+  // reference executor when retries run out, rotate crash-safe checkpoints,
+  // and resume from the newest good checkpoint if one exists.
+  bpar::exec::SequentialExecutor fallback(model.network());
+  bpar::CheckpointManager checkpoints(
+      args.get_string("checkpoint-prefix"),
+      static_cast<int>(args.get_int("keep-checkpoints")));
+  bpar::train::TrainerOptions topts;
+  topts.max_retries = static_cast<int>(args.get_int("max-retries"));
+  topts.fallback = &fallback;
+  topts.checkpoint_every =
+      static_cast<std::uint64_t>(args.get_int("checkpoint-every"));
+  if (topts.checkpoint_every > 0) {
+    if (const auto step = checkpoints.load_latest_good(model)) {
+      std::printf("resumed from checkpoint step %llu\n",
+                  static_cast<unsigned long long>(*step));
+    }
+    topts.on_checkpoint = [&](std::uint64_t step) {
+      checkpoints.save(model, step);
+    };
+  }
   bpar::train::Trainer trainer(model.network(), model.executor(),
-                               model.optimizer());
+                               model.optimizer(), topts);
   const int epochs = static_cast<int>(args.get_int("epochs"));
   std::printf("\nepoch  train-loss  test-loss  test-acc\n");
   for (int epoch = 0; epoch < epochs; ++epoch) {
     const auto train_stats = trainer.train_epoch(batches);
     const auto eval_stats = trainer.evaluate(test_batches);
-    std::printf("%5d  %10.4f  %9.4f  %7.1f%%\n", epoch,
+    std::printf("%5d  %10.4f  %9.4f  %7.1f%%%s\n", epoch,
                 train_stats.mean_loss, eval_stats.mean_loss,
-                100.0 * eval_stats.accuracy);
+                100.0 * eval_stats.accuracy,
+                trainer.degraded() ? "  [degraded]" : "");
   }
 
   // Executor comparison on a single training batch (same weights).
@@ -75,9 +116,10 @@ int main(int argc, char** argv) {
   for (const auto kind :
        {bpar::ExecutorKind::kSequential, bpar::ExecutorKind::kLayerBarrier,
         bpar::ExecutorKind::kBSeq, bpar::ExecutorKind::kBPar}) {
-    model.select_executor(
-        kind, {.num_workers = static_cast<int>(args.get_int("workers")),
-               .num_replicas = static_cast<int>(args.get_int("replicas"))});
+    bpar::ExecutorOptions bench_opts;
+    bench_opts.num_workers = static_cast<int>(args.get_int("workers"));
+    bench_opts.num_replicas = static_cast<int>(args.get_int("replicas"));
+    model.select_executor(kind, bench_opts);
     auto& executor = model.executor();
     executor.train_batch(batches[0]);  // warm-up (graph build etc.)
     double best_ms = 1e300;

@@ -47,6 +47,12 @@ struct ExecutorOptions {
   int num_workers = 0;   // 0 → hardware concurrency
   int num_replicas = 1;  // mini-batches (B-Par / B-Seq)
   taskrt::SchedulerPolicy policy = taskrt::SchedulerPolicy::kLocalityAware;
+  /// Runtime watchdog: fail with a scheduler-state dump instead of hanging
+  /// when no task completes for this many ms (0 → off; task-based kinds).
+  std::uint32_t watchdog_ms = 0;
+  /// Deterministic fault-injection plan (see taskrt/fault.hpp); the
+  /// BPAR_FAULTS environment variable applies when this is empty.
+  taskrt::FaultSpec faults{};
 };
 
 /// Creates an executor of the given kind bound to `net`.

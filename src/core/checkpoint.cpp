@@ -1,0 +1,317 @@
+#include "core/checkpoint.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/bpar.hpp"
+#include "util/crc32.hpp"
+#include "util/logging.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define BPAR_HAVE_FSYNC 1
+#endif
+
+namespace bpar::ckpt {
+namespace {
+
+constexpr char kMagic[8] = {'B', 'P', 'A', 'R', 'C', 'K', 'P', '2'};
+constexpr char kMagicV1[8] = {'B', 'P', 'A', 'R', 'C', 'K', 'P', '1'};
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMaxSectionName = 256;
+
+void append_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+/// Bounds-checked reader over the in-memory file image.
+class Reader {
+ public:
+  Reader(const std::string& data, const std::string& path)
+      : data_(data), path_(path) {}
+
+  void read_raw(void* dst, std::size_t n, const char* what) {
+    if (pos_ + n > data_.size()) {
+      BPAR_RAISE(util::CheckpointError, "checkpoint '", path_,
+                 "' is truncated: need ", n, " byte(s) for ", what,
+                 " at offset ", pos_, " but the file has ", data_.size(),
+                 " — was the writer interrupted? delete the file or fall "
+                 "back to an older checkpoint");
+    }
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::uint32_t read_u32(const char* what) {
+    std::uint32_t v = 0;
+    read_raw(&v, sizeof v, what);
+    return v;
+  }
+
+  std::uint64_t read_u64(const char* what) {
+    std::uint64_t v = 0;
+    read_raw(&v, sizeof v, what);
+    return v;
+  }
+
+  std::string read_bytes(std::size_t n, const char* what) {
+    std::string out(n, '\0');
+    read_raw(out.data(), n, what);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+ private:
+  const std::string& data_;
+  const std::string& path_;
+  std::size_t pos_ = 0;
+};
+
+#if BPAR_HAVE_FSYNC
+void fsync_path(const std::string& path, const std::string& context) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;  // best effort (e.g. directories on some filesystems)
+  if (::fsync(fd) != 0) {
+    BPAR_LOG_WARN << "fsync of " << context << " '" << path << "' failed";
+  }
+  ::close(fd);
+}
+#endif
+
+}  // namespace
+
+void write_checkpoint_file(const std::string& path,
+                           const std::vector<Section>& sections) {
+  std::string blob;
+  blob.append(kMagic, sizeof kMagic);
+  append_u32(blob, kVersion);
+  append_u32(blob, static_cast<std::uint32_t>(sections.size()));
+  for (const Section& section : sections) {
+    BPAR_CHECK(section.name.size() < kMaxSectionName,
+               "checkpoint section name too long");
+    append_u32(blob, static_cast<std::uint32_t>(section.name.size()));
+    blob.append(section.name);
+    append_u64(blob, section.payload.size());
+    append_u32(blob,
+               util::crc32(section.payload.data(), section.payload.size()));
+    blob.append(section.payload);
+  }
+
+  const std::string tmp = path + ".tmp";
+#if BPAR_HAVE_FSYNC
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    BPAR_RAISE(util::CheckpointError, "cannot open '", tmp,
+               "' for writing checkpoint");
+  }
+  std::size_t written = 0;
+  while (written < blob.size()) {
+    const ::ssize_t n =
+        ::write(fd, blob.data() + written, blob.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      BPAR_RAISE(util::CheckpointError, "write to '", tmp, "' failed");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // Durability order: payload bytes first, then the rename that publishes
+  // them, then the directory entry — a crash at any point leaves either
+  // the old checkpoint or the complete new one.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    BPAR_RAISE(util::CheckpointError, "fsync of '", tmp, "' failed");
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    BPAR_RAISE(util::CheckpointError, "rename '", tmp, "' -> '", path,
+               "' failed");
+  }
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  fsync_path(dir.empty() ? "." : dir, "checkpoint directory");
+#else
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out.good()) {
+      BPAR_RAISE(util::CheckpointError, "write to '", tmp, "' failed");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    BPAR_RAISE(util::CheckpointError, "rename '", tmp, "' -> '", path,
+               "' failed: ", ec.message());
+  }
+#endif
+}
+
+std::vector<Section> read_checkpoint_file(const std::string& path) {
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      BPAR_RAISE(util::CheckpointError, "cannot open checkpoint '", path,
+                 "'");
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    data = std::move(buf).str();
+  }
+
+  Reader reader(data, path);
+  char magic[8] = {};
+  reader.read_raw(magic, sizeof magic, "magic");
+  if (std::memcmp(magic, kMagicV1, sizeof magic) == 0) {
+    BPAR_RAISE(util::CheckpointError, "checkpoint '", path,
+               "' uses the legacy v1 format (no checksums or atomic "
+               "writes); re-save it with this build");
+  }
+  if (std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    BPAR_RAISE(util::CheckpointError, "'", path,
+               "' is not a B-Par checkpoint (bad magic)");
+  }
+  const std::uint32_t version = reader.read_u32("container version");
+  if (version != kVersion) {
+    BPAR_RAISE(util::CheckpointError, "checkpoint '", path,
+               "' has unsupported container version ", version, " (want ",
+               kVersion, ")");
+  }
+  const std::uint32_t count = reader.read_u32("section count");
+  std::vector<Section> sections;
+  sections.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Section section;
+    const std::uint32_t name_len = reader.read_u32("section name length");
+    if (name_len >= kMaxSectionName) {
+      BPAR_RAISE(util::CheckpointError, "checkpoint '", path,
+                 "' is corrupt: section ", i, " name length ", name_len,
+                 " exceeds ", kMaxSectionName);
+    }
+    section.name = reader.read_bytes(name_len, "section name");
+    const std::uint64_t size = reader.read_u64("section payload size");
+    const std::uint32_t stored_crc = reader.read_u32("section checksum");
+    section.payload = reader.read_bytes(static_cast<std::size_t>(size),
+                                        section.name.c_str());
+    const std::uint32_t actual_crc =
+        util::crc32(section.payload.data(), section.payload.size());
+    if (actual_crc != stored_crc) {
+      BPAR_RAISE(util::CheckpointError, "checkpoint '", path,
+                 "' section '", section.name,
+                 "' failed its CRC-32 check (stored ", stored_crc, ", got ",
+                 actual_crc,
+                 ") — the file is corrupt (torn write or bit rot); fall "
+                 "back to an older checkpoint");
+    }
+    sections.push_back(std::move(section));
+  }
+  return sections;
+}
+
+const Section& find_section(const std::vector<Section>& sections,
+                            const std::string& name,
+                            const std::string& path) {
+  for (const Section& section : sections) {
+    if (section.name == name) return section;
+  }
+  BPAR_RAISE(util::CheckpointError, "checkpoint '", path,
+             "' is missing required section '", name, "'");
+}
+
+}  // namespace bpar::ckpt
+
+namespace bpar {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string step_path(const std::string& prefix, std::uint64_t step) {
+  return prefix + "-" + std::to_string(step) + ".ckpt";
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string prefix, int keep)
+    : prefix_(std::move(prefix)), keep_(keep) {
+  BPAR_CHECK(keep_ >= 1, "CheckpointManager keep must be >= 1");
+  BPAR_CHECK(!prefix_.empty(), "CheckpointManager prefix must be non-empty");
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> CheckpointManager::list()
+    const {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  const fs::path prefix_path(prefix_);
+  const fs::path dir =
+      prefix_path.has_parent_path() ? prefix_path.parent_path() : fs::path(".");
+  const std::string stem = prefix_path.filename().string() + "-";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= stem.size() + 5 || name.rfind(stem, 0) != 0 ||
+        !name.ends_with(".ckpt")) {
+      continue;
+    }
+    const std::string_view digits(name.data() + stem.size(),
+                                  name.size() - stem.size() - 5);
+    std::uint64_t step = 0;
+    const auto [ptr, parse_ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), step);
+    if (parse_ec != std::errc{} || ptr != digits.data() + digits.size()) {
+      continue;
+    }
+    found.emplace_back(step, entry.path().string());
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return found;
+}
+
+std::string CheckpointManager::save(const Model& model, std::uint64_t step) {
+  const fs::path prefix_path(prefix_);
+  if (prefix_path.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(prefix_path.parent_path(), ec);
+  }
+  const std::string path = step_path(prefix_, step);
+  model.save_checkpoint(path);
+  const auto existing = list();
+  for (std::size_t i = static_cast<std::size_t>(keep_); i < existing.size();
+       ++i) {
+    std::error_code ec;
+    fs::remove(existing[i].second, ec);
+    if (ec) {
+      BPAR_LOG_WARN << "could not prune old checkpoint '"
+                    << existing[i].second << "': " << ec.message();
+    }
+  }
+  return path;
+}
+
+std::optional<std::uint64_t> CheckpointManager::load_latest_good(
+    Model& model) {
+  for (const auto& [step, path] : list()) {
+    try {
+      model.load_checkpoint(path);
+      return step;
+    } catch (const util::CheckpointError& e) {
+      BPAR_LOG_WARN << "skipping bad checkpoint: " << e.what();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bpar

@@ -1,0 +1,95 @@
+// Crash-safe checkpoint container (format v2) and rotation manager.
+//
+// On-disk layout (all integers little-endian, as written by the host):
+//
+//   magic   8 bytes  "BPARCKP2"
+//   u32     container version (2)
+//   u32     section count N
+//   N x section:
+//     u32   name length L        (L < 256)
+//     L     name bytes
+//     u64   payload size S
+//     u32   CRC-32 of the payload
+//     S     payload bytes
+//
+// Every failure mode a crash can produce is diagnosed at load time with a
+// util::CheckpointError naming the file and the defect: truncation (short
+// read anywhere), bit rot / torn writes (per-section CRC mismatch), wrong
+// or legacy magic, and — one level up in Model::load_checkpoint — model
+// dimension or optimizer mismatches via the "meta" section.
+//
+// Writes are atomic: the container is serialized to <path>.tmp, fsync'd,
+// then rename(2)'d over <path> (and the directory fsync'd), so a crash
+// mid-save leaves either the previous checkpoint or a stray .tmp — never a
+// half-written file under the final name.
+//
+// CheckpointManager adds rotation: save() writes <prefix>-<step>.ckpt and
+// prunes all but the newest K; load_latest_good() walks newest → oldest,
+// skipping files that fail validation, so one torn file costs one
+// checkpoint interval of work, not the run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bpar {
+
+class Model;
+
+namespace ckpt {
+
+struct Section {
+  std::string name;
+  std::string payload;
+};
+
+/// Serializes `sections` to `path` atomically (tmp file → fsync → rename).
+/// Throws util::CheckpointError on any I/O failure.
+void write_checkpoint_file(const std::string& path,
+                           const std::vector<Section>& sections);
+
+/// Reads and fully validates a v2 container. Throws util::CheckpointError
+/// naming `path` and the defect (truncated, CRC mismatch, bad magic,
+/// legacy v1, ...).
+[[nodiscard]] std::vector<Section> read_checkpoint_file(
+    const std::string& path);
+
+/// Returns the section named `name` or throws util::CheckpointError.
+[[nodiscard]] const Section& find_section(
+    const std::vector<Section>& sections, const std::string& name,
+    const std::string& path);
+
+}  // namespace ckpt
+
+/// Rotates the last K good checkpoints of one training run.
+class CheckpointManager {
+ public:
+  /// Files are written as <prefix>-<step>.ckpt; `prefix` may contain
+  /// directories (created on first save). keep >= 1.
+  CheckpointManager(std::string prefix, int keep = 3);
+
+  /// Saves a full training checkpoint for `step` and prunes old files down
+  /// to the configured K. Returns the path written.
+  std::string save(const Model& model, std::uint64_t step);
+
+  /// Loads the newest checkpoint that validates, skipping (and warning
+  /// about) corrupt ones. Returns its step, or nullopt when none loads.
+  std::optional<std::uint64_t> load_latest_good(Model& model);
+
+  /// Existing (step, path) pairs, newest first.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::string>> list()
+      const;
+
+  [[nodiscard]] const std::string& prefix() const { return prefix_; }
+  [[nodiscard]] int keep() const { return keep_; }
+
+ private:
+  std::string prefix_;
+  int keep_;
+};
+
+}  // namespace bpar

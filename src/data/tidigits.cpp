@@ -1,10 +1,16 @@
 #include "data/tidigits.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <numbers>
 
 #include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace bpar::data {
@@ -47,6 +53,95 @@ TidigitsCorpus::TidigitsCorpus(TidigitsConfig config)
   BPAR_CHECK(config_.feature_dim > 0 && config_.seq_length > 0 &&
                  config_.num_utterances > 0,
              "bad TIDIGITS config");
+  BPAR_CHECK(config_.min_seq_length <= config_.seq_length,
+             "min_seq_length exceeds seq_length");
+  if (!config_.data_dir.empty()) {
+    try {
+      load_directory();
+      return;
+    } catch (const util::DataError& e) {
+      if (!config_.fallback_to_synthetic) throw;
+      BPAR_LOG_WARN << e.what() << "; falling back to the synthetic corpus";
+      frames_.clear();
+      labels_.clear();
+    }
+  }
+  synthesize();
+}
+
+void TidigitsCorpus::load_directory() {
+  namespace fs = std::filesystem;
+  static constexpr const char* kLayout =
+      "expected a directory of .utt files: 8-byte magic \"BPARUTT1\", "
+      "i32 label, i32 frames, i32 feature_dim, then frames*feature_dim "
+      "float32 features";
+  const fs::path dir(config_.data_dir);
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    BPAR_RAISE(util::DataError, "TIDIGITS data_dir '", config_.data_dir,
+               "' is not a readable directory (", kLayout, ")");
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".utt") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    BPAR_RAISE(util::DataError, "no .utt files in TIDIGITS data_dir '",
+               config_.data_dir, "' (", kLayout, ")");
+  }
+
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      BPAR_RAISE(util::DataError, "cannot open TIDIGITS utterance '",
+                 path.string(), "'");
+    }
+    char magic[8] = {};
+    std::int32_t header[3] = {};  // label, frames, feature_dim
+    in.read(magic, sizeof magic);
+    in.read(reinterpret_cast<char*>(header), sizeof header);
+    if (!in.good() || std::memcmp(magic, "BPARUTT1", 8) != 0) {
+      BPAR_RAISE(util::DataError, "'", path.string(),
+                 "' is not a TIDIGITS utterance file (", kLayout, ")");
+    }
+    const std::int32_t label = header[0];
+    const std::int32_t native_frames = header[1];
+    const std::int32_t dim = header[2];
+    if (label < 0 || label >= kTidigitsClasses || native_frames <= 0) {
+      BPAR_RAISE(util::DataError, "'", path.string(), "': bad label ", label,
+                 " or frame count ", native_frames, " (", kLayout, ")");
+    }
+    if (dim != config_.feature_dim) {
+      BPAR_RAISE(util::DataError, "'", path.string(), "': feature_dim is ",
+                 dim, " in the file but ", config_.feature_dim,
+                 " in the config");
+    }
+    // Pad/trim to the configured window, like the synthetic path. With
+    // variable lengths enabled, keep the native duration within bounds.
+    int frames = config_.seq_length;
+    if (config_.min_seq_length > 0) {
+      frames = std::clamp(native_frames, config_.min_seq_length,
+                          config_.seq_length);
+    }
+    tensor::Matrix utterance(frames, config_.feature_dim);
+    const int rows = std::min(frames, native_frames);
+    const auto bytes = static_cast<std::streamsize>(
+        static_cast<std::size_t>(rows) *
+        static_cast<std::size_t>(config_.feature_dim) * sizeof(float));
+    in.read(reinterpret_cast<char*>(utterance.data()), bytes);
+    if (in.gcount() != bytes) {
+      BPAR_RAISE(util::DataError, "'", path.string(), "' is truncated: got ",
+                 in.gcount(), " of ", bytes, " feature bytes (", kLayout,
+                 ")");
+    }
+    labels_.push_back(label);
+    frames_.push_back(std::move(utterance));
+  }
+  config_.num_utterances = static_cast<int>(frames_.size());
+}
+
+void TidigitsCorpus::synthesize() {
   util::Rng rng(config_.seed);
 
   std::vector<DigitTemplate> templates;
@@ -55,8 +150,6 @@ TidigitsCorpus::TidigitsCorpus(TidigitsConfig config)
     templates.push_back(make_template(d, config_.feature_dim, rng));
   }
 
-  BPAR_CHECK(config_.min_seq_length <= config_.seq_length,
-             "min_seq_length exceeds seq_length");
   frames_.reserve(static_cast<std::size_t>(config_.num_utterances));
   labels_.reserve(static_cast<std::size_t>(config_.num_utterances));
   for (int u = 0; u < config_.num_utterances; ++u) {

@@ -8,9 +8,22 @@
 // latent trajectories — plus per-speaker variation and additive noise.
 // Utterances are padded/trimmed to a fixed frame count, labeled with the
 // spoken digit (many-to-one classification), and batched.
+// When TidigitsConfig::data_dir is set, real utterances are loaded from a
+// directory of .utt files instead (one utterance per file):
+//
+//   magic   8 bytes  "BPARUTT1"
+//   i32     label (0..10)
+//   i32     frame count
+//   i32     feature dim (must equal config.feature_dim)
+//   then    frames x feature_dim float32 features, row-major
+//
+// Malformed files raise util::DataError naming the path and the expected
+// layout; set fallback_to_synthetic to degrade to synthesis with a warning
+// instead.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "rnn/batch.hpp"
@@ -32,6 +45,12 @@ struct TidigitsConfig {
   /// utterances vary in duration. Use make_bucketed_batches() then.
   int min_seq_length = 0;
   std::uint64_t seed = 2022;
+  /// When non-empty, load .utt files from this directory (see file header)
+  /// instead of synthesizing; num_utterances then reflects what was found.
+  std::string data_dir;
+  /// With data_dir set: fall back to the synthetic corpus (with a warning)
+  /// when loading fails, instead of propagating util::DataError.
+  bool fallback_to_synthetic = false;
 };
 
 class TidigitsCorpus {
@@ -62,6 +81,8 @@ class TidigitsCorpus {
       int batch_size) const;
 
  private:
+  void synthesize();
+  void load_directory();
   [[nodiscard]] rnn::BatchData assemble(const std::vector<int>& utterances,
                                         int steps) const;
 

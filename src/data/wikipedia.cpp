@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <fstream>
 #include <map>
+#include <sstream>
 
 #include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace bpar::data {
@@ -72,37 +76,71 @@ constexpr const char* kSeedText =
     "dynamically which improves cache locality when consumer tasks "
     "execute on the core that produced their input data. ";
 
+// Reads a plain-text corpus file; raises util::DataError naming the path
+// and the requirement when it is unreadable or too small to seed the
+// Markov sampler.
+std::string read_corpus_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    BPAR_RAISE(bpar::util::DataError, "cannot open corpus file '", path,
+               "'; expected a plain-text file of at least 16 characters");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = std::move(buffer).str();
+  if (text.size() < 16) {
+    BPAR_RAISE(bpar::util::DataError, "corpus file '", path, "' holds only ",
+               text.size(),
+               " characters; need at least 16 to seed the sampler");
+  }
+  return text;
+}
+
 }  // namespace
 
 WikipediaCorpus::WikipediaCorpus(WikipediaConfig config) : config_(config) {
   BPAR_CHECK(config_.input_size > 0 && config_.seq_length > 0 &&
                  config_.corpus_chars > 4,
              "bad Wikipedia config");
-  const std::string seed_text = kSeedText;
-
-  // Order-2 Markov chain over the seed text.
-  std::map<std::pair<char, char>, std::string> followers;
-  for (std::size_t i = 0; i + 2 < seed_text.size(); ++i) {
-    followers[{seed_text[i], seed_text[i + 1]}].push_back(seed_text[i + 2]);
+  std::string seed_text = kSeedText;
+  bool from_file = false;
+  if (!config_.corpus_path.empty()) {
+    try {
+      seed_text = read_corpus_file(config_.corpus_path);
+      from_file = true;
+    } catch (const util::DataError& e) {
+      if (!config_.fallback_to_synthetic) throw;
+      BPAR_LOG_WARN << e.what() << "; falling back to the built-in seed text";
+    }
   }
 
   util::Rng rng(config_.seed);
-  text_.reserve(config_.corpus_chars);
-  char a = seed_text[0];
-  char b = seed_text[1];
-  text_.push_back(a);
-  text_.push_back(b);
-  while (text_.size() < config_.corpus_chars) {
-    const auto it = followers.find({a, b});
-    char next;
-    if (it == followers.end() || it->second.empty()) {
-      next = ' ';
-    } else {
-      next = it->second[rng.uniform_index(it->second.size())];
+  if (from_file && seed_text.size() >= config_.corpus_chars) {
+    // A real corpus large enough to use verbatim.
+    text_ = seed_text.substr(0, config_.corpus_chars);
+  } else {
+    // Extend with an order-2 Markov chain fit on the seed text.
+    std::map<std::pair<char, char>, std::string> followers;
+    for (std::size_t i = 0; i + 2 < seed_text.size(); ++i) {
+      followers[{seed_text[i], seed_text[i + 1]}].push_back(seed_text[i + 2]);
     }
-    text_.push_back(next);
-    a = b;
-    b = next;
+    text_.reserve(config_.corpus_chars);
+    char a = seed_text[0];
+    char b = seed_text[1];
+    text_.push_back(a);
+    text_.push_back(b);
+    while (text_.size() < config_.corpus_chars) {
+      const auto it = followers.find({a, b});
+      char next;
+      if (it == followers.end() || it->second.empty()) {
+        next = ' ';
+      } else {
+        next = it->second[rng.uniform_index(it->second.size())];
+      }
+      text_.push_back(next);
+      a = b;
+      b = next;
+    }
   }
 
   // Vocabulary and embeddings.

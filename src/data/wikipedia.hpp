@@ -22,6 +22,14 @@ struct WikipediaConfig {
   int seq_length = 50;     // characters per training sequence
   std::size_t corpus_chars = 100000;
   std::uint64_t seed = 1414;
+  /// When non-empty, read the corpus from this plain-text file: used
+  /// verbatim when it holds >= corpus_chars characters, otherwise as the
+  /// Markov seed text (needs >= 16 characters). Unreadable or too-small
+  /// files raise util::DataError naming the path.
+  std::string corpus_path;
+  /// With corpus_path set: fall back to the built-in seed text (with a
+  /// warning) when reading fails, instead of propagating util::DataError.
+  bool fallback_to_synthetic = false;
 };
 
 class WikipediaCorpus {

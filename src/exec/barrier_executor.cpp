@@ -19,7 +19,9 @@ BarrierExecutor::BarrierExecutor(rnn::Network& net, BarrierOptions options)
       runtime_({.num_workers = options.num_workers,
                 .policy = taskrt::SchedulerPolicy::kFifo,
                 .record_trace = false,
-                .pin_threads = options.pin_threads}) {
+                .pin_threads = options.pin_threads,
+                .watchdog_ms = options.watchdog_ms,
+                .faults = options.faults}) {
   ws_ = std::make_unique<rnn::Workspace>(net_.config(),
                                          net_.config().batch_size);
   grads_.init_like(net_);

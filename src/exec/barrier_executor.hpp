@@ -19,6 +19,8 @@ struct BarrierOptions {
   /// Minimum batch rows per intra-op chunk.
   int row_grain = 8;
   bool pin_threads = false;  // pin workers to the allowed cpuset (Linux)
+  std::uint32_t watchdog_ms = 0;  // no-progress deadline (0 → off)
+  taskrt::FaultSpec faults{};       // deterministic fault injection
 };
 
 class BarrierExecutor final : public Executor {

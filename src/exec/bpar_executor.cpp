@@ -13,6 +13,8 @@ taskrt::RuntimeOptions runtime_options(const BParOptions& options) {
   ro.policy = options.policy;
   ro.record_trace = options.record_trace;
   ro.pin_threads = options.pin_threads;
+  ro.watchdog_ms = options.watchdog_ms;
+  ro.faults = options.faults;
   return ro;
 }
 }  // namespace

@@ -26,6 +26,8 @@ struct BParOptions {
   bool pin_threads = false;  // pin workers to the allowed cpuset (Linux)
   bool fuse_merge = false;  // ablation knob (see DESIGN.md §5.1)
   bool compute_input_grads = false;  // also produce per-timestep dL/dx
+  std::uint32_t watchdog_ms = 0;  // no-progress deadline (0 → off)
+  taskrt::FaultSpec faults{};       // deterministic fault injection
 };
 
 class BParExecutor final : public Executor {

@@ -13,7 +13,9 @@ BSeqExecutor::BSeqExecutor(rnn::Network& net, BSeqOptions options)
       runtime_({.num_workers = options.num_workers,
                 .policy = taskrt::SchedulerPolicy::kFifo,
                 .record_trace = false,
-                .pin_threads = options.pin_threads}) {
+                .pin_threads = options.pin_threads,
+                .watchdog_ms = options.watchdog_ms,
+                .faults = options.faults}) {
   const auto& cfg = net_.config();
   BPAR_CHECK(options_.num_replicas >= 1 &&
                  options_.num_replicas <= cfg.batch_size,

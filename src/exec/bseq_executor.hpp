@@ -17,6 +17,8 @@ struct BSeqOptions {
   int num_workers = 0;
   int num_replicas = 1;
   bool pin_threads = false;  // pin workers to the allowed cpuset (Linux)
+  std::uint32_t watchdog_ms = 0;  // no-progress deadline (0 → off)
+  taskrt::FaultSpec faults{};       // deterministic fault injection
 };
 
 class BSeqExecutor final : public Executor {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "util/check.hpp"
 
@@ -128,6 +130,27 @@ void softmax_ce_grad(ConstMatrixView probs, std::span<const int> labels,
     g[static_cast<std::size_t>(labels[static_cast<std::size_t>(r)])] -=
         inv_rows;
   }
+}
+
+bool all_finite(std::span<const float> v) {
+  // A float is non-finite iff its exponent field is all ones. OR the
+  // exponent bits of the whole span together and test once at the end —
+  // no per-element branch, so the loop auto-vectorizes.
+  constexpr std::uint32_t kExpMask = 0x7F800000U;
+  std::uint32_t seen = 0;
+  for (const float x : v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &x, sizeof bits);
+    seen |= static_cast<std::uint32_t>((bits & kExpMask) == kExpMask);
+  }
+  return seen == 0;
+}
+
+bool all_finite(ConstMatrixView m) {
+  for (int r = 0; r < m.rows; ++r) {
+    if (!all_finite(m.row(r))) return false;
+  }
+  return true;
 }
 
 void argmax_rows(ConstMatrixView m, std::span<int> out) {

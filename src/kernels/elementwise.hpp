@@ -73,4 +73,11 @@ void softmax_ce_grad(ConstMatrixView probs, std::span<const int> labels,
 /// Row-wise argmax.
 void argmax_rows(ConstMatrixView m, std::span<int> out);
 
+// ---- numeric health ----
+
+/// True iff every element is finite (no NaN/Inf). Branch-free exponent-bit
+/// reduction — cheap enough to scan whole gradient sets per batch.
+[[nodiscard]] bool all_finite(std::span<const float> v);
+[[nodiscard]] bool all_finite(ConstMatrixView m);
+
 }  // namespace bpar::kernels

@@ -142,6 +142,19 @@ void NetworkGrads::scale(float s) {
   kernels::scale_inplace(db_out.view().row(0), s);
 }
 
+bool NetworkGrads::all_finite() const {
+  for (const auto& dir : layers) {
+    for (const auto& g : dir) {
+      if (!kernels::all_finite(g.dw.cview()) ||
+          !kernels::all_finite(g.db.cview())) {
+        return false;
+      }
+    }
+  }
+  return kernels::all_finite(dw_out.cview()) &&
+         kernels::all_finite(db_out.cview());
+}
+
 double NetworkGrads::l2_norm() const {
   double acc = 0.0;
   auto add_sq = [&acc](const tensor::Matrix& m) {

@@ -82,6 +82,9 @@ struct NetworkGrads {
   void accumulate(const NetworkGrads& other);
   void scale(float s);
   [[nodiscard]] double l2_norm() const;
+  /// True iff every gradient element is finite — the trainer's cheap
+  /// post-batch divergence probe.
+  [[nodiscard]] bool all_finite() const;
 };
 
 /// Per-replica forward tape + backward accumulation buffers.

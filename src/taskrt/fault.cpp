@@ -1,0 +1,153 @@
+#include "taskrt/fault.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <thread>
+
+namespace bpar::taskrt {
+namespace {
+
+// splitmix64: the standard 64-bit finalizer-style mixer — enough avalanche
+// that consecutive task ids decorrelate.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27U)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31U);
+}
+
+double parse_double(std::string_view key, std::string_view value) {
+  double out = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size() || out < 0.0) {
+    BPAR_RAISE(util::Error, "bad fault spec value for '", key, "': '", value,
+               "' (want a non-negative number)");
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(std::string_view key, std::string_view value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    BPAR_RAISE(util::Error, "bad fault spec value for '", key, "': '", value,
+               "' (want an unsigned integer)");
+  }
+  return out;
+}
+
+std::vector<TaskId> parse_task_list(std::string_view key,
+                                    std::string_view value) {
+  std::vector<TaskId> ids;
+  while (!value.empty()) {
+    const std::size_t colon = value.find(':');
+    const std::string_view part = value.substr(0, colon);
+    ids.push_back(static_cast<TaskId>(parse_u64(key, part)));
+    if (colon == std::string_view::npos) break;
+    value.remove_prefix(colon + 1);
+  }
+  return ids;
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(std::string_view text) {
+  FaultSpec spec;
+  while (!text.empty()) {
+    const std::size_t comma = text.find(',');
+    std::string_view item = text.substr(0, comma);
+    if (!item.empty()) {
+      const std::size_t eq = item.find('=');
+      if (eq == std::string_view::npos) {
+        BPAR_RAISE(util::Error, "bad fault spec item '", item,
+                   "' (want key=value)");
+      }
+      const std::string_view key = item.substr(0, eq);
+      const std::string_view value = item.substr(eq + 1);
+      if (key == "seed") {
+        spec.seed = parse_u64(key, value);
+      } else if (key == "throw") {
+        spec.throw_rate = parse_double(key, value);
+      } else if (key == "delay") {
+        spec.delay_rate = parse_double(key, value);
+      } else if (key == "delay_us") {
+        spec.delay_us = static_cast<std::uint32_t>(parse_u64(key, value));
+      } else if (key == "stall") {
+        spec.stall_rate = parse_double(key, value);
+      } else if (key == "throw_tasks") {
+        spec.throw_tasks = parse_task_list(key, value);
+      } else if (key == "stall_tasks") {
+        spec.stall_tasks = parse_task_list(key, value);
+      } else {
+        BPAR_RAISE(util::Error, "unknown fault spec key '", key,
+                   "' (known: seed, throw, delay, delay_us, stall, "
+                   "throw_tasks, stall_tasks)");
+      }
+    }
+    if (comma == std::string_view::npos) break;
+    text.remove_prefix(comma + 1);
+  }
+  return spec;
+}
+
+void FaultInjector::begin_session() {
+  session_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double FaultInjector::roll(TaskId id, std::uint64_t salt) const {
+  const std::uint64_t h =
+      mix64(mix64(spec_.seed ^ (salt * 0xA24BAED4963EE407ULL)) ^
+            mix64(session_.load(std::memory_order_relaxed)) ^
+            mix64(static_cast<std::uint64_t>(id)));
+  // Top 53 bits → uniform double in [0, 1).
+  return static_cast<double>(h >> 11U) * 0x1.0p-53;
+}
+
+void FaultInjector::before_execute(TaskId id) {
+  const auto listed = [id](const std::vector<TaskId>& ids) {
+    return std::find(ids.begin(), ids.end(), id) != ids.end();
+  };
+  if (spec_.stall_rate > 0.0 && roll(id, 3) < spec_.stall_rate) {
+    stall();
+  } else if (listed(spec_.stall_tasks)) {
+    stall();
+  }
+  if (spec_.delay_rate > 0.0 && roll(id, 2) < spec_.delay_rate) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(spec_.delay_us));
+  }
+  if ((spec_.throw_rate > 0.0 && roll(id, 1) < spec_.throw_rate) ||
+      listed(spec_.throw_tasks)) {
+    throws_.fetch_add(1, std::memory_order_relaxed);
+    BPAR_RAISE(InjectedFault, "injected fault in task ", id, " (session ",
+               session_.load(std::memory_order_relaxed), ")");
+  }
+}
+
+void FaultInjector::stall() {
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  active_stalls_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(stall_mu_);
+    stall_cv_.wait(lock, [this] { return stalls_released_; });
+  }
+  active_stalls_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::release_stalls() {
+  {
+    const std::lock_guard<std::mutex> lock(stall_mu_);
+    stalls_released_ = true;
+  }
+  stall_cv_.notify_all();
+}
+
+void FaultInjector::rearm_stalls() {
+  const std::lock_guard<std::mutex> lock(stall_mu_);
+  stalls_released_ = false;
+}
+
+}  // namespace bpar::taskrt

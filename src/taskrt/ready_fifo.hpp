@@ -88,6 +88,19 @@ class ReadyFifo {
     return head_.load(sync::mo_relaxed) >= tail_.load(sync::mo_relaxed);
   }
 
+  // Racy cursor snapshots — diagnostics (watchdog scheduler dump) only.
+  [[nodiscard]] std::uint64_t head_approx() const {
+    return head_.load(sync::mo_relaxed);
+  }
+  [[nodiscard]] std::uint64_t tail_approx() const {
+    return tail_.load(sync::mo_relaxed);
+  }
+  [[nodiscard]] std::uint64_t size_approx() const {
+    const std::uint64_t h = head_approx();
+    const std::uint64_t t = tail_approx();
+    return t > h ? t - h : 0;
+  }
+
   /// Quiescent only (no concurrent enqueue/dequeue can win a slot: the
   /// queue is empty and stays empty for the duration of the call). Frees
   /// every fully consumed segment.

@@ -1,6 +1,8 @@
 #include "taskrt/runtime.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <sstream>
 
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -41,7 +43,17 @@ std::uint64_t RunStats::total_busy_ns() const {
   return total;
 }
 
-Runtime::Runtime(RuntimeOptions options) : options_(options) {
+Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
+  if (!options_.faults.enabled() && options_.read_fault_env) {
+    if (const char* env = std::getenv("BPAR_FAULTS");
+        env != nullptr && env[0] != '\0') {
+      options_.faults = FaultSpec::parse(env);
+      BPAR_LOG_WARN << "fault injection enabled from BPAR_FAULTS: " << env;
+    }
+  }
+  if (options_.faults.enabled()) {
+    fault_injector_ = std::make_unique<FaultInjector>(options_.faults);
+  }
   num_workers_ = options_.num_workers > 0
                      ? options_.num_workers
                      : static_cast<int>(std::thread::hardware_concurrency());
@@ -91,6 +103,8 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
 }
 
 Runtime::~Runtime() {
+  // Workers blocked in an injected stall must be woken or join() hangs.
+  if (fault_injector_) fault_injector_->release_stalls();
   shutdown_.store(true, mo_seq_cst);
   {
     const std::lock_guard<std::mutex> guard(park_mu_);
@@ -134,6 +148,12 @@ Runtime::TaskState& Runtime::init_state(TaskId id) {
 void Runtime::begin(TaskGraph& graph) {
   const std::lock_guard<std::mutex> lock(mu_);
   BPAR_CHECK(!session_active_, "Runtime session already active");
+  BPAR_CHECK(!poisoned_,
+             "Runtime poisoned by an unrecovered watchdog failure");
+  if (fault_injector_) {
+    fault_injector_->begin_session();
+    fault_injector_->rearm_stalls();
+  }
   graph_ = &graph;
   // Quiescent point: the previous session drained every queue, so the
   // FIFO's consumed segments can be freed without a reclamation protocol.
@@ -212,19 +232,125 @@ void Runtime::release_publish_bias(TaskId id) {
 void Runtime::taskwait() {
   std::unique_lock<std::mutex> lock(mu_);
   BPAR_CHECK(session_active_, "taskwait() outside a session");
-  done_cv_.wait(lock, [this] {
+  wait_drained(lock);
+}
+
+void Runtime::wait_drained(std::unique_lock<std::mutex>& lock) {
+  const auto drained = [this] {
     return executed_.load(std::memory_order_acquire) ==
            submitted_.load(mo_relaxed);
-  });
+  };
+  if (options_.watchdog_ms == 0) {
+    done_cv_.wait(lock, drained);
+    return;
+  }
+  const auto deadline = std::chrono::milliseconds(options_.watchdog_ms);
+  // Poll at a fraction of the deadline: fine enough to notice progress,
+  // coarse enough to stay off the workers' hot path entirely.
+  const auto poll = std::max<std::chrono::milliseconds>(
+      std::chrono::milliseconds(1), deadline / 8);
+  auto last_progress = std::chrono::steady_clock::now();
+  std::size_t last_executed = executed_.load(std::memory_order_acquire);
+  while (!drained()) {
+    done_cv_.wait_for(lock, poll);
+    const std::size_t now_executed =
+        executed_.load(std::memory_order_acquire);
+    if (now_executed != last_executed) {
+      last_executed = now_executed;
+      last_progress = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (drained()) break;
+    if (std::chrono::steady_clock::now() - last_progress < deadline) {
+      continue;
+    }
+    // Watchdog fires: capture the scheduler state *before* perturbing it.
+    std::ostringstream head;
+    head << "watchdog: no task completed for " << options_.watchdog_ms
+         << " ms with the graph undrained";
+    std::string diag = dump_locked(head.str());
+    if (fault_injector_) fault_injector_->release_stalls();
+    // Grace period: if the stall was injected, releasing it drains the
+    // graph and the runtime stays usable; a genuine hang poisons it.
+    const bool recovered = done_cv_.wait_for(lock, deadline, drained);
+    if (!recovered) poisoned_ = true;
+    session_active_ = false;
+    graph_ = nullptr;
+    first_error_ = nullptr;
+    diag += recovered
+                ? "\nrecovery: graph drained after stalls were released; "
+                  "session closed, runtime reusable"
+                : "\nrecovery: graph still stuck after stall release; "
+                  "runtime poisoned (workers may be wedged)";
+    BPAR_LOG_ERROR << diag;
+    throw WatchdogError(diag);
+  }
+}
+
+std::string Runtime::dump_locked(const std::string& headline) {
+  std::ostringstream os;
+  os << headline << "\n";
+  const std::size_t submitted = submitted_.load(mo_relaxed);
+  const std::size_t executed = executed_.load(std::memory_order_acquire);
+  os << "  tasks: submitted=" << submitted << " executed=" << executed
+     << " outstanding=" << submitted - executed
+     << " active=" << active_.load(mo_relaxed)
+     << " sleepers=" << sleepers_.load(mo_relaxed) << "\n";
+  os << "  ready-fifo: head=" << ready_fifo_.head_approx()
+     << " tail=" << ready_fifo_.tail_approx()
+     << " depth=" << ready_fifo_.size_approx() << "\n";
+  os << "  worker deque depths:";
+  for (int w = 0; w < num_workers_; ++w) {
+    os << " w" << w << "=" << workers_[w].deque.size_approx();
+  }
+  os << "\n";
+  // Pending-counter histogram over unfinished tasks, plus the oldest one.
+  std::size_t histogram[4] = {0, 0, 0, 0};  // pending 0 / 1 / 2 / >=3
+  TaskId oldest = kInvalidTask;
+  for (TaskId id = 0; id < submitted; ++id) {
+    TaskState& st = state(id);
+    bool completed;
+    {
+      const sync::SpinGuard guard(st.succ_lock);
+      completed = st.completed;
+    }
+    if (completed) continue;
+    const std::uint32_t pending = st.pending.load(mo_relaxed);
+    ++histogram[pending < 3 ? pending : 3];
+    if (oldest == kInvalidTask) oldest = id;
+  }
+  os << "  pending histogram (unfinished): 0=" << histogram[0]
+     << " 1=" << histogram[1] << " 2=" << histogram[2]
+     << " >=3=" << histogram[3] << "\n";
+  if (oldest != kInvalidTask && graph_ != nullptr) {
+    const Task& task = graph_->task(oldest);
+    os << "  oldest unfinished: task " << oldest << " kind="
+       << task_kind_name(task.spec.kind);
+    if (!task.spec.name.empty()) os << " name='" << task.spec.name << "'";
+    os << " pending=" << state(oldest).pending.load(mo_relaxed);
+    if (task.spec.layer >= 0) os << " layer=" << task.spec.layer;
+    if (task.spec.step >= 0) os << " step=" << task.spec.step;
+    os << "\n";
+  }
+  if (fault_injector_) {
+    os << "  fault injector: throws=" << fault_injector_->throws_injected()
+       << " delays=" << fault_injector_->delays_injected()
+       << " stalls=" << fault_injector_->stalls_injected()
+       << " active-stalls=" << fault_injector_->active_stalls() << "\n";
+  }
+  return os.str();
+}
+
+std::string Runtime::scheduler_state_dump() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!session_active_) return "scheduler idle (no active session)";
+  return dump_locked("scheduler state");
 }
 
 RunStats Runtime::end() {
   std::unique_lock<std::mutex> lock(mu_);
   BPAR_CHECK(session_active_, "end() outside a session");
-  done_cv_.wait(lock, [this] {
-    return executed_.load(std::memory_order_acquire) ==
-           submitted_.load(mo_relaxed);
-  });
+  wait_drained(lock);
   RunStats stats;
   stats.wall_ns = now_ns();
   const std::size_t total = submitted_.load(mo_relaxed);
@@ -295,6 +421,10 @@ void Runtime::execute_task(TaskId id, int worker_id) {
   }
   const std::uint64_t start = now_ns();
   try {
+    // Disabled fault injection costs exactly this null test.
+    if (fault_injector_) [[unlikely]] {
+      fault_injector_->before_execute(id);
+    }
     st.task->fn();
   } catch (...) {
     const std::lock_guard<std::mutex> guard(mu_);

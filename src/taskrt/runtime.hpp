@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "taskrt/fault.hpp"
 #include "taskrt/ready_fifo.hpp"
 #include "taskrt/task_graph.hpp"
 #include "taskrt/work_steal_deque.hpp"
@@ -59,6 +60,16 @@ struct RuntimeOptions {
   SchedulerPolicy policy = SchedulerPolicy::kFifo;
   bool record_trace = false;  // keep per-task (start, end, worker) tuples
   bool pin_threads = false;   // best-effort core pinning (Linux)
+  /// Watchdog deadline: if no task completes for this long while the graph
+  /// is undrained, taskwait()/end() throws WatchdogError carrying a
+  /// scheduler-state dump instead of hanging. 0 disables. Must exceed the
+  /// longest individual task.
+  std::uint32_t watchdog_ms = 0;
+  /// Deterministic fault injection (see fault.hpp). Disabled by default;
+  /// when disabled here, the BPAR_FAULTS environment variable is consulted
+  /// unless read_fault_env is false.
+  FaultSpec faults{};
+  bool read_fault_env = true;
 };
 
 struct TaskTrace {
@@ -136,6 +147,16 @@ class Runtime {
   [[nodiscard]] int num_workers() const { return num_workers_; }
   [[nodiscard]] SchedulerPolicy policy() const { return options_.policy; }
 
+  /// The active fault injector, or nullptr when injection is disabled.
+  [[nodiscard]] FaultInjector* fault_injector() {
+    return fault_injector_.get();
+  }
+
+  /// Human-readable scheduler state (deque depths, FIFO cursors, pending
+  /// histogram, oldest unfinished task) — what WatchdogError::what()
+  /// carries. Callable any time; outside a session it reports that.
+  [[nodiscard]] std::string scheduler_state_dump();
+
  private:
   // Per-task execution state, separate from the graph so a graph can be
   // re-run. Cache-line sized: adjacent tasks' counters never false-share.
@@ -185,15 +206,24 @@ class Runtime {
   void notify_workers();
   [[nodiscard]] bool has_visible_work(int worker_id) const;
   std::uint64_t now_ns() const;
+  /// Blocks until executed == submitted. With a watchdog configured, fires
+  /// on no-progress deadlines: captures diagnostics, releases injected
+  /// stalls, and throws WatchdogError (closing the session; the runtime is
+  /// poisoned if the graph still does not drain). Caller holds `lock`.
+  void wait_drained(std::unique_lock<std::mutex>& lock);
+  /// Diagnostic text; caller holds mu_ and a session is active.
+  [[nodiscard]] std::string dump_locked(const std::string& headline);
 
   RuntimeOptions options_;
   int num_workers_;
   int steal_min_keep_;  // 1 under kLocalityAware (reserve the hot entry)
+  std::unique_ptr<FaultInjector> fault_injector_;  // null when disabled
 
   // --- cold path: session setup, blocking waits, error capture ---
   std::mutex mu_;
   std::condition_variable done_cv_;
   bool session_active_ = false;  // main thread only
+  bool poisoned_ = false;  // watchdog fired and the graph never drained
   TaskGraph* graph_ = nullptr;   // main thread only
   std::exception_ptr first_error_;  // guarded by mu_
   std::size_t tasks_with_affinity_ = 0;  // main thread only

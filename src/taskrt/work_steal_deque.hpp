@@ -102,6 +102,13 @@ class WorkStealingDeque {
     return bottom_.load(sync::mo_relaxed) <= top_.load(sync::mo_relaxed);
   }
 
+  /// Approximate depth (racy snapshot) — diagnostics only.
+  [[nodiscard]] std::int64_t size_approx() const {
+    const std::int64_t d =
+        bottom_.load(sync::mo_relaxed) - top_.load(sync::mo_relaxed);
+    return d > 0 ? d : 0;
+  }
+
  private:
   struct Array {
     explicit Array(std::int64_t cap)

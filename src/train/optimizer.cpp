@@ -81,6 +81,7 @@ void read_grads_state(std::istream& is, rnn::NetworkGrads& g) {
 
 void Optimizer::save_state(std::ostream&) const {}
 void Optimizer::load_state(std::istream&, const rnn::Network&) {}
+void Optimizer::scale_learning_rate(float) {}
 
 void Sgd::save_state(std::ostream& os) const {
   const char has_velocity = velocity_ ? 1 : 0;

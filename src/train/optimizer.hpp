@@ -24,6 +24,13 @@ class Optimizer {
   /// checkpointed training run resumes bit-exactly. Default: stateless.
   virtual void save_state(std::ostream& os) const;
   virtual void load_state(std::istream& is, const rnn::Network& net);
+
+  /// Learning-rate backoff hook for the trainer's divergence recovery:
+  /// multiplies the current learning rate by `s`. Default: no-op (an
+  /// optimizer without a rate ignores backoff).
+  virtual void scale_learning_rate(float s);
+  /// Current learning rate, 0 when the optimizer has none.
+  [[nodiscard]] virtual float learning_rate() const { return 0.0F; }
 };
 
 /// Plain SGD with optional momentum and gradient clipping.
@@ -40,6 +47,10 @@ class Sgd final : public Optimizer {
   [[nodiscard]] const char* name() const override { return "sgd"; }
   void save_state(std::ostream& os) const override;
   void load_state(std::istream& is, const rnn::Network& net) override;
+  void scale_learning_rate(float s) override { config_.learning_rate *= s; }
+  [[nodiscard]] float learning_rate() const override {
+    return config_.learning_rate;
+  }
 
  private:
   Config config_;
@@ -65,6 +76,10 @@ class Adam final : public Optimizer {
   }
   void save_state(std::ostream& os) const override;
   void load_state(std::istream& is, const rnn::Network& net) override;
+  void scale_learning_rate(float s) override { config_.learning_rate *= s; }
+  [[nodiscard]] float learning_rate() const override {
+    return config_.learning_rate;
+  }
 
  private:
   Config config_;

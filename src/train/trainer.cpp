@@ -1,9 +1,13 @@
 #include "train/trainer.hpp"
 
+#include <cmath>
 #include <numeric>
+#include <sstream>
 
 #include "perf/timer.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace bpar::train {
@@ -19,9 +23,29 @@ double accuracy(std::span<const int> predictions,
   return static_cast<double>(correct) / predictions.size();
 }
 
+void Trainer::take_snapshot() {
+  std::ostringstream net_os;
+  net_.save(net_os);
+  snapshot_net_ = std::move(net_os).str();
+  std::ostringstream opt_os;
+  optimizer_.save_state(opt_os);
+  snapshot_opt_ = std::move(opt_os).str();
+  snapshot_valid_ = true;
+}
+
+void Trainer::restore_snapshot() {
+  BPAR_CHECK(snapshot_valid_, "no snapshot to restore");
+  std::istringstream net_is(snapshot_net_);
+  net_.load(net_is);
+  std::istringstream opt_is(snapshot_opt_);
+  optimizer_.load_state(opt_is, net_);
+}
+
 EpochStats Trainer::train_epoch(const std::vector<rnn::BatchData>& batches) {
   perf::WallTimer timer;
   EpochStats stats;
+  const bool recover = options_.max_retries > 0;
+  if (recover && !snapshot_valid_) take_snapshot();
   // Visit order: identity, or a deterministic Fisher-Yates shuffle keyed by
   // (seed, epoch index) so runs are reproducible.
   std::vector<std::size_t> order(batches.size());
@@ -34,9 +58,67 @@ EpochStats Trainer::train_epoch(const std::vector<rnn::BatchData>& batches) {
     }
   }
   for (const std::size_t idx : order) {
-    const auto result = executor_.train_batch(batches[idx]);
-    optimizer_.step(net_, executor_.grads());
-    stats.mean_loss += result.loss;
+    int failures = 0;  // consecutive failed attempts of this batch
+    for (;;) {
+      exec::Executor& exec = active_executor();
+      try {
+        const auto result = exec.train_batch(batches[idx]);
+        if (options_.check_numerics) {
+          if (!std::isfinite(result.loss)) {
+            BPAR_RAISE(util::Error, "non-finite loss ", result.loss,
+                       " on batch ", idx);
+          }
+          if (!exec.grads().all_finite()) {
+            BPAR_RAISE(util::Error, "non-finite gradient on batch ", idx);
+          }
+        }
+        if (options_.clip_norm > 0.0F) {
+          const double norm = exec.grads().l2_norm();
+          if (norm > static_cast<double>(options_.clip_norm)) {
+            exec.grads().scale(options_.clip_norm /
+                               static_cast<float>(norm));
+          }
+        }
+        // Weights mutate only here, after validation — a failed attempt
+        // leaves them untouched unless a previous step already diverged.
+        optimizer_.step(net_, exec.grads());
+        stats.mean_loss += result.loss;
+        ++global_step_;
+        if (recover) take_snapshot();
+        if (options_.checkpoint_every > 0 && options_.on_checkpoint &&
+            global_step_ % options_.checkpoint_every == 0) {
+          options_.on_checkpoint(global_step_);
+        }
+        break;
+      } catch (const util::Error& e) {
+        if (!recover) throw;
+        ++failures;
+        BPAR_LOG_WARN << "batch " << idx << " attempt " << failures
+                      << " failed (" << exec.name() << "): " << e.what();
+        if (snapshot_valid_) {
+          restore_snapshot();
+          ++stats.rollbacks;
+        }
+        if (failures > 1 && options_.lr_backoff > 0.0F &&
+            options_.lr_backoff < 1.0F) {
+          optimizer_.scale_learning_rate(options_.lr_backoff);
+          BPAR_LOG_WARN << "learning rate backed off to "
+                        << optimizer_.learning_rate();
+        }
+        if (failures > options_.max_retries) {
+          if (!degraded_ && options_.fallback != nullptr) {
+            degraded_ = true;
+            failures = 0;
+            BPAR_LOG_ERROR << "executor " << executor_.name()
+                           << " exhausted retries on batch " << idx
+                           << "; degrading to " << options_.fallback->name();
+          } else {
+            throw;
+          }
+        }
+        ++stats.retries;
+      }
+    }
   }
   if (!batches.empty()) stats.mean_loss /= static_cast<double>(batches.size());
   stats.wall_ms = timer.elapsed_ms();
@@ -51,7 +133,7 @@ EpochStats Trainer::evaluate(const std::vector<rnn::BatchData>& batches) {
   double correct = 0.0;
   for (const auto& batch : batches) {
     std::vector<int> predictions(batch.labels.size());
-    const auto result = executor_.infer_batch(batch, predictions);
+    const auto result = active_executor().infer_batch(batch, predictions);
     stats.mean_loss += result.loss;
     correct += accuracy(predictions, batch.labels) *
                static_cast<double>(batch.labels.size());

@@ -1,7 +1,21 @@
-// Epoch-level training loop over a dataset of batches.
+// Epoch-level training loop over a dataset of batches, with numeric-health
+// guards and bounded fault recovery.
+//
+// Recovery model: a batch "commits" only when its loss and gradients pass
+// the finiteness checks — the optimizer step (the only weight mutation)
+// runs strictly after validation. After every committed batch the trainer
+// snapshots weights + optimizer state in memory; when a later batch fails
+// (executor throws, or the numeric guards trip) it rolls back to that
+// snapshot and retries. The first retry reuses the same learning rate, so a
+// transient fault (e.g. an injected task throw) reproduces the fault-free
+// trajectory bit-exactly; only repeated failures of the same batch back the
+// learning rate off. When retries are exhausted the trainer optionally
+// degrades to a fallback (typically sequential) executor before giving up.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "exec/executor.hpp"
@@ -14,16 +28,40 @@ struct EpochStats {
   double mean_loss = 0.0;
   double accuracy = 0.0;  // fraction of correct argmax predictions
   double wall_ms = 0.0;
+  int retries = 0;        // failed batch attempts that were retried
+  int rollbacks = 0;      // snapshot restores performed
 };
 
 /// Fraction of predictions matching labels (both in batch layout).
 [[nodiscard]] double accuracy(std::span<const int> predictions,
                               std::span<const int> labels);
 
+struct TrainerOptions {
+  /// Extra attempts per batch after the first failure. 0 disables recovery
+  /// (and snapshotting): any failure propagates to the caller.
+  int max_retries = 2;
+  /// Learning-rate multiplier applied from the second consecutive failure
+  /// of the same batch (the first retry stays bit-exact).
+  float lr_backoff = 0.5F;
+  /// Scan loss and gradients for NaN/Inf before the optimizer step.
+  bool check_numerics = true;
+  /// Global-norm gradient clip applied before the optimizer step (0 → off).
+  /// Complements Sgd's built-in clip; Adam has none of its own.
+  float clip_norm = 0.0F;
+  /// Executor to degrade to once retries on the primary are exhausted
+  /// (not owned; typically a SequentialExecutor). Null → no degradation.
+  exec::Executor* fallback = nullptr;
+  /// Invoke on_checkpoint every this many committed batches (0 → never).
+  std::uint64_t checkpoint_every = 0;
+  std::function<void(std::uint64_t step)> on_checkpoint;
+};
+
 class Trainer {
  public:
-  Trainer(rnn::Network& net, exec::Executor& executor, Optimizer& optimizer)
-      : net_(net), executor_(executor), optimizer_(optimizer) {}
+  Trainer(rnn::Network& net, exec::Executor& executor, Optimizer& optimizer,
+          TrainerOptions options = {})
+      : net_(net), executor_(executor), optimizer_(optimizer),
+        options_(std::move(options)) {}
 
   /// Shuffle the batch order each epoch (deterministic per seed + epoch).
   void set_shuffle(bool shuffle, std::uint64_t seed = 1) {
@@ -32,6 +70,8 @@ class Trainer {
   }
 
   /// Trains one epoch over `batches`, applying the optimizer per batch.
+  /// Throws util::Error when a batch keeps failing after all retries and
+  /// (if configured) the fallback executor also fails.
   EpochStats train_epoch(const std::vector<rnn::BatchData>& batches);
 
   /// Evaluates loss/accuracy without weight updates.
@@ -41,13 +81,32 @@ class Trainer {
     return history_;
   }
 
+  /// Committed (successful) batch count across all epochs.
+  [[nodiscard]] std::uint64_t global_step() const { return global_step_; }
+  /// True once the trainer has switched to the fallback executor.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
  private:
+  [[nodiscard]] exec::Executor& active_executor() {
+    return degraded_ ? *options_.fallback : executor_;
+  }
+  void take_snapshot();
+  void restore_snapshot();
+
   rnn::Network& net_;
   exec::Executor& executor_;
   Optimizer& optimizer_;
+  TrainerOptions options_;
   std::vector<EpochStats> history_;
   bool shuffle_ = false;
   std::uint64_t shuffle_seed_ = 1;
+  std::uint64_t global_step_ = 0;
+  bool degraded_ = false;
+  // In-memory rollback point: weights + optimizer state after the last
+  // committed batch (empty until the first commit or when recovery is off).
+  std::string snapshot_net_;
+  std::string snapshot_opt_;
+  bool snapshot_valid_ = false;
 };
 
 }  // namespace bpar::train

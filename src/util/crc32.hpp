@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// guarding checkpoint sections against torn writes and bit rot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bpar::util {
+
+/// Incremental CRC-32: pass the previous return value as `seed` to extend a
+/// running checksum over multiple buffers. Seed 0 starts a fresh checksum.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+}  // namespace bpar::util

@@ -1,0 +1,44 @@
+// Recoverable-error hierarchy.
+//
+// BPAR_CHECK (util/check.hpp) aborts: it guards programming errors that no
+// caller can meaningfully handle. The exceptions here are the opposite —
+// *environmental* failures (a torn checkpoint, a missing corpus file, a
+// stalled task graph) that a resilient caller is expected to catch and
+// recover from: fall back to an older checkpoint, synthesize a corpus, roll
+// back and retry a batch. Throw these, never BPAR_CHECK, when the condition
+// can be caused by the outside world rather than by a bug.
+//
+// BPAR_RAISE(ErrorType, parts...) builds the message with the same
+// stream-style stringization BPAR_CHECK uses.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace bpar::util {
+
+/// Root of all recoverable B-Par errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Checkpoint file invalid: truncated, checksum mismatch, wrong version,
+/// or incompatible with the model it is being loaded into.
+class CheckpointError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Dataset unavailable or malformed (missing file, bad layout).
+class DataError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace bpar::util
+
+#define BPAR_RAISE(ErrorType, ...) \
+  throw ErrorType(::bpar::util::detail::stringize(__VA_ARGS__))

@@ -1,8 +1,16 @@
 // Checkpointing tests: save/load of weights + optimizer state must make
-// resumed training bit-exact with uninterrupted training.
+// resumed training bit-exact with uninterrupted training, and every way a
+// crash can corrupt a checkpoint file must be diagnosed at load time with
+// a clear util::CheckpointError instead of an abort or garbage weights.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
 #include "core/bpar.hpp"
+#include "core/checkpoint.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace bpar {
@@ -98,7 +106,18 @@ TEST(Checkpoint, RejectsOptimizerMismatch) {
 
   Model b(cfg);
   b.set_optimizer(std::make_unique<train::Sgd>(train::Sgd::Config{}));
-  EXPECT_DEATH(b.load_checkpoint(path), "optimizer");
+  EXPECT_THROW(
+      {
+        try {
+          b.load_checkpoint(path);
+        } catch (const util::CheckpointError& e) {
+          EXPECT_NE(std::string(e.what()).find("optimizer"),
+                    std::string::npos)
+              << e.what();
+          throw;
+        }
+      },
+      util::CheckpointError);
 }
 
 TEST(Checkpoint, RejectsPlainWeightFile) {
@@ -107,7 +126,135 @@ TEST(Checkpoint, RejectsPlainWeightFile) {
   Model a(cfg);
   a.save(path);  // weight file, not a checkpoint
   Model b(cfg);
-  EXPECT_DEATH(b.load_checkpoint(path), "checkpoint");
+  EXPECT_THROW(b.load_checkpoint(path), util::CheckpointError);
+}
+
+TEST(Checkpoint, RejectsDimensionMismatchByName) {
+  const NetworkConfig cfg = small_config();
+  const std::string path = ::testing::TempDir() + "/bpar_ckpt_dims.bin";
+  Model a(cfg);
+  a.save_checkpoint(path);
+
+  NetworkConfig bigger = cfg;
+  bigger.hidden_size = cfg.hidden_size + 2;
+  Model b(bigger);
+  try {
+    b.load_checkpoint(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const util::CheckpointError& e) {
+    // The error must name the mismatched field and both values.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("hidden_size"), std::string::npos) << what;
+    EXPECT_NE(what.find('6'), std::string::npos) << what;
+    EXPECT_NE(what.find('8'), std::string::npos) << what;
+  }
+}
+
+TEST(Checkpoint, RejectsTruncatedFile) {
+  const NetworkConfig cfg = small_config();
+  const std::string path = ::testing::TempDir() + "/bpar_ckpt_trunc.bin";
+  Model a(cfg);
+  a.save_checkpoint(path);
+
+  // Chop the file at several points; every prefix must be diagnosed as
+  // truncated/corrupt, never loaded or aborted on.
+  std::ifstream in(path, std::ios::binary);
+  std::string image((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  for (const double frac : {0.1, 0.5, 0.9}) {
+    const auto cut = static_cast<std::size_t>(
+        static_cast<double>(image.size()) * frac);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(image.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    Model b(cfg);
+    EXPECT_THROW(b.load_checkpoint(path), util::CheckpointError)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(Checkpoint, RejectsBitFlippedPayload) {
+  const NetworkConfig cfg = small_config();
+  const std::string path = ::testing::TempDir() + "/bpar_ckpt_flip.bin";
+  Model a(cfg);
+  a.save_checkpoint(path);
+
+  // Flip one byte deep in the model payload: the section CRC must trip.
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  f.seekp(static_cast<std::streamoff>(size / 2));
+  char byte = 0;
+  f.seekg(static_cast<std::streamoff>(size / 2));
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(size / 2));
+  f.write(&byte, 1);
+  f.close();
+
+  Model b(cfg);
+  EXPECT_THROW(b.load_checkpoint(path), util::CheckpointError);
+}
+
+TEST(Checkpoint, ManagerRotatesAndPrunes) {
+  const NetworkConfig cfg = small_config();
+  const std::string prefix = ::testing::TempDir() + "/rot/run";
+  CheckpointManager manager(prefix, /*keep=*/2);
+  Model model(cfg);
+  for (std::uint64_t step : {10ULL, 20ULL, 30ULL, 40ULL}) {
+    manager.save(model, step);
+  }
+  const auto entries = manager.list();
+  ASSERT_EQ(entries.size(), 2U);
+  EXPECT_EQ(entries[0].first, 40U);  // newest first
+  EXPECT_EQ(entries[1].first, 30U);
+}
+
+TEST(Checkpoint, ManagerSkipsTornNewestCheckpoint) {
+  const NetworkConfig cfg = small_config();
+  const BatchData batch = make_batch(cfg, 9);
+  const std::string prefix = ::testing::TempDir() + "/torn/run";
+  CheckpointManager manager(prefix, /*keep=*/3);
+
+  Model model(cfg);
+  model.train_batch(batch);
+  manager.save(model, 1);
+  model.train_batch(batch);
+  manager.save(model, 2);
+
+  // Tear the newest file (simulated crash mid-write after rename — e.g.
+  // torn sector): load_latest_good must fall back to step 1.
+  const auto entries = manager.list();
+  ASSERT_EQ(entries.size(), 2U);
+  std::filesystem::resize_file(
+      entries[0].second,
+      std::filesystem::file_size(entries[0].second) / 2);
+
+  Model restored(cfg);
+  const auto step = manager.load_latest_good(restored);
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(*step, 1U);
+}
+
+TEST(Checkpoint, ManagerReturnsNulloptWhenNothingLoads) {
+  const NetworkConfig cfg = small_config();
+  CheckpointManager manager(::testing::TempDir() + "/empty/run", 3);
+  Model model(cfg);
+  EXPECT_FALSE(manager.load_latest_good(model).has_value());
+}
+
+TEST(Checkpoint, SaveIsAtomicNoPartialFileUnderFinalName) {
+  // A .tmp from an interrupted save must not shadow the real checkpoint;
+  // the loader only ever sees fully-written files under the final name.
+  const NetworkConfig cfg = small_config();
+  const std::string prefix = ::testing::TempDir() + "/atomic/run";
+  CheckpointManager manager(prefix, 3);
+  Model model(cfg);
+  const std::string path = manager.save(model, 7);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  Model restored(cfg);
+  EXPECT_EQ(manager.load_latest_good(restored), 7U);
 }
 
 TEST(Checkpoint, FreshOptimizerStateRoundTrips) {

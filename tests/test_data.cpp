@@ -3,10 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <string>
 
 #include "data/tidigits.hpp"
 #include "data/wikipedia.hpp"
+#include "util/error.hpp"
 
 namespace bpar::data {
 namespace {
@@ -238,6 +243,190 @@ TEST(Tidigits, FixedLengthCorpusRejectsBucketlessMisuse) {
   cfg.feature_dim = 3;
   TidigitsCorpus corpus(cfg);
   EXPECT_DEATH((void)corpus.make_batches(4), "make_bucketed_batches");
+}
+
+// ---- on-disk loader error paths ------------------------------------------
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Writes a .utt file; features are the deterministic ramp 0.01 * index.
+void write_utt(const std::string& path, std::int32_t label,
+               std::int32_t frames, std::int32_t dim,
+               const std::string& magic = "BPARUTT1",
+               std::size_t truncate_to = std::string::npos) {
+  std::string blob = magic;
+  const auto put_i32 = [&blob](std::int32_t v) {
+    blob.append(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  put_i32(label);
+  put_i32(frames);
+  put_i32(dim);
+  for (std::int32_t i = 0; i < frames * dim; ++i) {
+    const float f = 0.01F * static_cast<float>(i);
+    blob.append(reinterpret_cast<const char*>(&f), sizeof f);
+  }
+  if (truncate_to < blob.size()) blob.resize(truncate_to);
+  std::ofstream os(path, std::ios::binary);
+  os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+}
+
+std::string data_error_message(const TidigitsConfig& cfg) {
+  try {
+    TidigitsCorpus corpus(cfg);
+  } catch (const util::DataError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected util::DataError";
+  return {};
+}
+
+TEST(TidigitsLoader, MissingDirectoryNamesPathAndLayout) {
+  TidigitsConfig cfg;
+  cfg.feature_dim = 4;
+  cfg.seq_length = 8;
+  cfg.data_dir = ::testing::TempDir() + "/no-such-dir";
+  const std::string what = data_error_message(cfg);
+  EXPECT_NE(what.find(cfg.data_dir), std::string::npos) << what;
+  EXPECT_NE(what.find(".utt"), std::string::npos) << what;
+}
+
+TEST(TidigitsLoader, DirectoryWithoutUtterancesRaises) {
+  TidigitsConfig cfg;
+  cfg.feature_dim = 4;
+  cfg.seq_length = 8;
+  cfg.data_dir = fresh_dir("utt-empty");
+  const std::string what = data_error_message(cfg);
+  EXPECT_NE(what.find("no .utt files"), std::string::npos) << what;
+}
+
+TEST(TidigitsLoader, BadMagicNamesFile) {
+  TidigitsConfig cfg;
+  cfg.feature_dim = 4;
+  cfg.seq_length = 8;
+  cfg.data_dir = fresh_dir("utt-magic");
+  write_utt(cfg.data_dir + "/a.utt", 1, 8, 4, "WRONGMG!");
+  const std::string what = data_error_message(cfg);
+  EXPECT_NE(what.find("a.utt"), std::string::npos) << what;
+  EXPECT_NE(what.find("not a TIDIGITS utterance"), std::string::npos) << what;
+}
+
+TEST(TidigitsLoader, FeatureDimMismatchNamesBothDims) {
+  TidigitsConfig cfg;
+  cfg.feature_dim = 7;
+  cfg.seq_length = 8;
+  cfg.data_dir = fresh_dir("utt-dim");
+  write_utt(cfg.data_dir + "/a.utt", 1, 8, 5);
+  const std::string what = data_error_message(cfg);
+  EXPECT_NE(what.find("feature_dim is 5"), std::string::npos) << what;
+  EXPECT_NE(what.find("7 in the config"), std::string::npos) << what;
+}
+
+TEST(TidigitsLoader, TruncatedFileReportsByteCounts) {
+  TidigitsConfig cfg;
+  cfg.feature_dim = 4;
+  cfg.seq_length = 8;
+  cfg.data_dir = fresh_dir("utt-trunc");
+  // Header promises 8x4 floats; cut the payload in half.
+  write_utt(cfg.data_dir + "/a.utt", 1, 8, 4, "BPARUTT1",
+            8 + 12 + 8 * 4 * sizeof(float) / 2);
+  const std::string what = data_error_message(cfg);
+  EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+  EXPECT_NE(what.find("a.utt"), std::string::npos) << what;
+}
+
+TEST(TidigitsLoader, LoadsWellFormedUtterances) {
+  TidigitsConfig cfg;
+  cfg.feature_dim = 4;
+  cfg.seq_length = 6;  // shorter than the files: trims to the window
+  cfg.data_dir = fresh_dir("utt-good");
+  write_utt(cfg.data_dir + "/a.utt", 3, 10, 4);
+  write_utt(cfg.data_dir + "/b.utt", 9, 10, 4);
+  TidigitsCorpus corpus(cfg);
+  ASSERT_EQ(corpus.size(), 2);
+  EXPECT_EQ(corpus.label(0), 3);
+  EXPECT_EQ(corpus.label(1), 9);
+  const auto f = corpus.frames(0);
+  ASSERT_EQ(f.rows, 6);
+  ASSERT_EQ(f.cols, 4);
+  // Row-major ramp from write_utt: element (r, c) == 0.01 * (r*dim + c).
+  EXPECT_FLOAT_EQ(f.row(2)[3], 0.01F * (2 * 4 + 3));
+}
+
+TEST(TidigitsLoader, FallbackKnobDegradesToSynthetic) {
+  TidigitsConfig cfg;
+  cfg.feature_dim = 4;
+  cfg.seq_length = 8;
+  cfg.num_utterances = 12;
+  cfg.data_dir = ::testing::TempDir() + "/no-such-dir";
+  cfg.fallback_to_synthetic = true;
+  TidigitsCorpus loaded(cfg);
+  TidigitsConfig pure = cfg;
+  pure.data_dir.clear();
+  TidigitsCorpus synthetic(pure);
+  ASSERT_EQ(loaded.size(), synthetic.size());
+  EXPECT_TRUE(
+      tensor::allclose(loaded.frames(0), synthetic.frames(0), 0.0F, 0.0F));
+}
+
+TEST(WikipediaLoader, MissingCorpusFileNamesPath) {
+  WikipediaConfig cfg;
+  cfg.input_size = 8;
+  cfg.seq_length = 8;
+  cfg.corpus_chars = 1000;
+  cfg.corpus_path = ::testing::TempDir() + "/no-such-corpus.txt";
+  try {
+    WikipediaCorpus corpus(cfg);
+    FAIL() << "expected util::DataError";
+  } catch (const util::DataError& e) {
+    EXPECT_NE(std::string(e.what()).find(cfg.corpus_path),
+              std::string::npos);
+  }
+}
+
+TEST(WikipediaLoader, TinyCorpusFileRaises) {
+  WikipediaConfig cfg;
+  cfg.input_size = 8;
+  cfg.seq_length = 8;
+  cfg.corpus_chars = 1000;
+  const std::string dir = fresh_dir("wiki-tiny");
+  cfg.corpus_path = dir + "/corpus.txt";
+  std::ofstream(cfg.corpus_path) << "too small";
+  EXPECT_THROW(WikipediaCorpus corpus(cfg), util::DataError);
+}
+
+TEST(WikipediaLoader, LargeCorpusFileIsUsedVerbatim) {
+  WikipediaConfig cfg;
+  cfg.input_size = 8;
+  cfg.seq_length = 8;
+  cfg.corpus_chars = 64;
+  const std::string dir = fresh_dir("wiki-verbatim");
+  cfg.corpus_path = dir + "/corpus.txt";
+  std::string body;
+  while (body.size() < 200) body += "the quick brown fox jumps over it ";
+  std::ofstream(cfg.corpus_path) << body;
+  WikipediaCorpus corpus(cfg);
+  EXPECT_EQ(corpus.text(), body.substr(0, 64));
+}
+
+TEST(WikipediaLoader, FallbackKnobMatchesPureSynthetic) {
+  WikipediaConfig cfg;
+  cfg.input_size = 8;
+  cfg.seq_length = 8;
+  cfg.corpus_chars = 2000;
+  cfg.corpus_path = ::testing::TempDir() + "/no-such-corpus.txt";
+  cfg.fallback_to_synthetic = true;
+  WikipediaCorpus loaded(cfg);
+  WikipediaConfig pure = cfg;
+  pure.corpus_path.clear();
+  WikipediaCorpus synthetic(pure);
+  EXPECT_EQ(loaded.text(), synthetic.text());
 }
 
 }  // namespace
