@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "rnn/flops.hpp"
 #include "taskrt/task_graph.hpp"
 
@@ -28,9 +33,16 @@ void add_common_flags(bpar::util::ArgParser& args) {
                 "Xeon-8160 paper calibration");
   args.add_flag("full", "run the full (slow) configuration sweep");
   args.add_string("csv-dir", "bench_results", "directory for CSV output");
+  bpar::obs::add_cli_flags(args);  // --trace / --metrics
 }
 
 Calibration resolve_calibration(const bpar::util::ArgParser& args) {
+  // Every bench resolves its calibration before running the workload, so
+  // this is the one shared hook where --trace can arm span recording.
+  if (!args.get_string("trace").empty()) {
+    bpar::obs::set_tracing_enabled(true);
+    bpar::obs::set_thread_name("main");
+  }
   return args.flag("host-calibration") ? bpar::sim::calibrate()
                                        : paper_core_calibration();
 }
@@ -157,6 +169,26 @@ std::string gpu_cell(const bpar::perf::GpuModelParams& params,
 void emit_csv(const bpar::util::ArgParser& args, const bpar::util::Table& t,
               const std::string& name) {
   t.write_csv(args.get_string("csv-dir") + "/" + name + ".csv");
+
+  // Telemetry side channel: each emitted table also lands in the bench's
+  // RunReport. The report (and the trace, when armed) is rewritten after
+  // every table so a bench that emits several stays complete even if a
+  // later stage dies.
+  static bpar::obs::RunReport report;
+  if (report.binary.empty()) {
+    report.binary = args.program();
+    report.params = args.values();
+  }
+  report.add_table(name, t.header(), t.data());
+  if (const std::string& metrics_path = args.get_string("metrics");
+      !metrics_path.empty()) {
+    report.write_json_file(metrics_path,
+                           bpar::obs::Registry::instance().snapshot());
+  }
+  if (const std::string& trace_path = args.get_string("trace");
+      !trace_path.empty()) {
+    bpar::obs::write_trace_json_file(trace_path);
+  }
 }
 
 }  // namespace bench

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "taskrt/runtime.hpp"
 #include "taskrt/task_graph.hpp"
 
@@ -78,6 +79,31 @@ void BM_DispatchOverheadDynamic(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kTasks);
 }
 BENCHMARK(BM_DispatchOverheadDynamic)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+// Same workload with span tracing armed: the delta against the benchmark
+// above is the telemetry layer's dispatch-path cost (budget: <5% with
+// tracing on, 0% when compiled out via BPAR_NO_TRACING).
+void BM_DispatchOverheadDynamicTraced(benchmark::State& state) {
+  const auto workers = static_cast<int>(state.range(0));
+  bpar::obs::set_tracing_enabled(true);
+  Runtime rt({.num_workers = workers,
+              .policy = SchedulerPolicy::kLocalityAware});
+  constexpr int kTasks = 2000;
+  for (auto _ : state) {
+    bpar::taskrt::TaskGraph g;
+    rt.begin(g);
+    for (int i = 0; i < kTasks; ++i) {
+      rt.submit([] {
+        volatile int spin = 0;
+        for (int j = 0; j < 64; ++j) spin = spin + j;
+      });
+    }
+    rt.end();
+  }
+  bpar::obs::set_tracing_enabled(false);
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_DispatchOverheadDynamicTraced)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_RuntimeChainLatency(benchmark::State& state) {
   Runtime rt({.num_workers = 2,

@@ -14,6 +14,7 @@
 #include "core/bpar.hpp"
 #include "core/checkpoint.hpp"
 #include "data/wikipedia.hpp"
+#include "obs/session.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 
@@ -74,7 +75,10 @@ int main(int argc, char** argv) {
   args.add_int("keep-checkpoints", 3, "rotated checkpoints to keep");
   args.add_string("checkpoint-prefix", "next_char", "checkpoint path prefix");
   args.add_int("max-retries", 2, "retries per failed batch before fallback");
+  bpar::obs::add_cli_flags(args);
   if (!args.parse(argc, argv)) return 1;
+  bpar::obs::ObsSession session("next_char", args,
+                                bpar::obs::ReportMode::kJsonl);
 
   bpar::data::WikipediaConfig wcfg;
   wcfg.input_size = 24;
@@ -142,6 +146,11 @@ int main(int argc, char** argv) {
                 stats.wall_ms / static_cast<double>(batches.size()));
     if (stats.retries > 0) std::printf(", %d retries", stats.retries);
     std::printf(")%s\n", trainer.degraded() ? "  [degraded]" : "");
+    session.log("epoch", {{"epoch", static_cast<double>(epoch)},
+                          {"loss", stats.mean_loss},
+                          {"wall_ms", stats.wall_ms},
+                          {"retries", static_cast<double>(stats.retries)},
+                          {"rollbacks", static_cast<double>(stats.rollbacks)}});
   }
 
   const int n = static_cast<int>(args.get_int("generate"));

@@ -16,6 +16,7 @@
 #include "core/bpar.hpp"
 #include "core/checkpoint.hpp"
 #include "data/tidigits.hpp"
+#include "obs/session.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 
@@ -35,7 +36,10 @@ int main(int argc, char** argv) {
   args.add_string("checkpoint-prefix", "speech_digits",
                   "checkpoint path prefix");
   args.add_int("max-retries", 2, "retries per failed batch before fallback");
+  bpar::obs::add_cli_flags(args);
   if (!args.parse(argc, argv)) return 1;
+  bpar::obs::ObsSession session("speech_digits", args,
+                                bpar::obs::ReportMode::kJsonl);
 
   // Synthesize the corpus and split train/test 3:1.
   bpar::data::TidigitsConfig dcfg;
@@ -109,6 +113,13 @@ int main(int argc, char** argv) {
                 train_stats.mean_loss, eval_stats.mean_loss,
                 100.0 * eval_stats.accuracy,
                 trainer.degraded() ? "  [degraded]" : "");
+    session.log("epoch",
+                {{"epoch", static_cast<double>(epoch)},
+                 {"train_loss", train_stats.mean_loss},
+                 {"test_loss", eval_stats.mean_loss},
+                 {"test_accuracy", eval_stats.accuracy},
+                 {"wall_ms", train_stats.wall_ms},
+                 {"retries", static_cast<double>(train_stats.retries)}});
   }
 
   // Executor comparison on a single training batch (same weights).

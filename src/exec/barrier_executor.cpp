@@ -7,6 +7,7 @@
 #include "rnn/cell_kernels.hpp"
 #include "rnn/merge.hpp"
 #include "util/check.hpp"
+#include "obs/trace.hpp"
 
 namespace bpar::exec {
 
@@ -112,6 +113,7 @@ double BarrierExecutor::loss_head(const rnn::BatchData& batch) {
 }
 
 StepResult BarrierExecutor::train_batch(const rnn::BatchData& batch) {
+  BPAR_SPAN("exec.barrier.train_batch");
   const auto& cfg = net_.config();
   batch.validate(cfg.input_size, cfg.seq_length);
   BPAR_CHECK(batch.batch() == cfg.batch_size, "batch size mismatch");
@@ -130,6 +132,7 @@ StepResult BarrierExecutor::train_batch(const rnn::BatchData& batch) {
 
 StepResult BarrierExecutor::infer_batch(const rnn::BatchData& batch,
                                         std::span<int> predictions) {
+  BPAR_SPAN("exec.barrier.infer_batch");
   const auto& cfg = net_.config();
   batch.validate(cfg.input_size, cfg.seq_length);
   BPAR_CHECK(batch.batch() == cfg.batch_size, "batch size mismatch");

@@ -1,6 +1,7 @@
 #include "exec/bpar_executor.hpp"
 
 #include "exec/reference_pass.hpp"
+#include "obs/trace.hpp"
 #include "perf/timer.hpp"
 #include "util/check.hpp"
 
@@ -52,6 +53,7 @@ graph::TrainingProgram& BParExecutor::infer_program(int seq_length) {
 }
 
 StepResult BParExecutor::train_batch(const rnn::BatchData& batch) {
+  BPAR_SPAN("exec.train_batch");
   auto& program = train_program(batch.steps());
   last_train_ = &program;
   perf::WallTimer timer;
@@ -66,6 +68,7 @@ StepResult BParExecutor::train_batch(const rnn::BatchData& batch) {
 
 StepResult BParExecutor::infer_batch(const rnn::BatchData& batch,
                                      std::span<int> predictions) {
+  BPAR_SPAN("exec.infer_batch");
   auto& program = infer_program(batch.steps());
   perf::WallTimer timer;
   program.load_batch(batch);

@@ -4,6 +4,7 @@
 #include "perf/timer.hpp"
 #include "rnn/flops.hpp"
 #include "util/check.hpp"
+#include "obs/trace.hpp"
 
 namespace bpar::exec {
 
@@ -100,11 +101,13 @@ StepResult BSeqExecutor::run(const rnn::BatchData& batch, bool training,
 }
 
 StepResult BSeqExecutor::train_batch(const rnn::BatchData& batch) {
+  BPAR_SPAN("exec.bseq.train_batch");
   return run(batch, /*training=*/true, {});
 }
 
 StepResult BSeqExecutor::infer_batch(const rnn::BatchData& batch,
                                      std::span<int> predictions) {
+  BPAR_SPAN("exec.bseq.infer_batch");
   return run(batch, /*training=*/false, predictions);
 }
 

@@ -3,6 +3,7 @@
 #include "exec/reference_pass.hpp"
 #include "perf/timer.hpp"
 #include "util/check.hpp"
+#include "obs/trace.hpp"
 
 namespace bpar::exec {
 
@@ -13,6 +14,7 @@ SequentialExecutor::SequentialExecutor(rnn::Network& net) : net_(net) {
 }
 
 StepResult SequentialExecutor::train_batch(const rnn::BatchData& batch) {
+  BPAR_SPAN("exec.sequential.train_batch");
   const auto& cfg = net_.config();
   batch.validate(cfg.input_size, cfg.seq_length);
   BPAR_CHECK(batch.batch() == cfg.batch_size, "batch size mismatch");
@@ -28,6 +30,7 @@ StepResult SequentialExecutor::train_batch(const rnn::BatchData& batch) {
 
 StepResult SequentialExecutor::infer_batch(const rnn::BatchData& batch,
                                            std::span<int> predictions) {
+  BPAR_SPAN("exec.sequential.infer_batch");
   const auto& cfg = net_.config();
   batch.validate(cfg.input_size, cfg.seq_length);
   BPAR_CHECK(batch.batch() == cfg.batch_size, "batch size mismatch");

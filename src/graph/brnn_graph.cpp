@@ -5,6 +5,7 @@
 
 #include "kernels/elementwise.hpp"
 #include "kernels/gemm.hpp"
+#include "obs/trace.hpp"
 #include "rnn/flops.hpp"
 #include "rnn/merge.hpp"
 #include "util/check.hpp"
@@ -149,6 +150,7 @@ struct TrainingProgram::ReplicaCtx {
 TrainingProgram::TrainingProgram(rnn::Network& net, int total_batch,
                                  BuildOptions opts)
     : net_(net), cfg_(net.config()), opts_(opts), total_batch_(total_batch) {
+  BPAR_SPAN("graph.build");
   if (opts_.seq_length_override > 0) {
     cfg_.seq_length = opts_.seq_length_override;
   }

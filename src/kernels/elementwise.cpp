@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace bpar::kernels {
@@ -87,6 +88,7 @@ void accumulate(MatrixView dst, ConstMatrixView src) {
 }
 
 void softmax_rows(ConstMatrixView src, MatrixView dst) {
+  BPAR_SPAN("kernels.softmax_rows");
   BPAR_CHECK(src.rows == dst.rows && src.cols == dst.cols,
              "softmax shape mismatch");
   for (int r = 0; r < src.rows; ++r) {
@@ -118,6 +120,7 @@ double cross_entropy(ConstMatrixView probs, std::span<const int> labels) {
 
 void softmax_ce_grad(ConstMatrixView probs, std::span<const int> labels,
                      MatrixView dlogits) {
+  BPAR_SPAN("kernels.softmax_ce_grad");
   BPAR_CHECK(probs.rows == dlogits.rows && probs.cols == dlogits.cols,
              "grad shape mismatch");
   BPAR_CHECK(static_cast<int>(labels.size()) == probs.rows,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace bpar::kernels {
@@ -29,6 +30,7 @@ inline void scale_c(MatrixView c, float beta) {
 
 void gemm_nn(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
              float beta) {
+  BPAR_SPAN("kernels.gemm_nn");
   BPAR_CHECK(a.rows == c.rows && b.cols == c.cols && a.cols == b.rows,
              "gemm_nn shape mismatch: A ", a.rows, "x", a.cols, " B ", b.rows,
              "x", b.cols, " C ", c.rows, "x", c.cols);
@@ -58,6 +60,7 @@ void gemm_nn(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
 
 void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
              float beta) {
+  BPAR_SPAN("kernels.gemm_nt");
   BPAR_CHECK(a.rows == c.rows && b.rows == c.cols && a.cols == b.cols,
              "gemm_nt shape mismatch: A ", a.rows, "x", a.cols, " B ", b.rows,
              "x", b.cols, " C ", c.rows, "x", c.cols);
@@ -85,6 +88,7 @@ void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
 
 void gemm_tn(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
              float beta) {
+  BPAR_SPAN("kernels.gemm_tn");
   BPAR_CHECK(a.cols == c.rows && b.cols == c.cols && a.rows == b.rows,
              "gemm_tn shape mismatch: A ", a.rows, "x", a.cols, " B ", b.rows,
              "x", b.cols, " C ", c.rows, "x", c.cols);
@@ -106,6 +110,7 @@ void gemm_tn(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
 
 void gemv_t(ConstMatrixView a, std::span<const float> x, std::span<float> y,
             float alpha, float beta) {
+  BPAR_SPAN("kernels.gemv_t");
   BPAR_CHECK(static_cast<int>(x.size()) == a.rows &&
                  static_cast<int>(y.size()) == a.cols,
              "gemv_t shape mismatch");

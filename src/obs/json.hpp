@@ -1,0 +1,57 @@
+// Minimal JSON support for the telemetry layer: correct string escaping
+// (shared with the chrome-trace/DOT exporters), a tiny value tree, and a
+// recursive-descent parser used to round-trip the reports we emit.
+//
+// Deliberately small: objects are ordered key/value vectors, numbers are
+// doubles. This is a telemetry format, not a general JSON library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bpar::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal: quote,
+/// backslash, and every control character (newlines, tabs, ...) become
+/// escape sequences, so user-supplied task names can never produce
+/// malformed output.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// json_escape + surrounding quotes.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Formats a double as JSON: shortest round-trip form, never "nan"/"inf"
+/// (non-finite values become null, which JSON requires).
+[[nodiscard]] std::string json_number(double value);
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const { return type == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// find() that dies with a named error when the key is missing.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+};
+
+/// Parses a complete JSON document. Throws util::Error (with position
+/// information) on malformed input or trailing garbage.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+}  // namespace bpar::obs

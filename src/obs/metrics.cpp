@@ -1,0 +1,119 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+namespace bpar::obs {
+
+void Series::append(double v) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++appends_;
+  if (values_.size() < kMaxValues) values_.push_back(v);
+}
+
+std::vector<double> Series::values() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return values_;
+}
+
+std::size_t Series::total_appends() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return appends_;
+}
+
+void Series::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  values_.clear();
+  appends_ = 0;
+}
+
+HistogramCell::HistogramCell(std::vector<double> edges)
+    : edges_(edges), histogram_(std::move(edges)) {}
+
+void HistogramCell::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  histogram_ = perf::Histogram(edges_);
+}
+
+void HistogramCell::add(double value, double weight) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  histogram_.add(value, weight);
+}
+
+perf::Histogram HistogramCell::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return histogram_;
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();  // leaked: usable at exit
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Series& Registry::series(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return series_.try_emplace(std::string(name)).first->second;
+}
+
+HistogramCell& Registry::histogram(std::string_view name,
+                                   std::vector<double> edges) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return histograms_.try_emplace(std::string(name), std::move(edges))
+      .first->second;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
+  for (const auto& [name, s] : series_) snap.series[name] = s.values();
+  for (const auto& [name, h] : histograms_) {
+    const perf::Histogram histo = h.snapshot();
+    HistoSnapshot hs;
+    hs.mean = histo.mean();
+    hs.total = histo.total_weight();
+    for (std::size_t b = 0; b < histo.bins(); ++b) {
+      hs.labels.push_back(histo.bin_label(b));
+      hs.weights.push_back(histo.bin_weight(b));
+    }
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+std::string Registry::format_compact(std::string_view prefix) const {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  bool first = true;
+  const auto emit = [&](const std::string& name, const auto& value) {
+    if (!name.starts_with(prefix)) return;
+    if (!first) os << ' ';
+    first = false;
+    os << name << '=' << value;
+  };
+  for (const auto& [name, v] : snap.counters) emit(name, v);
+  for (const auto& [name, v] : snap.gauges) emit(name, v);
+  return os.str();
+}
+
+void Registry::reset_for_test() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Entries are cleared in place, never erased: handles cached by
+  // instrumented code (function-local statics) must stay valid.
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.set(0.0);
+  for (auto& [name, s] : series_) s.clear();
+  for (auto& [name, h] : histograms_) h.clear();
+}
+
+}  // namespace bpar::obs

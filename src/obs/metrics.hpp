@@ -1,0 +1,131 @@
+// Process-wide metrics registry: named atomic counters, gauges, bounded
+// series, and mutex-guarded perf::Histograms.
+//
+// Usage pattern: resolve the handle once (the registry returns stable
+// references), then update it lock-free on the hot path:
+//
+//   static obs::Counter& steals = obs::Registry::instance().counter("x");
+//   steals.add();
+//
+// Handles live for the process lifetime; the registry never removes an
+// entry. snapshot() is the single read point — the run-report emitter, the
+// watchdog dump, and the JSONL metrics stream all consume it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "perf/histogram.hpp"
+
+namespace bpar::obs {
+
+/// Monotonic event count. Lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value. Lock-free.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Append-only numeric series (per-epoch loss, grad norms). Capped: once
+/// kMaxValues entries exist, further appends are counted but dropped, so an
+/// unbounded training loop cannot grow the registry without limit.
+class Series {
+ public:
+  static constexpr std::size_t kMaxValues = 65536;
+
+  void append(double v);
+  [[nodiscard]] std::vector<double> values() const;
+  [[nodiscard]] std::size_t total_appends() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> values_;
+  std::size_t appends_ = 0;
+};
+
+/// Thread-safe wrapper over the weighted perf::Histogram.
+class HistogramCell {
+ public:
+  explicit HistogramCell(std::vector<double> edges);
+  void add(double value, double weight = 1.0);
+  [[nodiscard]] perf::Histogram snapshot() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> edges_;
+  perf::Histogram histogram_;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Lookup-or-create; the returned reference is stable forever.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Series& series(std::string_view name);
+  /// `edges` applies on first creation only (later calls reuse the cell).
+  HistogramCell& histogram(std::string_view name, std::vector<double> edges);
+
+  struct HistoSnapshot {
+    std::vector<std::string> labels;
+    std::vector<double> weights;
+    double mean = 0.0;
+    double total = 0.0;
+  };
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, std::vector<double>> series;
+    std::map<std::string, HistoSnapshot> histograms;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// One-line "name=value" rendering of counters and gauges whose names
+  /// start with `prefix` — for human-readable state dumps (watchdog).
+  [[nodiscard]] std::string format_compact(std::string_view prefix = {}) const;
+
+  /// Zeroes every counter and drops all series/histogram content. Handles
+  /// stay valid. Tests only — production code never resets.
+  void reset_for_test();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  // node-based maps: references into them survive later insertions.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Series, std::less<>> series_;
+  std::map<std::string, HistogramCell, std::less<>> histograms_;
+};
+
+}  // namespace bpar::obs

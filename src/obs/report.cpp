@@ -1,0 +1,173 @@
+#include "obs/report.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace bpar::obs {
+namespace {
+
+void write_string_map(std::ostream& os,
+                      const std::map<std::string, std::string>& m) {
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) os << ", ";
+    first = false;
+    os << json_quote(k) << ": " << json_quote(v);
+  }
+  os << "}";
+}
+
+void write_number_array(std::ostream& os, const std::vector<double>& values) {
+  os << "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << json_number(values[i]);
+  }
+  os << "]";
+}
+
+void write_string_array(std::ostream& os,
+                        const std::vector<std::string>& values) {
+  os << "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << json_quote(values[i]);
+  }
+  os << "]";
+}
+
+void write_metrics(std::ostream& os, const Registry::Snapshot& snap) {
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) os << ", ";
+    first = false;
+    os << json_quote(name) << ": " << v;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) os << ", ";
+    first = false;
+    os << json_quote(name) << ": " << json_number(v);
+  }
+  os << "}, \"series\": {";
+  first = true;
+  for (const auto& [name, values] : snap.series) {
+    if (!first) os << ", ";
+    first = false;
+    os << json_quote(name) << ": ";
+    write_number_array(os, values);
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) os << ", ";
+    first = false;
+    os << json_quote(name) << ": {\"mean\": " << json_number(h.mean)
+       << ", \"total\": " << json_number(h.total) << ", \"labels\": ";
+    write_string_array(os, h.labels);
+    os << ", \"weights\": ";
+    write_number_array(os, h.weights);
+    os << "}";
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+std::ofstream open_output_file(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;  // best effort; the open below reports failure
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream os(path);
+  BPAR_CHECK(os.good(), "cannot open ", path);
+  return os;
+}
+
+std::string metrics_json(const Registry::Snapshot& snapshot) {
+  std::ostringstream os;
+  write_metrics(os, snapshot);
+  return os.str();
+}
+
+void RunReport::add_table(const std::string& name,
+                          std::vector<std::string> header,
+                          std::vector<std::vector<std::string>> rows) {
+  Table& t = tables[name];
+  t.header = std::move(header);
+  t.rows = std::move(rows);
+}
+
+void RunReport::write_json(std::ostream& os,
+                           const Registry::Snapshot& metrics) const {
+  os << "{\n  \"schema_version\": " << kReportSchemaVersion
+     << ",\n  \"type\": \"run_report\",\n  \"binary\": " << json_quote(binary)
+     << ",\n  \"params\": ";
+  write_string_map(os, params);
+  os << ",\n  \"tables\": {";
+  bool first_table = true;
+  for (const auto& [name, table] : tables) {
+    if (!first_table) os << ",";
+    first_table = false;
+    os << "\n    " << json_quote(name) << ": {\"header\": ";
+    write_string_array(os, table.header);
+    os << ", \"rows\": [";
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      if (r > 0) os << ", ";
+      write_string_array(os, table.rows[r]);
+    }
+    os << "]}";
+  }
+  os << (tables.empty() ? "" : "\n  ") << "},\n  \"metrics\": ";
+  write_metrics(os, metrics);
+  os << "\n}\n";
+}
+
+void RunReport::write_json_file(const std::string& path,
+                                const Registry::Snapshot& metrics) const {
+  std::ofstream os = open_output_file(path);
+  write_json(os, metrics);
+}
+
+MetricsLogger::MetricsLogger(const std::string& path, std::string binary,
+                             std::map<std::string, std::string> params)
+    : os_(open_output_file(path)) {
+  os_ << "{\"schema_version\": " << kReportSchemaVersion
+      << ", \"type\": \"run_meta\", \"binary\": " << json_quote(binary)
+      << ", \"params\": ";
+  write_string_map(os_, params);
+  os_ << "}\n";
+}
+
+MetricsLogger::~MetricsLogger() { finish(); }
+
+void MetricsLogger::log(std::string_view type,
+                        const std::map<std::string, double>& fields) {
+  BPAR_CHECK(!finished_, "MetricsLogger already finished");
+  os_ << "{\"schema_version\": " << kReportSchemaVersion
+      << ", \"type\": " << json_quote(type);
+  for (const auto& [k, v] : fields) {
+    os_ << ", " << json_quote(k) << ": " << json_number(v);
+  }
+  os_ << "}\n";
+}
+
+void MetricsLogger::finish() {
+  if (finished_) return;
+  finished_ = true;
+  os_ << "{\"schema_version\": " << kReportSchemaVersion
+      << ", \"type\": \"metrics\", \"metrics\": "
+      << metrics_json(Registry::instance().snapshot()) << "}\n";
+  os_.flush();
+}
+
+}  // namespace bpar::obs

@@ -1,0 +1,84 @@
+// Machine-readable run reports (schema-versioned JSON/JSONL).
+//
+// Two consumers, two shapes:
+//
+//  * RunReport — one JSON document per run: binary + parameters + named
+//    tables (the bench harnesses' paper tables) + a full metrics-registry
+//    snapshot. Written by every bench/* target under --metrics=<path>, so
+//    perf trajectories diff as files instead of stdout scrapes.
+//
+//  * MetricsLogger — append-only JSONL stream: a run_meta header line,
+//    caller-logged rows (per-epoch loss, retries, ...), and a final
+//    metrics line with the registry snapshot. Written by the examples.
+//
+// Every line/document carries {"schema_version": 1, "type": ...} so
+// downstream tooling can reject formats it does not understand.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace bpar::obs {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Opens `path` for writing (truncating), creating parent directories as
+/// needed; dies with a named error when the file cannot be opened. All
+/// telemetry file outputs (--trace/--metrics) funnel through this.
+[[nodiscard]] std::ofstream open_output_file(const std::string& path);
+
+struct RunReport {
+  std::string binary;
+  std::map<std::string, std::string> params;
+
+  struct Table {
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+  };
+  std::map<std::string, Table> tables;
+
+  void add_table(const std::string& name, std::vector<std::string> header,
+                 std::vector<std::vector<std::string>> rows);
+
+  /// Serializes the report plus `metrics` as one JSON object.
+  void write_json(std::ostream& os, const Registry::Snapshot& metrics) const;
+  void write_json_file(const std::string& path,
+                       const Registry::Snapshot& metrics) const;
+};
+
+/// Renders a registry snapshot as a JSON object string (no trailing
+/// newline): {"counters": {...}, "gauges": {...}, "series": {...},
+/// "histograms": {...}}.
+[[nodiscard]] std::string metrics_json(const Registry::Snapshot& snapshot);
+
+class MetricsLogger {
+ public:
+  /// Opens `path` (truncating) and writes the run_meta header line.
+  MetricsLogger(const std::string& path, std::string binary,
+                std::map<std::string, std::string> params);
+  /// Writes the final metrics line if finish() has not run.
+  ~MetricsLogger();
+
+  /// Appends one row: {"schema_version":1,"type":<type>,<fields...>}.
+  void log(std::string_view type,
+           const std::map<std::string, double>& fields);
+
+  /// Writes {"type":"metrics", "metrics": <registry snapshot>} and closes.
+  void finish();
+
+  MetricsLogger(const MetricsLogger&) = delete;
+  MetricsLogger& operator=(const MetricsLogger&) = delete;
+
+ private:
+  std::ofstream os_;
+  bool finished_ = false;
+};
+
+}  // namespace bpar::obs

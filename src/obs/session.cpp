@@ -1,0 +1,61 @@
+#include "obs/session.hpp"
+
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "util/logging.hpp"
+
+namespace bpar::obs {
+
+void add_cli_flags(util::ArgParser& args) {
+  args.add_string("trace", "",
+                  "write a Perfetto/chrome-trace JSON timeline to this path");
+  args.add_string("metrics", "",
+                  "write machine-readable run metrics (JSON/JSONL) here");
+}
+
+ObsSession::ObsSession(std::string binary, const util::ArgParser& args,
+                       ReportMode mode)
+    : binary_(std::move(binary)),
+      trace_path_(args.get_string("trace")),
+      metrics_path_(args.get_string("metrics")),
+      mode_(mode) {
+  report_.binary = binary_;
+  report_.params = args.values();
+  if (!trace_path_.empty()) {
+    set_tracing_enabled(true);
+    set_thread_name("main");
+  }
+  if (!metrics_path_.empty() && mode_ == ReportMode::kJsonl) {
+    logger_ = std::make_unique<MetricsLogger>(metrics_path_, binary_,
+                                              report_.params);
+  }
+}
+
+ObsSession::~ObsSession() { finish(); }
+
+void ObsSession::log(std::string_view type,
+                     const std::map<std::string, double>& fields) {
+  if (logger_) logger_->log(type, fields);
+}
+
+void ObsSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!metrics_path_.empty()) {
+    if (mode_ == ReportMode::kJsonl) {
+      logger_->finish();
+    } else {
+      report_.write_json_file(metrics_path_,
+                              Registry::instance().snapshot());
+    }
+    BPAR_LOG_INFO << "wrote metrics to " << metrics_path_;
+  }
+  if (!trace_path_.empty()) {
+    set_tracing_enabled(false);
+    write_trace_json_file(trace_path_);
+    BPAR_LOG_INFO << "wrote trace (" << events_held() << " events) to "
+                  << trace_path_;
+  }
+}
+
+}  // namespace bpar::obs

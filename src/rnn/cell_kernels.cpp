@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "kernels/elementwise.hpp"
+#include "obs/trace.hpp"
 #include "kernels/gemm.hpp"
 #include "util/check.hpp"
 
@@ -62,6 +63,7 @@ void lstm_forward(const LayerParams& p, ConstMatrixView x,
   gemm_nt(h_prev, p.w_recurrent(), gates, 1.0F, 1.0F);
   kernels::add_bias_rows(gates, p.b.cview().row(0));
 
+  BPAR_SPAN("rnn.lstm_pointwise");
   for (int r = 0; r < batch; ++r) {
     float* g = gates.row(r).data();
     // f, i: sigmoid; g: tanh; o: sigmoid.
@@ -127,6 +129,7 @@ void gru_forward(const LayerParams& p, ConstMatrixView x,
   }
 
   // h = z ⊙ h̄ + (1 - z) ⊙ h_prev   (Eq. 10)
+  BPAR_SPAN("rnn.gru_pointwise");
   for (int r = 0; r < batch; ++r) {
     const float* g = gates.row(r).data();
     const float* z = g;
@@ -279,6 +282,7 @@ void gru_backward(const LayerParams& p, ConstMatrixView x,
 void cell_forward(const LayerParams& p, ConstMatrixView x,
                   ConstMatrixView h_prev, ConstMatrixView c_prev,
                   const CellTapeViews& tape) {
+  BPAR_SPAN("rnn.cell_forward");
   BPAR_CHECK(x.cols == p.input_size, "cell input width ", x.cols,
              " != layer input size ", p.input_size);
   BPAR_CHECK(h_prev.cols == p.hidden_size && h_prev.rows == x.rows,
@@ -297,6 +301,7 @@ void cell_backward(const LayerParams& p, ConstMatrixView x,
                    ConstMatrixView dc_in, MatrixView dx_acc,
                    MatrixView dh_prev_acc, MatrixView dc_prev_out,
                    LayerGrads& grads) {
+  BPAR_SPAN("rnn.cell_backward");
   BPAR_CHECK(dh_total.rows == x.rows && dh_total.cols == p.hidden_size,
              "dh shape mismatch");
   if (p.cell == CellType::kLstm) {

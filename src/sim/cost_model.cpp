@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "kernels/gemm.hpp"
+#include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -80,6 +81,7 @@ std::uint64_t roofline_cost_ns(double flops, std::size_t bytes,
 
 std::vector<std::uint64_t> modeled_costs(const taskrt::TaskGraph& graph,
                                          const Calibration& cal) {
+  BPAR_SPAN("sim.modeled_costs");
   std::vector<std::uint64_t> costs(graph.size());
   for (taskrt::TaskId id = 0; id < graph.size(); ++id) {
     const auto& spec = graph.task(id).spec;

@@ -5,6 +5,7 @@
 #include <queue>
 #include <set>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace bpar::sim {
@@ -37,6 +38,7 @@ Simulator::Simulator(SimOptions options) : options_(options) {
 
 SimResult Simulator::run(const TaskGraph& graph,
                          std::span<const std::uint64_t> cost_ns) const {
+  BPAR_SPAN("sim.run");
   BPAR_CHECK(cost_ns.size() == graph.size(), "cost vector size mismatch");
   const MachineModel& mach = options_.machine;
   const int cores = options_.cores;

@@ -1,8 +1,11 @@
 #include "taskrt/export.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 
+#include "obs/json.hpp"
+#include "obs/trace_export.hpp"
 #include "util/check.hpp"
 
 namespace bpar::taskrt {
@@ -34,11 +37,26 @@ const char* kind_color(TaskKind kind) {
   return "#cccccc";
 }
 
-std::string escape(const std::string& s) {
+// Graphviz label escape: quotes and backslashes get a backslash; literal
+// newlines become the DOT "\n" line-break sequence (a raw newline inside a
+// quoted label malforms the file). Other control characters are dropped.
+std::string dot_escape(const std::string& s) {
   std::string out;
+  out.reserve(s.size());
   for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
   }
   return out;
 }
@@ -57,7 +75,7 @@ void write_dot(const TaskGraph& graph, std::ostream& os,
     os << "  t" << id << " [fillcolor=\"" << kind_color(t.spec.kind)
        << "\", label=\"";
     if (options.include_names && !t.spec.name.empty()) {
-      os << escape(t.spec.name);
+      os << dot_escape(t.spec.name);
     } else {
       os << task_kind_name(t.spec.kind) << ' ' << id;
     }
@@ -95,7 +113,7 @@ void write_chrome_trace(const TaskGraph& graph,
     first = false;
     const std::string name =
         t.spec.name.empty() ? task_kind_name(t.spec.kind) : t.spec.name;
-    os << "\n  {\"name\": \"" << escape(name) << "\", \"cat\": \""
+    os << "\n  {\"name\": " << obs::json_quote(name) << ", \"cat\": \""
        << task_kind_name(t.spec.kind) << "\", \"ph\": \"X\", \"ts\": "
        << static_cast<double>(tr.start_ns) / 1e3
        << ", \"dur\": " << static_cast<double>(tr.end_ns - tr.start_ns) / 1e3
@@ -114,6 +132,64 @@ void write_chrome_trace_file(const TaskGraph& graph, const RunStats& stats,
   std::ofstream os(path);
   BPAR_CHECK(os.good(), "cannot open ", path);
   write_chrome_trace(graph, stats, os);
+}
+
+void write_unified_trace(const TaskGraph& graph, const RunStats& stats,
+                         std::ostream& os) {
+  BPAR_CHECK(stats.trace.size() == graph.size(),
+             "stats have no trace — run with record_trace = true");
+  // The RunStats trace is session-relative; obs events are absolute
+  // steady-clock ns. session_start_ns is the bridge. The export base is
+  // the earliest timestamp across both sources, so the timeline starts
+  // near zero however the run was captured.
+  const std::vector<obs::ThreadTrace> threads = obs::collect();
+  std::uint64_t base = obs::earliest_ts(threads);
+  for (const TaskTrace& tr : stats.trace) {
+    const std::uint64_t abs_start = stats.session_start_ns + tr.start_ns;
+    if (base == 0 || abs_start < base) base = abs_start;
+  }
+
+  obs::ChromeTraceWriter writer(os);
+  constexpr int kPid = 1;
+  // Worker rows (tid = worker id) carry the fully named task slices from
+  // the RunStats trace; obs ring rows (tid = 100 + ring id) carry spans,
+  // counters, and instants, with their kind-level task rows skipped so
+  // tasks appear exactly once.
+  const int num_workers = static_cast<int>(stats.worker_busy_ns.size());
+  for (int w = 0; w < num_workers; ++w) {
+    writer.thread_name(kPid, w, "tasks w" + std::to_string(w));
+  }
+  constexpr int kRingTidBase = 100;
+  for (const obs::ThreadTrace& t : threads) {
+    std::string label =
+        t.name.empty() ? "thread " + std::to_string(t.ring_id) : t.name;
+    label += " (spans)";
+    if (t.dropped > 0) {
+      label += " (dropped " + std::to_string(t.dropped) + ")";
+    }
+    writer.thread_name(kPid, kRingTidBase + t.ring_id, label);
+  }
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    const TaskTrace& tr = stats.trace[id];
+    const Task& t = graph.task(id);
+    const std::string name =
+        t.spec.name.empty() ? task_kind_name(t.spec.kind) : t.spec.name;
+    writer.slice(name, task_kind_name(t.spec.kind),
+                 stats.session_start_ns + tr.start_ns - base,
+                 static_cast<double>(tr.end_ns - tr.start_ns), kPid,
+                 tr.worker);
+  }
+  for (const obs::ThreadTrace& t : threads) {
+    obs::write_thread_events(writer, t, kPid, kRingTidBase + t.ring_id, base,
+                             /*skip_tasks=*/true);
+  }
+}
+
+void write_unified_trace_file(const TaskGraph& graph, const RunStats& stats,
+                              const std::string& path) {
+  std::ofstream os(path);
+  BPAR_CHECK(os.good(), "cannot open ", path);
+  write_unified_trace(graph, stats, os);
 }
 
 }  // namespace bpar::taskrt

@@ -39,4 +39,14 @@ void write_chrome_trace(const TaskGraph& graph, const RunStats& stats,
 void write_chrome_trace_file(const TaskGraph& graph, const RunStats& stats,
                              const std::string& path);
 
+/// One merged chrome-trace document: fully named task slices from a
+/// recorded RunStats trace (one row per worker) plus every obs span,
+/// counter, and instant collected so far (one row per recording thread) on
+/// a single shared timeline. Requires record_trace; spans require tracing
+/// to have been enabled during the run.
+void write_unified_trace(const TaskGraph& graph, const RunStats& stats,
+                         std::ostream& os);
+void write_unified_trace_file(const TaskGraph& graph, const RunStats& stats,
+                              const std::string& path);
+
 }  // namespace bpar::taskrt

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -65,6 +67,20 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
     state_chunks_[c].store(nullptr, std::memory_order_relaxed);
   }
   workers_ = std::make_unique<Worker[]>(static_cast<std::size_t>(num_workers_));
+
+  // Intern every trace label up front; the hot path only loads these ids.
+  for (std::size_t k = 0; k < kNumTaskKinds; ++k) {
+    obs_kind_ids_[k] = obs::intern_name(task_kind_name(static_cast<TaskKind>(k)));
+  }
+  obs_fifo_depth_id_ = obs::intern_name("ready_fifo_depth");
+  obs_steal_id_ = obs::intern_name("steal");
+  obs_park_id_ = obs::intern_name("park");
+  obs_taskwait_id_ = obs::intern_name("taskwait");
+  obs_deque_depth_ids_.reserve(static_cast<std::size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    obs_deque_depth_ids_.push_back(
+        obs::intern_name("deque_depth_w" + std::to_string(w)));
+  }
 
 #if defined(__linux__)
   // Pin onto the CPUs this process is actually allowed to run on (the
@@ -163,10 +179,19 @@ void Runtime::begin(TaskGraph& graph) {
   active_.store(0, mo_relaxed);
   max_active_.store(0, mo_relaxed);
   locality_hits_.store(0, mo_relaxed);
+  steals_.store(0, mo_relaxed);
+  steal_failures_.store(0, mo_relaxed);
+  parks_.store(0, mo_relaxed);
+  fifo_pushes_.store(0, mo_relaxed);
+  deque_pushes_.store(0, mo_relaxed);
   tasks_with_affinity_ = 0;
   for (int w = 0; w < num_workers_; ++w) workers_[w].busy_ns = 0;
   first_error_ = nullptr;
   session_start_ = std::chrono::steady_clock::now();
+  session_start_steady_ns_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          session_start_.time_since_epoch())
+          .count());
   session_active_ = true;
 
   // Tasks already present in the graph are published in two phases: every
@@ -230,9 +255,14 @@ void Runtime::release_publish_bias(TaskId id) {
 }
 
 void Runtime::taskwait() {
+  const std::uint64_t wait_start =
+      obs::tracing_enabled() ? obs::now_ns() : 0;
   std::unique_lock<std::mutex> lock(mu_);
   BPAR_CHECK(session_active_, "taskwait() outside a session");
   wait_drained(lock);
+  if (wait_start != 0) {
+    obs::record_span(obs_taskwait_id_, wait_start, obs::now_ns());
+  }
 }
 
 void Runtime::wait_drained(std::unique_lock<std::mutex>& lock) {
@@ -338,6 +368,16 @@ std::string Runtime::dump_locked(const std::string& headline) {
        << " stalls=" << fault_injector_->stalls_injected()
        << " active-stalls=" << fault_injector_->active_stalls() << "\n";
   }
+  os << "  session counters: steals=" << steals_.load(mo_relaxed)
+     << " steal-failures=" << steal_failures_.load(mo_relaxed)
+     << " parks=" << parks_.load(mo_relaxed)
+     << " fifo-pushes=" << fifo_pushes_.load(mo_relaxed)
+     << " deque-pushes=" << deque_pushes_.load(mo_relaxed) << "\n";
+  if (const std::string metrics =
+          obs::Registry::instance().format_compact("taskrt.");
+      !metrics.empty()) {
+    os << "  lifetime metrics: " << metrics << "\n";
+  }
   return os.str();
 }
 
@@ -348,9 +388,14 @@ std::string Runtime::scheduler_state_dump() {
 }
 
 RunStats Runtime::end() {
+  const std::uint64_t wait_start =
+      obs::tracing_enabled() ? obs::now_ns() : 0;
   std::unique_lock<std::mutex> lock(mu_);
   BPAR_CHECK(session_active_, "end() outside a session");
   wait_drained(lock);
+  if (wait_start != 0) {
+    obs::record_span(obs_taskwait_id_, wait_start, obs::now_ns());
+  }
   RunStats stats;
   stats.wall_ns = now_ns();
   const std::size_t total = submitted_.load(mo_relaxed);
@@ -358,6 +403,12 @@ RunStats Runtime::end() {
   stats.max_concurrency = max_active_.load(mo_relaxed);
   stats.tasks_with_affinity = tasks_with_affinity_;
   stats.locality_hits = locality_hits_.load(mo_relaxed);
+  stats.steals = steals_.load(mo_relaxed);
+  stats.steal_failures = steal_failures_.load(mo_relaxed);
+  stats.parks = parks_.load(mo_relaxed);
+  stats.fifo_pushes = fifo_pushes_.load(mo_relaxed);
+  stats.deque_pushes = deque_pushes_.load(mo_relaxed);
+  stats.session_start_ns = session_start_steady_ns_;
   stats.task_duration_ns.resize(total);
   if (options_.record_trace) stats.trace.resize(total);
   for (TaskId id = 0; id < total; ++id) {
@@ -373,6 +424,27 @@ RunStats Runtime::end() {
   graph_ = nullptr;
   const std::exception_ptr error = first_error_;
   lock.unlock();
+
+  // Publish scheduler counters into the process-wide metrics registry (the
+  // watchdog dump, run reports, and test diagnostics all read from there).
+  // Cold path: one map lookup per counter, once per session.
+  auto& reg = obs::Registry::instance();
+  reg.counter("taskrt.sessions").add(1);
+  reg.counter("taskrt.tasks_executed").add(total);
+  reg.counter("taskrt.steals").add(stats.steals);
+  reg.counter("taskrt.steal_failures").add(stats.steal_failures);
+  reg.counter("taskrt.parks").add(stats.parks);
+  reg.counter("taskrt.fifo_pushes").add(stats.fifo_pushes);
+  reg.counter("taskrt.deque_pushes").add(stats.deque_pushes);
+  reg.counter("taskrt.locality_hits").add(stats.locality_hits);
+  const std::uint64_t busy = stats.total_busy_ns();
+  const std::uint64_t capacity =
+      stats.wall_ns * static_cast<std::uint64_t>(num_workers_);
+  reg.counter("taskrt.busy_ns").add(busy);
+  reg.counter("taskrt.idle_ns").add(capacity > busy ? capacity - busy : 0);
+  reg.gauge("taskrt.parallel_efficiency").set(stats.parallel_efficiency());
+  reg.gauge("taskrt.max_concurrency").set(stats.max_concurrency);
+
   if (error) std::rethrow_exception(error);
   return stats;
 }
@@ -399,6 +471,7 @@ void Runtime::parallel_for(
 }
 
 void Runtime::worker_loop(int worker_id) {
+  obs::set_thread_name("worker " + std::to_string(worker_id));
   for (;;) {
     const TaskId id = next_task(worker_id);
     if (id == kInvalidTask) return;  // shutdown
@@ -438,6 +511,24 @@ void Runtime::execute_task(TaskId id, int worker_id) {
   st.duration_ns = finish - start;
   self.busy_ns += finish - start;
   if (options_.record_trace) st.trace = {start, finish, worker_id};
+  if (obs::tracing_enabled()) {
+    // Reuse the start/finish samples already taken: the task row costs no
+    // extra clock reads. Queue depths are sampled every 32nd task per
+    // worker (first task included, so short runs still get the tracks):
+    // size_approx() reads shared producer/consumer cursors, and doing
+    // that per task measurably perturbs the dispatch path it observes.
+    const auto kind = static_cast<std::uint8_t>(st.task->spec.kind);
+    const std::uint64_t abs_start = session_start_steady_ns_ + start;
+    const std::uint64_t abs_finish = session_start_steady_ns_ + finish;
+    obs::record_task(obs_kind_ids_[kind], kind, abs_start, abs_finish);
+    if ((self.trace_tick++ & 31U) == 0U) {
+      obs::record_counter(obs_fifo_depth_id_, abs_finish,
+                          ready_fifo_.size_approx());
+      obs::record_counter(
+          obs_deque_depth_ids_[static_cast<std::size_t>(worker_id)],
+          abs_finish, self.deque.size_approx());
+    }
+  }
 
   // Completion snapshot: after `completed` flips under the lock, submit()
   // counts any new edge to this task as already satisfied, so exactly the
@@ -485,8 +576,15 @@ TaskId Runtime::next_task(int worker_id) {
       int victim = worker_id + i;
       if (victim >= num_workers_) victim -= num_workers_;
       const TaskId id = workers_[victim].deque.steal(steal_min_keep_);
-      if (id != kInvalidTask) return id;
+      if (id != kInvalidTask) {
+        steals_.fetch_add(1, mo_relaxed);
+        if (obs::tracing_enabled()) {
+          obs::record_instant(obs_steal_id_, obs::now_ns());
+        }
+        return id;
+      }
     }
+    steal_failures_.fetch_add(1, mo_relaxed);
     ++failures;
     if (failures <= 2) continue;  // immediate re-sweep
     if (failures <= 5) {
@@ -503,12 +601,18 @@ TaskId Runtime::next_task(int worker_id) {
       sleepers_.fetch_sub(1, mo_relaxed);
       continue;
     }
+    parks_.fetch_add(1, mo_relaxed);
+    const std::uint64_t park_start =
+        obs::tracing_enabled() ? obs::now_ns() : 0;
     {
       std::unique_lock<std::mutex> lock(park_mu_);
       park_cv_.wait(lock, [&] {
         return park_epoch_.load(mo_relaxed) != ticket ||
                shutdown_.load(mo_relaxed);
       });
+    }
+    if (park_start != 0) {
+      obs::record_span(obs_park_id_, park_start, obs::now_ns());
     }
     sleepers_.fetch_sub(1, mo_relaxed);
   }
@@ -533,8 +637,10 @@ void Runtime::enqueue_ready(TaskId id, int from_worker) {
     // worker's own deque (owner push), where LIFO pop runs it while its
     // input is still cache-hot.
     workers_[from_worker].deque.push(id);
+    deque_pushes_.fetch_add(1, mo_relaxed);
   } else {
     ready_fifo_.enqueue(id);
+    fifo_pushes_.fetch_add(1, mo_relaxed);
   }
   notify_workers();
 }

@@ -84,6 +84,16 @@ struct RunStats {
   std::int32_t max_concurrency = 0;
   std::size_t tasks_with_affinity = 0;
   std::size_t locality_hits = 0;  // ran on the preferred (producer's) worker
+  // Scheduler pressure counters (also published to the obs metrics
+  // registry under the "taskrt." prefix at end()).
+  std::size_t steals = 0;          // successful steals from sibling deques
+  std::size_t steal_failures = 0;  // full sweeps that found nothing
+  std::size_t parks = 0;           // times a worker went to sleep
+  std::size_t fifo_pushes = 0;     // ready tasks routed to the global FIFO
+  std::size_t deque_pushes = 0;    // ready tasks routed to a local deque
+  /// Session start in absolute steady-clock ns — the offset that aligns
+  /// `trace` (session-relative) with obs span timestamps (absolute).
+  std::uint64_t session_start_ns = 0;
   std::vector<std::uint64_t> task_duration_ns;   // indexed by TaskId
   std::vector<std::uint64_t> worker_busy_ns;     // indexed by worker
   std::vector<TaskTrace> trace;                  // empty unless record_trace
@@ -176,6 +186,7 @@ class Runtime {
     WorkStealingDeque deque;
     std::vector<TaskId> succ_scratch;  // completion-snapshot buffer
     std::uint64_t busy_ns = 0;
+    std::uint32_t trace_tick = 0;  // queue-depth counter sampling phase
   };
 
   static constexpr std::size_t kStateChunkBits = 10;  // 1024 states/chunk
@@ -219,6 +230,16 @@ class Runtime {
   int steal_min_keep_;  // 1 under kLocalityAware (reserve the hot entry)
   std::unique_ptr<FaultInjector> fault_injector_;  // null when disabled
 
+  // Pre-interned obs trace name ids (resolved once at construction so the
+  // hot path never touches the intern table): task rows are labeled by
+  // TaskKind, counter tracks sample queue depths per completion.
+  std::uint16_t obs_kind_ids_[kNumTaskKinds] = {};
+  std::uint16_t obs_fifo_depth_id_ = 0;
+  std::uint16_t obs_steal_id_ = 0;
+  std::uint16_t obs_park_id_ = 0;
+  std::uint16_t obs_taskwait_id_ = 0;
+  std::vector<std::uint16_t> obs_deque_depth_ids_;
+
   // --- cold path: session setup, blocking waits, error capture ---
   std::mutex mu_;
   std::condition_variable done_cv_;
@@ -243,6 +264,12 @@ class Runtime {
   alignas(64) std::atomic<std::int32_t> active_{0};
   std::atomic<std::int32_t> max_active_{0};
   std::atomic<std::size_t> locality_hits_{0};
+  std::atomic<std::size_t> steals_{0};
+  std::atomic<std::size_t> steal_failures_{0};
+  std::atomic<std::size_t> parks_{0};
+  std::atomic<std::size_t> fifo_pushes_{0};
+  std::atomic<std::size_t> deque_pushes_{0};
+  std::uint64_t session_start_steady_ns_ = 0;  // main thread only
   std::unique_ptr<std::atomic<TaskState*>[]> state_chunks_;
   ReadyFifo ready_fifo_;
   std::unique_ptr<Worker[]> workers_;

@@ -56,6 +56,9 @@ enum class TaskKind : std::uint8_t {
   kBarrier,       // explicit per-layer barrier (baseline emulation)
 };
 
+inline constexpr std::size_t kNumTaskKinds =
+    static_cast<std::size_t>(TaskKind::kBarrier) + 1;
+
 [[nodiscard]] const char* task_kind_name(TaskKind kind);
 
 struct TaskSpec {

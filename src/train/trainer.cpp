@@ -4,6 +4,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "perf/timer.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
@@ -24,6 +26,8 @@ double accuracy(std::span<const int> predictions,
 }
 
 void Trainer::take_snapshot() {
+  BPAR_SPAN("train.snapshot");
+  perf::WallTimer timer;
   std::ostringstream net_os;
   net_.save(net_os);
   snapshot_net_ = std::move(net_os).str();
@@ -31,9 +35,13 @@ void Trainer::take_snapshot() {
   optimizer_.save_state(opt_os);
   snapshot_opt_ = std::move(opt_os).str();
   snapshot_valid_ = true;
+  static obs::HistogramCell& snapshot_ms = obs::Registry::instance().histogram(
+      "train.snapshot_ms", {0.1, 1.0, 10.0, 100.0, 1000.0});
+  snapshot_ms.add(timer.elapsed_ms());
 }
 
 void Trainer::restore_snapshot() {
+  BPAR_SPAN("train.restore");
   BPAR_CHECK(snapshot_valid_, "no snapshot to restore");
   std::istringstream net_is(snapshot_net_);
   net_.load(net_is);
@@ -42,6 +50,7 @@ void Trainer::restore_snapshot() {
 }
 
 EpochStats Trainer::train_epoch(const std::vector<rnn::BatchData>& batches) {
+  BPAR_SPAN("train.epoch");
   perf::WallTimer timer;
   EpochStats stats;
   const bool recover = options_.max_retries > 0;
@@ -74,6 +83,8 @@ EpochStats Trainer::train_epoch(const std::vector<rnn::BatchData>& batches) {
         }
         if (options_.clip_norm > 0.0F) {
           const double norm = exec.grads().l2_norm();
+          obs::Registry::instance().gauge("train.grad_norm").set(norm);
+          obs::Registry::instance().series("train.grad_norm").append(norm);
           if (norm > static_cast<double>(options_.clip_norm)) {
             exec.grads().scale(options_.clip_norm /
                                static_cast<float>(norm));
@@ -81,13 +92,23 @@ EpochStats Trainer::train_epoch(const std::vector<rnn::BatchData>& batches) {
         }
         // Weights mutate only here, after validation — a failed attempt
         // leaves them untouched unless a previous step already diverged.
-        optimizer_.step(net_, exec.grads());
+        {
+          BPAR_SPAN("train.optimizer_step");
+          optimizer_.step(net_, exec.grads());
+        }
         stats.mean_loss += result.loss;
         ++global_step_;
         if (recover) take_snapshot();
         if (options_.checkpoint_every > 0 && options_.on_checkpoint &&
             global_step_ % options_.checkpoint_every == 0) {
+          BPAR_SPAN("train.checkpoint");
+          perf::WallTimer ckpt_timer;
           options_.on_checkpoint(global_step_);
+          auto& reg = obs::Registry::instance();
+          reg.counter("train.checkpoints").add(1);
+          static obs::HistogramCell& ckpt_ms = reg.histogram(
+              "train.checkpoint_ms", {0.1, 1.0, 10.0, 100.0, 1000.0});
+          ckpt_ms.add(ckpt_timer.elapsed_ms());
         }
         break;
       } catch (const util::Error& e) {
@@ -123,10 +144,18 @@ EpochStats Trainer::train_epoch(const std::vector<rnn::BatchData>& batches) {
   if (!batches.empty()) stats.mean_loss /= static_cast<double>(batches.size());
   stats.wall_ms = timer.elapsed_ms();
   history_.push_back(stats);
+  auto& reg = obs::Registry::instance();
+  reg.series("train.loss").append(stats.mean_loss);
+  reg.gauge("train.loss").set(stats.mean_loss);
+  reg.counter("train.retries").add(static_cast<std::uint64_t>(stats.retries));
+  reg.counter("train.rollbacks")
+      .add(static_cast<std::uint64_t>(stats.rollbacks));
+  reg.counter("train.epochs").add(1);
   return stats;
 }
 
 EpochStats Trainer::evaluate(const std::vector<rnn::BatchData>& batches) {
+  BPAR_SPAN("train.evaluate");
   perf::WallTimer timer;
   EpochStats stats;
   std::size_t total = 0;

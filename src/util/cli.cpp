@@ -96,6 +96,7 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       print_help();
       return false;
     }
+    opt->provided = true;
     if (opt->kind == Kind::kFlag) {
       opt->flag_value =
           !inline_value.has_value() || *inline_value == "true" || *inline_value == "1";
@@ -148,6 +149,33 @@ double ArgParser::get_double(const std::string& name) const {
 
 const std::string& ArgParser::get_string(const std::string& name) const {
   return require(name, Kind::kString).string_value;
+}
+
+bool ArgParser::provided(const std::string& name) const {
+  auto it = options_.find(name);
+  BPAR_CHECK(it != options_.end(), "unknown option ", name);
+  return it->second.provided;
+}
+
+std::map<std::string, std::string> ArgParser::values() const {
+  std::map<std::string, std::string> out;
+  for (const auto& [name, opt] : options_) {
+    switch (opt.kind) {
+      case Kind::kFlag:
+        out[name] = opt.flag_value ? "true" : "false";
+        break;
+      case Kind::kInt:
+        out[name] = std::to_string(opt.int_value);
+        break;
+      case Kind::kDouble:
+        out[name] = std::to_string(opt.double_value);
+        break;
+      case Kind::kString:
+        out[name] = opt.string_value;
+        break;
+    }
+  }
+  return out;
 }
 
 void ArgParser::print_help() const {

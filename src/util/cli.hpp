@@ -33,6 +33,15 @@ class ArgParser {
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] const std::string& get_string(const std::string& name) const;
 
+  /// True when the user passed `--name` explicitly (vs. the default).
+  [[nodiscard]] bool provided(const std::string& name) const;
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+  /// Every registered option's current value rendered as a string, in
+  /// registration order — the run-report "params" map.
+  [[nodiscard]] std::map<std::string, std::string> values() const;
+
   /// Positional arguments left over after option parsing.
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
@@ -50,6 +59,7 @@ class ArgParser {
     std::int64_t int_value = 0;
     double double_value = 0.0;
     std::string string_value;
+    bool provided = false;
   };
 
   Option* find(const std::string& name);

@@ -1,22 +1,32 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <mutex>
 #include <string>
 
 namespace bpar::util {
 namespace {
 
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 LogLevel initial_threshold() {
   const char* env = std::getenv("BPAR_LOG");
   if (env == nullptr) return LogLevel::kInfo;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (const auto level = parse_log_level(env)) return *level;
+  std::fprintf(stderr, "[logging] ignoring unrecognized BPAR_LOG=%s\n", env);
   return LogLevel::kInfo;
 }
 
@@ -40,6 +50,26 @@ const char* level_tag(LogLevel level) {
 }
 
 }  // namespace
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+    text.remove_suffix(1);
+  }
+  if (iequals(text, "debug") || text == "0") return LogLevel::kDebug;
+  if (iequals(text, "info") || text == "1") return LogLevel::kInfo;
+  if (iequals(text, "warn") || iequals(text, "warning") || text == "2") {
+    return LogLevel::kWarn;
+  }
+  if (iequals(text, "error") || iequals(text, "err") || text == "3") {
+    return LogLevel::kError;
+  }
+  return std::nullopt;
+}
 
 LogLevel log_threshold() {
   return static_cast<LogLevel>(threshold_storage().load(std::memory_order_relaxed));

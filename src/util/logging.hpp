@@ -2,6 +2,7 @@
 // disabled-level fast path.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string_view>
 
@@ -9,8 +10,15 @@ namespace bpar::util {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+/// Parses a log-level spelling: the level names (debug|info|warn|error,
+/// case-insensitive, "warning"/"err" accepted), or the numeric values 0-3.
+/// Surrounding whitespace is ignored. Returns nullopt for anything else.
+std::optional<LogLevel> parse_log_level(std::string_view text);
+
 /// Global threshold; messages below it are dropped. Defaults to kInfo,
-/// overridable with the BPAR_LOG environment variable (debug|info|warn|error).
+/// overridable with the BPAR_LOG environment variable (any spelling
+/// parse_log_level accepts; unrecognized values keep the default and
+/// emit one warning).
 LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
 

@@ -22,6 +22,12 @@ class Table {
   void write_csv(const std::string& path) const;
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const {
+    return rows_;
+  }
 
  private:
   std::vector<std::string> header_;

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <fstream>
 
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "taskrt/export.hpp"
 #include "taskrt/runtime.hpp"
 
@@ -47,6 +49,98 @@ TEST(DotExport, ContainsNodesEdgesAndEscapes) {
   EXPECT_NE(dot.find("cell_bwd 2"), std::string::npos);  // unnamed fallback
   EXPECT_EQ(dot.find("truncated"), std::string::npos);
 }
+
+TEST(DotExport, EscapesBackslashesAndNewlines) {
+  TaskGraph g;
+  int a = 0;
+  TaskSpec spec;
+  spec.name = "path\\to\nthing";
+  g.add([] {}, {out(&a)}, spec);
+  std::ostringstream os;
+  write_dot(g, os);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("path\\\\to\\nthing"), std::string::npos);
+  // No raw newline may survive inside a label: every line with a label
+  // attribute must also close it.
+  std::istringstream lines(dot);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.find("label=\"") != std::string::npos) {
+      EXPECT_NE(line.rfind('"'), line.find("label=\"") + 6) << line;
+    }
+  }
+}
+
+TEST(ChromeTrace, EscapedNamesProduceValidJson) {
+  TaskGraph g;
+  int a = 0;
+  TaskSpec spec;
+  spec.name = "bad \"name\"\nwith\\stuff";
+  g.add([] {}, {out(&a)}, spec);
+  Runtime rt({.num_workers = 1, .record_trace = true});
+  const RunStats stats = rt.run(g);
+  std::ostringstream os;
+  write_chrome_trace(g, stats, os);
+  const bpar::obs::JsonValue doc = bpar::obs::json_parse(os.str());
+  ASSERT_TRUE(doc.is_array());
+  bool found = false;
+  for (const auto& ev : doc.array) {
+    const auto* name = ev.find("name");
+    if (name != nullptr && name->str == "bad \"name\"\nwith\\stuff") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+#if !defined(BPAR_NO_TRACING)
+TEST(UnifiedTrace, MergesTaskRowsAndSpanRows) {
+  bpar::obs::clear();
+  bpar::obs::set_tracing_enabled(true);
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  TaskGraph g = diamond(a, b, c);
+  Runtime rt({.num_workers = 2, .record_trace = true});
+  const RunStats stats = rt.run(g);
+  bpar::obs::set_tracing_enabled(false);
+
+  std::ostringstream os;
+  write_unified_trace(g, stats, os);
+  const bpar::obs::JsonValue doc = bpar::obs::json_parse(os.str());
+  ASSERT_TRUE(doc.is_array());
+  bool saw_task_row = false;
+  bool saw_span_row = false;
+  bool saw_named_task = false;
+  bool saw_counter = false;
+  std::size_t ring_task_slices = 0;
+  for (const auto& ev : doc.array) {
+    const std::string& ph = ev.at("ph").str;
+    if (ph == "M") {
+      const std::string& name = ev.at("args").at("name").str;
+      if (name.rfind("tasks w", 0) == 0) saw_task_row = true;
+      if (name.find("(spans)") != std::string::npos) saw_span_row = true;
+    }
+    if (ph == "C" && ev.at("name").str == "ready_fifo_depth") {
+      saw_counter = true;
+    }
+    if (ph == "X") {
+      if (ev.at("name").str == "root") saw_named_task = true;
+      // Ring rows (tid >= 100) must not duplicate the fully-named task
+      // slices already emitted on the worker rows.
+      if (ev.at("tid").number >= 100.0 && ev.at("cat").str == "task") {
+        ++ring_task_slices;
+      }
+      EXPECT_GE(ev.at("ts").number, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_task_row);
+  EXPECT_TRUE(saw_span_row);
+  EXPECT_TRUE(saw_named_task);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_EQ(ring_task_slices, 0U);
+  bpar::obs::clear();
+}
+#endif  // !BPAR_NO_TRACING
 
 TEST(DotExport, TruncatesLargeGraphs) {
   TaskGraph g;

@@ -1,0 +1,351 @@
+// Telemetry layer tests: trace rings (wrap/drop-oldest, concurrent
+// recording), the metrics registry (atomicity, stable handles), JSON
+// escaping/parsing, and RunReport / MetricsLogger round-trips.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace bpar::obs {
+namespace {
+
+// Restores the tracing flag and drops all recorded events around each test
+// so the suite's tests cannot contaminate each other.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_tracing_enabled(false);
+    clear();
+  }
+  void TearDown() override {
+    set_tracing_enabled(false);
+    clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledTracingRecordsNothing) {
+  const std::size_t before = events_held();
+  const std::uint16_t id = intern_name("test.disabled");
+  record_span(id, 10, 20);
+  record_counter(id, 30, 7);
+  record_instant(id, 40);
+  {
+    BPAR_SPAN("test.disabled_macro");
+  }
+  EXPECT_EQ(events_held(), before);
+}
+
+TEST_F(TraceTest, InternReturnsStableIds) {
+  const std::uint16_t a = intern_name("test.intern_a");
+  const std::uint16_t b = intern_name("test.intern_b");
+  EXPECT_NE(a, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(intern_name("test.intern_a"), a);
+  EXPECT_EQ(interned_name(a), "test.intern_a");
+  EXPECT_EQ(interned_name(0), "<overflow>");
+}
+
+TEST_F(TraceTest, DurationRoundTripsThroughFloatPayload) {
+  TraceEvent ev;
+  ev.payload = 0;
+  EXPECT_EQ(ev.duration_ns(), 0.0);
+#if !defined(BPAR_NO_TRACING)
+  set_tracing_enabled(true);
+  const std::uint16_t id = intern_name("test.duration");
+  record_span(id, 1000, 251000);  // 250 us
+  set_tracing_enabled(false);
+  bool found = false;
+  for (const auto& t : collect()) {
+    for (const auto& e : t.events) {
+      if (e.name != id) continue;
+      found = true;
+      EXPECT_EQ(e.kind, EventKind::kSpan);
+      EXPECT_EQ(e.ts_ns, 1000U);
+      EXPECT_NEAR(e.duration_ns(), 250000.0, 16.0);  // float granularity
+    }
+  }
+  EXPECT_TRUE(found);
+#endif
+}
+
+#if !defined(BPAR_NO_TRACING)
+
+// Finds the collected trace for the thread labeled `name`.
+const ThreadTrace* find_thread(const std::vector<ThreadTrace>& threads,
+                               const std::string& name) {
+  for (const auto& t : threads) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, RingWrapDropsOldestEvents) {
+  const std::size_t saved_capacity = ring_capacity();
+  set_ring_capacity(16);
+  set_tracing_enabled(true);
+  const std::uint16_t id = intern_name("test.wrap");
+  std::thread recorder([&] {
+    set_thread_name("wrap-thread");
+    for (std::uint64_t i = 0; i < 40; ++i) record_instant(id, i + 1);
+  });
+  recorder.join();
+  set_tracing_enabled(false);
+  set_ring_capacity(saved_capacity);
+
+  const auto threads = collect();
+  const ThreadTrace* t = find_thread(threads, "wrap-thread");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->events.size(), 16U);
+  EXPECT_EQ(t->dropped, 24U);
+  // Oldest-to-newest order, holding the most recent window.
+  for (std::size_t i = 0; i < t->events.size(); ++i) {
+    EXPECT_EQ(t->events[i].ts_ns, 25U + i);
+  }
+}
+
+TEST_F(TraceTest, EightThreadsRecordConcurrently) {
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 1000;
+  set_tracing_enabled(true);
+  std::vector<std::uint16_t> ids;
+  ids.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    ids.push_back(intern_name("test.mt" + std::to_string(i)));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      set_thread_name("mt-" + std::to_string(i));
+      for (int j = 0; j < kEventsPerThread; ++j) {
+        const std::uint64_t start = now_ns();
+        record_span(ids[static_cast<std::size_t>(i)], start, start + 10);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  set_tracing_enabled(false);
+
+  const auto collected = collect();
+  for (int i = 0; i < kThreads; ++i) {
+    const ThreadTrace* t =
+        find_thread(collected, "mt-" + std::to_string(i));
+    ASSERT_NE(t, nullptr) << "thread " << i;
+    EXPECT_EQ(t->dropped, 0U);
+    std::size_t mine = 0;
+    for (const auto& ev : t->events) {
+      if (ev.name == ids[static_cast<std::size_t>(i)]) ++mine;
+    }
+    // The ring may also hold stale events from a previous test's reuse of
+    // this OS thread id; count only this test's name id.
+    EXPECT_EQ(mine, static_cast<std::size_t>(kEventsPerThread));
+  }
+}
+
+TEST_F(TraceTest, ExportedTraceJsonParsesAndNamesThreads) {
+  set_tracing_enabled(true);
+  std::thread recorder([&] {
+    set_thread_name("export \"thread\"\n1");
+    const std::uint16_t span = intern_name("test.export span\nnewline");
+    const std::uint16_t counter = intern_name("test.export_counter");
+    const std::uint64_t start = now_ns();
+    record_span(span, start, start + 500);
+    record_counter(counter, start + 600, 42);
+    record_instant(intern_name("test.export_instant"), start + 700);
+  });
+  recorder.join();
+  set_tracing_enabled(false);
+
+  std::ostringstream os;
+  write_trace_json(os);
+  const JsonValue doc = json_parse(os.str());  // must be valid JSON
+  ASSERT_TRUE(doc.is_array());
+  bool saw_thread = false;
+  bool saw_span = false;
+  bool saw_counter = false;
+  for (const auto& ev : doc.array) {
+    const JsonValue* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "M" &&
+        ev.at("args").at("name").str == "export \"thread\"\n1") {
+      saw_thread = true;
+    }
+    if (ph->str == "X" && ev.at("name").str == "test.export span\nnewline") {
+      saw_span = true;
+      EXPECT_NEAR(ev.at("dur").number, 0.5, 0.01);  // us
+    }
+    if (ph->str == "C" && ev.at("name").str == "test.export_counter") {
+      saw_counter = true;
+      EXPECT_EQ(ev.at("args").at("value").number, 42.0);
+    }
+  }
+  EXPECT_TRUE(saw_thread);
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_counter);
+}
+
+#endif  // !BPAR_NO_TRACING
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(json_quote("x\"y"), "\"x\\\"y\"");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  // Shortest-round-trip: the parsed value must equal the original.
+  const double v = 0.1234567890123456;
+  EXPECT_EQ(json_parse(json_number(v)).number, v);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)json_parse("{"), util::Error);
+  EXPECT_THROW((void)json_parse("[1,]"), util::Error);
+  EXPECT_THROW((void)json_parse("{} trailing"), util::Error);
+  const JsonValue v = json_parse(R"({"a": [1, true, "s\n"], "b": null})");
+  EXPECT_TRUE(v.at("a").is_array());
+  EXPECT_EQ(v.at("a").array[2].str, "s\n");
+  EXPECT_TRUE(v.at("b").is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossInsertions) {
+  Counter& first = Registry::instance().counter("test.stable");
+  for (int i = 0; i < 100; ++i) {
+    (void)Registry::instance().counter("test.filler" + std::to_string(i));
+  }
+  EXPECT_EQ(&Registry::instance().counter("test.stable"), &first);
+}
+
+TEST(MetricsRegistry, ConcurrentCountsAreExact) {
+  Counter& c = Registry::instance().counter("test.concurrent");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      // Mix of resolve-by-name and cached-handle updates.
+      for (int j = 0; j < kAdds; ++j) {
+        Registry::instance().counter("test.concurrent").add();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(MetricsRegistry, SnapshotCarriesAllKinds) {
+  Registry& reg = Registry::instance();
+  reg.counter("test.snap_counter").add(3);
+  reg.gauge("test.snap_gauge").set(2.5);
+  reg.series("test.snap_series").append(1.0);
+  reg.series("test.snap_series").append(2.0);
+  reg.histogram("test.snap_histo", {1.0, 10.0}).add(5.0);
+  const Registry::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("test.snap_counter"), 3U);
+  EXPECT_EQ(snap.gauges.at("test.snap_gauge"), 2.5);
+  EXPECT_EQ(snap.series.at("test.snap_series"),
+            (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(snap.histograms.at("test.snap_histo").total, 1.0);
+  const std::string compact = reg.format_compact("test.snap_");
+  EXPECT_NE(compact.find("test.snap_counter=3"), std::string::npos);
+  EXPECT_EQ(compact.find("taskrt."), std::string::npos);
+}
+
+TEST(MetricsRegistry, SeriesCapsAtMaxValues) {
+  Series s;
+  for (std::size_t i = 0; i < Series::kMaxValues + 10; ++i) {
+    s.append(static_cast<double>(i));
+  }
+  EXPECT_EQ(s.values().size(), Series::kMaxValues);
+  EXPECT_EQ(s.total_appends(), Series::kMaxValues + 10);
+}
+
+TEST(RunReportJson, RoundTripsThroughParser) {
+  RunReport report;
+  report.binary = "test_bin";
+  report.params = {{"hidden", "128"}, {"note", "has \"quotes\"\nand line"}};
+  report.add_table("scaling", {"cores", "ms"},
+                   {{"1", "10.5"}, {"16", "1.2"}});
+  Registry::instance().counter("test.report_counter").add(7);
+
+  std::ostringstream os;
+  report.write_json(os, Registry::instance().snapshot());
+  const JsonValue doc = json_parse(os.str());
+  EXPECT_EQ(doc.at("schema_version").number, kReportSchemaVersion);
+  EXPECT_EQ(doc.at("type").str, "run_report");
+  EXPECT_EQ(doc.at("binary").str, "test_bin");
+  EXPECT_EQ(doc.at("params").at("note").str, "has \"quotes\"\nand line");
+  const JsonValue& table = doc.at("tables").at("scaling");
+  EXPECT_EQ(table.at("header").array[0].str, "cores");
+  EXPECT_EQ(table.at("rows").array[1].array[1].str, "1.2");
+  EXPECT_EQ(doc.at("metrics").at("counters").at("test.report_counter").number,
+            7.0);
+}
+
+TEST(MetricsLoggerJsonl, EveryLineParsesWithSchemaVersion) {
+  const std::string path = ::testing::TempDir() + "/bpar_test_metrics.jsonl";
+  {
+    MetricsLogger logger(path, "test_bin", {{"epochs", "2"}});
+    logger.log("epoch", {{"epoch", 0.0}, {"loss", 1.25}});
+    logger.log("epoch", {{"epoch", 1.0}, {"loss", 0.75}});
+  }  // destructor writes the final metrics line
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<JsonValue> lines;
+  for (std::string line; std::getline(in, line);) {
+    lines.push_back(json_parse(line));
+  }
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(), 4U);
+  for (const auto& v : lines) {
+    EXPECT_EQ(v.at("schema_version").number, kReportSchemaVersion);
+  }
+  EXPECT_EQ(lines[0].at("type").str, "run_meta");
+  EXPECT_EQ(lines[0].at("params").at("epochs").str, "2");
+  EXPECT_EQ(lines[1].at("type").str, "epoch");
+  EXPECT_EQ(lines[2].at("loss").number, 0.75);
+  EXPECT_EQ(lines[3].at("type").str, "metrics");
+  EXPECT_TRUE(lines[3].at("metrics").at("counters").is_object());
+}
+
+TEST(LogLevelParse, AcceptsSpellingsAndRejectsGarbage) {
+  using util::LogLevel;
+  using util::parse_log_level;
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level(" Info "), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("ERR"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("3"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("4"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace bpar::obs
