@@ -1,16 +1,30 @@
 #include "common.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "obs/analysis.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/session.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 #include "rnn/flops.hpp"
+#include "taskrt/export.hpp"
 #include "taskrt/task_graph.hpp"
 
 namespace bench {
+namespace {
+
+// Last simulated B-Par schedule, kept when analysis capture is armed so
+// emit_csv can write an analyzable trace and report section for it.
+bool g_capture_analysis = false;
+std::optional<bpar::obs::analysis::TraceModel> g_last_model;
+std::uint64_t g_last_model_cp_ns = 0;
+
+}  // namespace
+
+bool analysis_capture_enabled() { return g_capture_analysis; }
 
 using bpar::exec::FrameworkProfile;
 using bpar::graph::BuildOptions;
@@ -43,6 +57,8 @@ Calibration resolve_calibration(const bpar::util::ArgParser& args) {
     bpar::obs::set_tracing_enabled(true);
     bpar::obs::set_thread_name("main");
   }
+  g_capture_analysis = !args.get_string("trace").empty() ||
+                       !args.get_string("metrics").empty();
   return args.flag("host-calibration") ? bpar::sim::calibrate()
                                        : paper_core_calibration();
 }
@@ -60,9 +76,16 @@ double simulate_bpar(bpar::rnn::Network& net, const SimSetup& setup,
   TrainingProgram program(net, net.config().batch_size, bo);
   const auto costs =
       bpar::sim::modeled_costs(program.graph(), setup.calibration);
-  Simulator simulator(
-      SimOptions{.policy = setup.policy, .cores = setup.cores});
+  Simulator simulator(SimOptions{.policy = setup.policy,
+                                 .cores = setup.cores,
+                                 .record_trace = g_capture_analysis});
   SimResult r = simulator.run(program.graph(), costs);
+  if (g_capture_analysis && !r.trace.empty()) {
+    g_last_model = bpar::taskrt::make_trace_model(
+        program.graph(), std::span<const bpar::taskrt::TaskTrace>(r.trace),
+        setup.cores);
+    g_last_model_cp_ns = program.graph().critical_path_cost(costs);
+  }
   if (result != nullptr) *result = r;
   return r.makespan_ms;
 }
@@ -180,6 +203,10 @@ void emit_csv(const bpar::util::ArgParser& args, const bpar::util::Table& t,
     report.params = args.values();
   }
   report.add_table(name, t.header(), t.data());
+  if (g_last_model.has_value()) {
+    report.analysis_json = bpar::obs::analysis::to_json(
+        bpar::obs::analysis::analyze(*g_last_model, g_last_model_cp_ns));
+  }
   if (const std::string& metrics_path = args.get_string("metrics");
       !metrics_path.empty()) {
     report.write_json_file(metrics_path,
@@ -187,7 +214,31 @@ void emit_csv(const bpar::util::ArgParser& args, const bpar::util::Table& t,
   }
   if (const std::string& trace_path = args.get_string("trace");
       !trace_path.empty()) {
-    bpar::obs::write_trace_json_file(trace_path);
+    if (g_last_model.has_value()) {
+      // Analyzable trace: the last simulated B-Par schedule (task slices
+      // with {task, deps, worker} args on pid 1) plus the live obs spans
+      // (pid 2; the two timebases are unrelated, so separate rows).
+      std::ofstream os = bpar::obs::open_output_file(trace_path);
+      bpar::obs::ChromeTraceWriter writer(os);
+      bpar::obs::analysis::write_model_events(writer, *g_last_model,
+                                              /*pid=*/1);
+      const std::vector<bpar::obs::ThreadTrace> threads =
+          bpar::obs::collect();
+      const std::uint64_t base = bpar::obs::earliest_ts(threads);
+      for (const bpar::obs::ThreadTrace& thread : threads) {
+        const int tid = 200 + thread.ring_id;
+        std::string label = thread.name.empty()
+                                ? "thread " + std::to_string(thread.ring_id)
+                                : thread.name;
+        // "(obs)", not "(spans)": these rows are wall-clock spans from this
+        // process, not the simulated workers — the trace parser must not
+        // mistake them for the model's park/fault rows.
+        writer.thread_name(2, tid, label + " (obs)");
+        bpar::obs::write_thread_events(writer, thread, 2, tid, base);
+      }
+    } else {
+      bpar::obs::write_trace_json_file(trace_path);
+    }
   }
 }
 

@@ -83,4 +83,10 @@ struct SimSetup {
 void emit_csv(const bpar::util::ArgParser& args, const bpar::util::Table& t,
               const std::string& name);
 
+/// True when --trace or --metrics armed schedule capture (set by
+/// resolve_calibration): simulate_bpar records the simulated schedule and
+/// emit_csv turns it into an analyzable trace + a RunReport "analysis"
+/// section (bpar_prof analyze consumes both).
+[[nodiscard]] bool analysis_capture_enabled();
+
 }  // namespace bench

@@ -16,6 +16,7 @@ taskrt::RuntimeOptions runtime_options(const BParOptions& options) {
   ro.pin_threads = options.pin_threads;
   ro.watchdog_ms = options.watchdog_ms;
   ro.faults = options.faults;
+  ro.sample_counters = options.sample_counters;
   return ro;
 }
 }  // namespace

@@ -28,6 +28,9 @@ struct BParOptions {
   bool compute_input_grads = false;  // also produce per-timestep dL/dx
   std::uint32_t watchdog_ms = 0;  // no-progress deadline (0 → off)
   taskrt::FaultSpec faults{};       // deterministic fault injection
+  /// Per-task-class hardware counters (RunStats::kind_counters); no-op
+  /// when perf_event_open is unavailable.
+  bool sample_counters = false;
 };
 
 class BParExecutor final : public Executor {

@@ -1,11 +1,11 @@
-#include "perf/histogram.hpp"
+#include "obs/histogram.hpp"
 
 #include <algorithm>
 #include <cstdio>
 
 #include "util/check.hpp"
 
-namespace bpar::perf {
+namespace bpar::obs {
 
 Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
   BPAR_CHECK(!edges_.empty(), "histogram needs at least one edge");
@@ -49,4 +49,4 @@ std::string Histogram::bin_label(std::size_t bin, int digits) const {
   return buf;
 }
 
-}  // namespace bpar::perf
+}  // namespace bpar::obs

@@ -1,0 +1,37 @@
+// Weighted fixed-bin histogram — the one binning implementation shared by
+// the Fig. 7 IPC / MPKI distributions (via the perf::Histogram alias) and
+// the obs metrics registry's HistogramCells.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bpar::obs {
+
+class Histogram {
+ public:
+  /// `edges` are ascending inner bin boundaries; values below edges.front()
+  /// land in bin 0, values >= edges.back() land in the last bin. With E
+  /// edges there are E+1 bins.
+  explicit Histogram(std::vector<double> edges);
+
+  void add(double value, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bins() const { return weights_.size(); }
+  [[nodiscard]] double bin_weight(std::size_t bin) const;
+  /// Fraction of total weight in `bin` (0 if empty histogram).
+  [[nodiscard]] double bin_fraction(std::size_t bin) const;
+  [[nodiscard]] double total_weight() const { return total_; }
+  /// Weighted mean of added values.
+  [[nodiscard]] double mean() const;
+  /// Human-readable bin label, e.g. "1.5-2.0" or ">=30".
+  [[nodiscard]] std::string bin_label(std::size_t bin, int digits = 1) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<double> weights_;
+  double total_ = 0.0;
+  double weighted_sum_ = 0.0;
+};
+
+}  // namespace bpar::obs

@@ -31,7 +31,7 @@ HistogramCell::HistogramCell(std::vector<double> edges)
 
 void HistogramCell::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
-  histogram_ = perf::Histogram(edges_);
+  histogram_ = Histogram(edges_);
 }
 
 void HistogramCell::add(double value, double weight) {
@@ -39,7 +39,7 @@ void HistogramCell::add(double value, double weight) {
   histogram_.add(value, weight);
 }
 
-perf::Histogram HistogramCell::snapshot() const {
+Histogram HistogramCell::snapshot() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return histogram_;
 }
@@ -78,7 +78,7 @@ Registry::Snapshot Registry::snapshot() const {
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
   for (const auto& [name, s] : series_) snap.series[name] = s.values();
   for (const auto& [name, h] : histograms_) {
-    const perf::Histogram histo = h.snapshot();
+    const Histogram histo = h.snapshot();
     HistoSnapshot hs;
     hs.mean = histo.mean();
     hs.total = histo.total_weight();

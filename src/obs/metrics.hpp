@@ -1,5 +1,5 @@
 // Process-wide metrics registry: named atomic counters, gauges, bounded
-// series, and mutex-guarded perf::Histograms.
+// series, and mutex-guarded obs::Histograms.
 //
 // Usage pattern: resolve the handle once (the registry returns stable
 // references), then update it lock-free on the hot path:
@@ -20,7 +20,7 @@
 #include <string_view>
 #include <vector>
 
-#include "perf/histogram.hpp"
+#include "obs/histogram.hpp"
 
 namespace bpar::obs {
 
@@ -67,18 +67,18 @@ class Series {
   std::size_t appends_ = 0;
 };
 
-/// Thread-safe wrapper over the weighted perf::Histogram.
+/// Thread-safe wrapper over the weighted obs::Histogram.
 class HistogramCell {
  public:
   explicit HistogramCell(std::vector<double> edges);
   void add(double value, double weight = 1.0);
-  [[nodiscard]] perf::Histogram snapshot() const;
+  [[nodiscard]] Histogram snapshot() const;
   void clear();
 
  private:
   mutable std::mutex mu_;
   std::vector<double> edges_;
-  perf::Histogram histogram_;
+  Histogram histogram_;
 };
 
 class Registry {

@@ -127,7 +127,13 @@ void RunReport::write_json(std::ostream& os,
     }
     os << "]}";
   }
-  os << (tables.empty() ? "" : "\n  ") << "},\n  \"metrics\": ";
+  os << (tables.empty() ? "" : "\n  ") << "},\n";
+  if (!analysis_json.empty()) {
+    std::string trimmed = analysis_json;
+    while (!trimmed.empty() && trimmed.back() == '\n') trimmed.pop_back();
+    os << "  \"analysis\": " << trimmed << ",\n";
+  }
+  os << "  \"metrics\": ";
   write_metrics(os, metrics);
   os << "\n}\n";
 }

@@ -44,6 +44,11 @@ struct RunReport {
   };
   std::map<std::string, Table> tables;
 
+  /// Optional analysis section (obs::analysis::to_json output). Emitted
+  /// under the "analysis" key when non-empty; schema stays version 1 —
+  /// consumers that predate the section simply ignore the extra key.
+  std::string analysis_json;
+
   void add_table(const std::string& name, std::vector<std::string> header,
                  std::vector<std::vector<std::string>> rows);
 

@@ -57,6 +57,17 @@ void ChromeTraceWriter::slice(std::string_view name, std::string_view cat,
       << ", \"pid\": " << pid << ", \"tid\": " << tid << "}";
 }
 
+void ChromeTraceWriter::slice_args(std::string_view name, std::string_view cat,
+                                   std::uint64_t ts_ns, double dur_ns, int pid,
+                                   int tid, std::string_view args_json) {
+  begin_event();
+  os_ << "{\"name\": " << json_quote(name) << ", \"cat\": "
+      << json_quote(cat) << ", \"ph\": \"X\", \"ts\": "
+      << json_number(us(ts_ns)) << ", \"dur\": " << json_number(dur_ns / 1e3)
+      << ", \"pid\": " << pid << ", \"tid\": " << tid << ", \"args\": "
+      << args_json << "}";
+}
+
 void ChromeTraceWriter::counter(std::string_view name, std::uint64_t ts_ns,
                                 int pid, std::uint64_t value) {
   begin_event();

@@ -31,6 +31,12 @@ class ChromeTraceWriter {
   /// Complete slice ("ph":"X"). Times in ns; written as microseconds.
   void slice(std::string_view name, std::string_view cat, std::uint64_t ts_ns,
              double dur_ns, int pid, int tid);
+  /// Slice carrying a pre-rendered JSON args object (must be a complete
+  /// `{...}` literal) — how task slices publish {task, deps, worker, ...}
+  /// for bpar_prof to re-parse.
+  void slice_args(std::string_view name, std::string_view cat,
+                  std::uint64_t ts_ns, double dur_ns, int pid, int tid,
+                  std::string_view args_json);
   void counter(std::string_view name, std::uint64_t ts_ns, int pid,
                std::uint64_t value);
   void instant(std::string_view name, std::uint64_t ts_ns, int pid, int tid);

@@ -1,6 +1,8 @@
 #include "perf/perf_events.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <limits>
 
 #if defined(__linux__)
 #include <linux/perf_event.h>
@@ -11,10 +13,51 @@
 
 namespace bpar::perf {
 
+CounterSample& CounterSample::operator+=(const CounterSample& other) {
+  cycles += other.cycles;
+  instructions += other.instructions;
+  llc_misses += other.llc_misses;
+  cache_references += other.cache_references;
+  branch_misses += other.branch_misses;
+  scale = std::max(scale, other.scale);
+  return *this;
+}
+
+CounterSample counter_delta(const CounterReading& begin,
+                            const CounterReading& end) {
+  CounterSample sample;
+  if (!begin.valid || !end.valid) return sample;
+  std::uint64_t scaled[kNumCounterEvents] = {};
+  for (std::size_t i = 0; i < kNumCounterEvents; ++i) {
+    const CounterReading::Event& b = begin.events[i];
+    const CounterReading::Event& e = end.events[i];
+    if (!b.open || !e.open) continue;
+    const std::uint64_t dv = e.value - b.value;
+    const std::uint64_t de = e.time_enabled - b.time_enabled;
+    const std::uint64_t dr = e.time_running - b.time_running;
+    if (dr == 0) {
+      // The event never reached a physical PMC during the interval: its
+      // count is unknown. Contribute 0 but flag the loss.
+      if (de > 0) sample.scale = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    const double factor = static_cast<double>(de) / static_cast<double>(dr);
+    scaled[i] = static_cast<std::uint64_t>(static_cast<double>(dv) * factor);
+    sample.scale = std::max(sample.scale, factor);
+  }
+  sample.cycles = scaled[kCycles];
+  sample.instructions = scaled[kInstructions];
+  sample.llc_misses = scaled[kLlcMisses];
+  sample.cache_references = scaled[kCacheReferences];
+  sample.branch_misses = scaled[kBranchMisses];
+  return sample;
+}
+
 #if defined(__linux__)
 namespace {
 
-int open_counter(std::uint32_t type, std::uint64_t config) {
+int open_counter(std::uint32_t type, std::uint64_t config,
+                 CounterScope scope) {
   perf_event_attr attr;
   std::memset(&attr, 0, sizeof attr);
   attr.type = type;
@@ -23,60 +66,82 @@ int open_counter(std::uint32_t type, std::uint64_t config) {
   attr.disabled = 1;
   attr.exclude_kernel = 1;
   attr.exclude_hv = 1;
-  attr.inherit = 1;  // count child threads (the runtime's workers)
-  return static_cast<int>(
-      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+  // Multiplexing bookkeeping: the kernel reports how long the event was
+  // enabled vs. actually counting, which is what scales partial counts.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // Process scope counts workers spawned later via inherit; thread scope
+  // confines the event to the calling thread (per-worker task slicing).
+  attr.inherit = scope == CounterScope::kProcess ? 1 : 0;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
 }
 
-std::uint64_t read_counter(int fd) {
-  std::uint64_t value = 0;
-  if (fd >= 0 && read(fd, &value, sizeof value) != sizeof value) value = 0;
-  return value;
-}
+constexpr struct {
+  std::uint32_t type;
+  std::uint64_t config;
+} kEventSpecs[kNumCounterEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
 
 }  // namespace
 
-PerfCounters::PerfCounters() {
-  fd_cycles_ = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
-  fd_instructions_ =
-      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
-  fd_llc_misses_ =
-      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
-  available_ =
-      fd_cycles_ >= 0 && fd_instructions_ >= 0 && fd_llc_misses_ >= 0;
+PerfCounters::PerfCounters(CounterScope scope) {
+  for (std::size_t i = 0; i < kNumCounterEvents; ++i) {
+    fds_[i] = open_counter(kEventSpecs[i].type, kEventSpecs[i].config, scope);
+  }
+  available_ = fds_[kCycles] >= 0 && fds_[kInstructions] >= 0 &&
+               fds_[kLlcMisses] >= 0;
 }
 
 PerfCounters::~PerfCounters() {
-  for (const int fd : {fd_cycles_, fd_instructions_, fd_llc_misses_}) {
+  for (const int fd : fds_) {
     if (fd >= 0) close(fd);
   }
 }
 
 void PerfCounters::start() {
   if (!available_) return;
-  for (const int fd : {fd_cycles_, fd_instructions_, fd_llc_misses_}) {
+  for (const int fd : fds_) {
+    if (fd < 0) continue;
     ioctl(fd, PERF_EVENT_IOC_RESET, 0);
     ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
   }
+  start_reading_ = read();
+}
+
+CounterReading PerfCounters::read() const {
+  CounterReading reading;
+  if (!available_) return reading;
+  for (std::size_t i = 0; i < kNumCounterEvents; ++i) {
+    if (fds_[i] < 0) continue;
+    // read_format layout: value, time_enabled, time_running.
+    std::uint64_t buf[3] = {0, 0, 0};
+    if (::read(fds_[i], buf, sizeof buf) != sizeof buf) continue;
+    reading.events[i] = {buf[0], buf[1], buf[2], /*open=*/true};
+  }
+  reading.valid = true;
+  return reading;
 }
 
 std::optional<CounterSample> PerfCounters::stop() {
   if (!available_) return std::nullopt;
-  for (const int fd : {fd_cycles_, fd_instructions_, fd_llc_misses_}) {
-    ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  const CounterReading end = read();
+  for (const int fd : fds_) {
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
   }
-  CounterSample sample;
-  sample.cycles = read_counter(fd_cycles_);
-  sample.instructions = read_counter(fd_instructions_);
-  sample.llc_misses = read_counter(fd_llc_misses_);
-  return sample;
+  return counter_delta(start_reading_, end);
 }
 
 #else  // !__linux__
 
-PerfCounters::PerfCounters() = default;
+PerfCounters::PerfCounters(CounterScope) { fds_.fill(-1); }
 PerfCounters::~PerfCounters() = default;
 void PerfCounters::start() {}
+CounterReading PerfCounters::read() const { return {}; }
 std::optional<CounterSample> PerfCounters::stop() { return std::nullopt; }
 
 #endif

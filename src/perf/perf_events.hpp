@@ -1,52 +1,128 @@
 // Hardware performance counters via perf_event_open (Linux).
 //
-// Used to measure IPC and LLC misses for the Fig. 7 locality study when the
-// kernel allows it. Containers frequently deny perf_event_open; in that
-// case `PerfCounters::available()` is false and callers fall back to the
+// Used to measure IPC / LLC misses for the Fig. 7 locality study and, when
+// RuntimeOptions::sample_counters is on, to attribute counters to task
+// classes by reading per-worker (thread-scope) counters around every task
+// body. Containers frequently deny perf_event_open; in that case
+// `PerfCounters::available()` is false and callers fall back to the
 // simulator's cache model (see DESIGN.md §4).
+//
+// Five events are opened (cycles, instructions, LLC misses, cache
+// references, branch misses). Hardware PMUs typically have fewer physical
+// counters than that, so the kernel time-multiplexes the set; every event
+// is opened with PERF_FORMAT_TOTAL_TIME_ENABLED/RUNNING and readings are
+// scaled by time_enabled/time_running. The applied factor is reported in
+// CounterSample::scale rather than silently under-counting.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 
 namespace bpar::perf {
 
+/// Index order of the events a PerfCounters instance opens.
+enum CounterEvent : std::size_t {
+  kCycles = 0,
+  kInstructions,
+  kLlcMisses,
+  kCacheReferences,
+  kBranchMisses,
+  kNumCounterEvents,
+};
+
 struct CounterSample {
   std::uint64_t cycles = 0;
   std::uint64_t instructions = 0;
   std::uint64_t llc_misses = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t branch_misses = 0;
+  /// Largest time_enabled/time_running multiplexing correction already
+  /// applied to the values above. 1.0 = every event was on a physical PMC
+  /// for the whole interval; +inf = some event was never scheduled (its
+  /// contribution is unknown and counted as 0).
+  double scale = 1.0;
 
+  [[nodiscard]] bool multiplexed() const { return scale > 1.001; }
   [[nodiscard]] double ipc() const {
     return cycles == 0 ? 0.0
                        : static_cast<double>(instructions) /
                              static_cast<double>(cycles);
   }
+  /// LLC misses per kilo-instruction.
   [[nodiscard]] double mpki() const {
     return instructions == 0 ? 0.0
                              : 1000.0 * static_cast<double>(llc_misses) /
                                    static_cast<double>(instructions);
   }
+  /// Branch misses per kilo-instruction.
+  [[nodiscard]] double branch_mpki() const {
+    return instructions == 0 ? 0.0
+                             : 1000.0 * static_cast<double>(branch_misses) /
+                                   static_cast<double>(instructions);
+  }
+  /// LLC misses / cache references (0 when references were not counted).
+  [[nodiscard]] double llc_miss_rate() const {
+    return cache_references == 0
+               ? 0.0
+               : static_cast<double>(llc_misses) /
+                     static_cast<double>(cache_references);
+  }
+
+  /// Accumulates `other` (per-class aggregation). Counts add; scale keeps
+  /// the worst (largest) factor seen.
+  CounterSample& operator+=(const CounterSample& other);
+};
+
+/// One raw cumulative reading of every open event (unscaled), used to form
+/// interval deltas with counter_delta().
+struct CounterReading {
+  struct Event {
+    std::uint64_t value = 0;
+    std::uint64_t time_enabled = 0;
+    std::uint64_t time_running = 0;
+    bool open = false;
+  };
+  bool valid = false;
+  std::array<Event, kNumCounterEvents> events{};
+};
+
+/// (end - begin) with each event's delta scaled by its own interval
+/// enabled/running ratio; CounterSample::scale reports the largest factor.
+/// An event whose running time did not advance contributes 0 and sets
+/// scale to +inf when it was enabled (data lost, never silent).
+[[nodiscard]] CounterSample counter_delta(const CounterReading& begin,
+                                          const CounterReading& end);
+
+enum class CounterScope {
+  kProcess,  // this process, including threads spawned later (inherit)
+  kThread,   // the calling thread only (per-worker task slicing)
 };
 
 class PerfCounters {
  public:
-  PerfCounters();
+  explicit PerfCounters(CounterScope scope = CounterScope::kProcess);
   ~PerfCounters();
   PerfCounters(const PerfCounters&) = delete;
   PerfCounters& operator=(const PerfCounters&) = delete;
 
-  /// True if all three counters opened successfully.
+  /// True if the core trio (cycles, instructions, LLC misses) opened.
+  /// cache references / branch misses are best-effort extras: when their
+  /// events could not be opened they simply read 0.
   [[nodiscard]] bool available() const { return available_; }
 
   void start();
-  /// Stops counting and returns the deltas since start(); nullopt when
-  /// counters are unavailable.
+  /// Stops counting and returns the (multiplex-scaled) deltas since
+  /// start(); nullopt when counters are unavailable.
   std::optional<CounterSample> stop();
 
+  /// Raw cumulative reading without stopping — pair with counter_delta()
+  /// to slice one running session into per-task intervals.
+  [[nodiscard]] CounterReading read() const;
+
  private:
-  int fd_cycles_ = -1;
-  int fd_instructions_ = -1;
-  int fd_llc_misses_ = -1;
+  std::array<int, kNumCounterEvents> fds_{};
+  CounterReading start_reading_{};
   bool available_ = false;
 };
 

@@ -9,6 +9,7 @@
 #include <span>
 #include <string>
 
+#include "obs/analysis.hpp"
 #include "taskrt/runtime.hpp"
 #include "taskrt/task_graph.hpp"
 
@@ -48,5 +49,29 @@ void write_unified_trace(const TaskGraph& graph, const RunStats& stats,
                          std::ostream& os);
 void write_unified_trace_file(const TaskGraph& graph, const RunStats& stats,
                               const std::string& path);
+
+/// Direct predecessor lists, reconstructed by inverting the graph's
+/// successor edges. Index = TaskId.
+[[nodiscard]] std::vector<std::vector<TaskId>> predecessor_lists(
+    const TaskGraph& graph);
+
+/// Builds an analysis TraceModel from a recorded run: tasks with measured
+/// timing + declared deps + worker placement, park/fault spans harvested
+/// from the obs rings ("worker N" threads), and the runtime's scheduler
+/// counters for cross-checking. Requires record_trace.
+[[nodiscard]] obs::analysis::TraceModel make_trace_model(
+    const TaskGraph& graph, const RunStats& stats);
+
+/// Same, from a bare (start, end, worker) tuple span — how simulated
+/// B-Par schedules (sim::SimResult::trace) become analyzable. No spans or
+/// counters; `num_workers` sizes the worker set (0 → max worker id + 1).
+[[nodiscard]] obs::analysis::TraceModel make_trace_model(
+    const TaskGraph& graph, std::span<const TaskTrace> trace,
+    int num_workers);
+
+/// RunStats::kind_counters rendered as analysis rows (one per sampled
+/// kind); empty when counters were not sampled or perf was unavailable.
+[[nodiscard]] std::vector<obs::analysis::ClassHwRow> hw_class_rows(
+    const RunStats& stats);
 
 }  // namespace bpar::taskrt

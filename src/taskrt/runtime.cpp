@@ -75,6 +75,7 @@ Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   obs_fifo_depth_id_ = obs::intern_name("ready_fifo_depth");
   obs_steal_id_ = obs::intern_name("steal");
   obs_park_id_ = obs::intern_name("park");
+  obs_fault_id_ = obs::intern_name("fault");
   obs_taskwait_id_ = obs::intern_name("taskwait");
   obs_deque_depth_ids_.reserve(static_cast<std::size_t>(num_workers_));
   for (int w = 0; w < num_workers_; ++w) {
@@ -185,7 +186,12 @@ void Runtime::begin(TaskGraph& graph) {
   fifo_pushes_.store(0, mo_relaxed);
   deque_pushes_.store(0, mo_relaxed);
   tasks_with_affinity_ = 0;
-  for (int w = 0; w < num_workers_; ++w) workers_[w].busy_ns = 0;
+  for (int w = 0; w < num_workers_; ++w) {
+    workers_[w].busy_ns = 0;
+    if (options_.sample_counters) {
+      workers_[w].kind_counters.assign(kNumTaskKinds, {});
+    }
+  }
   first_error_ = nullptr;
   session_start_ = std::chrono::steady_clock::now();
   session_start_steady_ns_ = static_cast<std::uint64_t>(
@@ -420,6 +426,18 @@ RunStats Runtime::end() {
   for (int w = 0; w < num_workers_; ++w) {
     stats.worker_busy_ns[static_cast<std::size_t>(w)] = workers_[w].busy_ns;
   }
+  if (options_.sample_counters && pmu_workers_.load(mo_acquire) > 0) {
+    stats.kind_counters.assign(kNumTaskKinds, {});
+    for (int w = 0; w < num_workers_; ++w) {
+      const Worker& worker = workers_[w];
+      for (std::size_t k = 0; k < worker.kind_counters.size(); ++k) {
+        RunStats::KindCounters& agg = stats.kind_counters[k];
+        agg.tasks += worker.kind_counters[k].tasks;
+        agg.busy_ns += worker.kind_counters[k].busy_ns;
+        agg.counters += worker.kind_counters[k].counters;
+      }
+    }
+  }
   session_active_ = false;
   graph_ = nullptr;
   const std::exception_ptr error = first_error_;
@@ -444,6 +462,15 @@ RunStats Runtime::end() {
   reg.counter("taskrt.idle_ns").add(capacity > busy ? capacity - busy : 0);
   reg.gauge("taskrt.parallel_efficiency").set(stats.parallel_efficiency());
   reg.gauge("taskrt.max_concurrency").set(stats.max_concurrency);
+  for (std::size_t k = 0; k < stats.kind_counters.size(); ++k) {
+    const RunStats::KindCounters& kc = stats.kind_counters[k];
+    if (kc.tasks == 0) continue;
+    const std::string prefix =
+        std::string("taskrt.hw.") + task_kind_name(static_cast<TaskKind>(k));
+    reg.gauge(prefix + ".ipc").set(kc.counters.ipc());
+    reg.gauge(prefix + ".mpki").set(kc.counters.mpki());
+    reg.gauge(prefix + ".mux_scale").set(kc.counters.scale);
+  }
 
   if (error) std::rethrow_exception(error);
   return stats;
@@ -472,6 +499,15 @@ void Runtime::parallel_for(
 
 void Runtime::worker_loop(int worker_id) {
   obs::set_thread_name("worker " + std::to_string(worker_id));
+  if (options_.sample_counters) {
+    // Thread-scope events must be opened by the thread they count.
+    auto pmu = std::make_unique<perf::PerfCounters>(perf::CounterScope::kThread);
+    if (pmu->available()) {
+      pmu->start();  // enable once; per-task slicing uses read() deltas
+      workers_[worker_id].pmu = std::move(pmu);
+      pmu_workers_.fetch_add(1, mo_release);
+    }
+  }
   for (;;) {
     const TaskId id = next_task(worker_id);
     if (id == kInvalidTask) return;  // shutdown
@@ -492,13 +528,31 @@ void Runtime::execute_task(TaskId id, int worker_id) {
          !max_active_.compare_exchange_weak(seen_max, concurrent,
                                             mo_relaxed)) {
   }
+  // Fault injection runs BEFORE the start sample (disabled injection costs
+  // exactly this null test): injected delays/stalls become gaps on the
+  // worker's timeline — attributed to the recorded "fault" span by the
+  // analysis engine — instead of inflating the task's own duration.
+  bool fault_thrown = false;
+  if (fault_injector_) [[unlikely]] {
+    const std::uint64_t fault_start = now_ns();
+    try {
+      fault_injector_->before_execute(id);
+    } catch (...) {
+      const std::lock_guard<std::mutex> guard(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      fault_thrown = true;  // skip the body; bookkeeping still completes
+    }
+    if (const std::uint64_t fault_end = now_ns();
+        obs::tracing_enabled() && fault_end - fault_start > 1000) {
+      obs::record_span(obs_fault_id_, session_start_steady_ns_ + fault_start,
+                       session_start_steady_ns_ + fault_end);
+    }
+  }
+  perf::CounterReading pmu_begin;
+  if (self.pmu) pmu_begin = self.pmu->read();
   const std::uint64_t start = now_ns();
   try {
-    // Disabled fault injection costs exactly this null test.
-    if (fault_injector_) [[unlikely]] {
-      fault_injector_->before_execute(id);
-    }
-    st.task->fn();
+    if (!fault_thrown) st.task->fn();
   } catch (...) {
     const std::lock_guard<std::mutex> guard(mu_);
     if (!first_error_) first_error_ = std::current_exception();
@@ -511,6 +565,13 @@ void Runtime::execute_task(TaskId id, int worker_id) {
   st.duration_ns = finish - start;
   self.busy_ns += finish - start;
   if (options_.record_trace) st.trace = {start, finish, worker_id};
+  if (pmu_begin.valid) {
+    RunStats::KindCounters& kc =
+        self.kind_counters[static_cast<std::size_t>(st.task->spec.kind)];
+    ++kc.tasks;
+    kc.busy_ns += finish - start;
+    kc.counters += perf::counter_delta(pmu_begin, self.pmu->read());
+  }
   if (obs::tracing_enabled()) {
     // Reuse the start/finish samples already taken: the task row costs no
     // extra clock reads. Queue depths are sampled every 32nd task per

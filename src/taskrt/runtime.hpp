@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "perf/perf_events.hpp"
 #include "taskrt/fault.hpp"
 #include "taskrt/ready_fifo.hpp"
 #include "taskrt/task_graph.hpp"
@@ -70,6 +71,11 @@ struct RuntimeOptions {
   /// unless read_fault_env is false.
   FaultSpec faults{};
   bool read_fault_env = true;
+  /// Per-task-class hardware counters: every worker opens thread-scope
+  /// perf events and slices one running session into per-task deltas
+  /// (RunStats::kind_counters). No-op when perf_event_open is denied —
+  /// kind_counters stays empty and execution proceeds normally.
+  bool sample_counters = false;
 };
 
 struct TaskTrace {
@@ -97,6 +103,17 @@ struct RunStats {
   std::vector<std::uint64_t> task_duration_ns;   // indexed by TaskId
   std::vector<std::uint64_t> worker_busy_ns;     // indexed by worker
   std::vector<TaskTrace> trace;                  // empty unless record_trace
+
+  /// Hardware counters attributed to one task kind (summed over every
+  /// sampled task body of that kind, multiplex-scaled per interval).
+  struct KindCounters {
+    std::size_t tasks = 0;         // task bodies sampled
+    std::uint64_t busy_ns = 0;     // their summed duration
+    perf::CounterSample counters;
+  };
+  /// Indexed by TaskKind; empty unless RuntimeOptions::sample_counters was
+  /// set AND at least one worker's perf events opened.
+  std::vector<KindCounters> kind_counters;
 
   [[nodiscard]] double wall_ms() const {
     return static_cast<double>(wall_ns) / 1e6;
@@ -187,6 +204,10 @@ class Runtime {
     std::vector<TaskId> succ_scratch;  // completion-snapshot buffer
     std::uint64_t busy_ns = 0;
     std::uint32_t trace_tick = 0;  // queue-depth counter sampling phase
+    // Thread-scope PMU, created (and only ever touched) by the owning
+    // worker thread at loop entry when sample_counters is on.
+    std::unique_ptr<perf::PerfCounters> pmu;
+    std::vector<RunStats::KindCounters> kind_counters;  // by TaskKind
   };
 
   static constexpr std::size_t kStateChunkBits = 10;  // 1024 states/chunk
@@ -237,6 +258,7 @@ class Runtime {
   std::uint16_t obs_fifo_depth_id_ = 0;
   std::uint16_t obs_steal_id_ = 0;
   std::uint16_t obs_park_id_ = 0;
+  std::uint16_t obs_fault_id_ = 0;
   std::uint16_t obs_taskwait_id_ = 0;
   std::vector<std::uint16_t> obs_deque_depth_ids_;
 
@@ -269,6 +291,7 @@ class Runtime {
   std::atomic<std::size_t> parks_{0};
   std::atomic<std::size_t> fifo_pushes_{0};
   std::atomic<std::size_t> deque_pushes_{0};
+  std::atomic<std::int32_t> pmu_workers_{0};  // workers whose PMU opened
   std::uint64_t session_start_steady_ns_ = 0;  // main thread only
   std::unique_ptr<std::atomic<TaskState*>[]> state_chunks_;
   ReadyFifo ready_fifo_;

@@ -1,0 +1,163 @@
+// bpar_prof — offline analysis of B-Par traces and run reports.
+//
+//   bpar_prof analyze <trace.json> [--json] [--out <path>]
+//       Measured critical path, per-worker idle attribution, and the
+//       scheduler scorecard from a unified trace (bench --trace output).
+//
+//   bpar_prof diff <old.json> <new.json> [more-new.json ...]
+//       Noise-aware comparison of two reports/baselines/benchmark dumps.
+//       Extra <new> files are min-of-N merged before comparing, so noisy
+//       machines can diff against the best of several fresh runs.
+//       Exit 0 = clean, 1 = performance regression, 2 = structural
+//       mismatch (unreadable/incompatible documents).
+//
+//   bpar_prof baseline --out <baseline.json> <run.json> [...]
+//       Seeds or (with --merge) updates a min-of-N baseline from run
+//       reports / google-benchmark JSON. See EXPERIMENTS.md for the
+//       refresh procedure.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/analysis.hpp"
+#include "obs/diff.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using bpar::obs::JsonValue;
+
+JsonValue load_json(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    BPAR_RAISE(bpar::util::Error, "cannot open ", path);
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return bpar::obs::json_parse(ss.str());
+}
+
+int cmd_analyze(int argc, const char* const* argv) {
+  bpar::util::ArgParser args("bpar_prof analyze",
+                             "Analyze a unified trace JSON file");
+  args.add_flag("json", "emit machine-readable JSON instead of tables");
+  args.add_string("out", "", "write the (JSON) analysis to this path");
+  args.add_int("model-critical-path-ns", 0,
+               "TaskGraph::critical_path_cost for the same run, for "
+               "measured-vs-model comparison");
+  if (!args.parse(argc, argv)) return 2;
+  if (args.positional().size() != 1) {
+    std::cerr << "usage: bpar_prof analyze <trace.json> [--json] "
+                 "[--out <path>]\n";
+    return 2;
+  }
+  const bpar::obs::analysis::TraceModel model =
+      bpar::obs::analysis::model_from_trace_json(
+          load_json(args.positional()[0]));
+  const bpar::obs::analysis::Analysis analysis = bpar::obs::analysis::analyze(
+      model,
+      static_cast<std::uint64_t>(args.get_int("model-critical-path-ns")));
+  if (!args.get_string("out").empty()) {
+    std::ofstream os = bpar::obs::open_output_file(args.get_string("out"));
+    os << bpar::obs::analysis::to_json(analysis);
+  }
+  if (args.flag("json")) {
+    std::cout << bpar::obs::analysis::to_json(analysis);
+  } else {
+    bpar::obs::analysis::print_human(analysis, std::cout);
+  }
+  return 0;
+}
+
+int cmd_diff(int argc, const char* const* argv) {
+  bpar::util::ArgParser args("bpar_prof diff",
+                             "Diff two reports with noise-aware thresholds");
+  args.add_double("rel", 0.15, "relative change threshold (fraction)");
+  args.add_double("abs", 0.5,
+                  "absolute floor for lower-is-better metrics (ms-scale)");
+  args.add_double("abs-hb", 0.05,
+                  "absolute floor for higher-is-better metrics");
+  if (!args.parse(argc, argv)) return 2;
+  if (args.positional().size() < 2) {
+    std::cerr << "usage: bpar_prof diff <old.json> <new.json> [...]\n";
+    return 2;
+  }
+  bpar::obs::diff::DiffOptions options;
+  options.rel_threshold = args.get_double("rel");
+  options.abs_threshold = args.get_double("abs");
+  options.abs_threshold_hb = args.get_double("abs-hb");
+
+  bpar::obs::diff::DiffResult result;
+  try {
+    const bpar::obs::diff::MetricMap old_map =
+        bpar::obs::diff::flatten(load_json(args.positional()[0]));
+    // Min-of-N over the new side: merge every fresh run, keep the best
+    // value per metric, and only then compare.
+    bpar::obs::diff::Baseline fresh;
+    for (std::size_t i = 1; i < args.positional().size(); ++i) {
+      bpar::obs::diff::merge_baseline(
+          fresh, bpar::obs::diff::flatten(load_json(args.positional()[i])));
+    }
+    result = bpar::obs::diff::diff_maps(
+        old_map, bpar::obs::diff::baseline_metrics(fresh), options);
+  } catch (const bpar::util::Error& e) {
+    result.structural = true;
+    result.structural_reason = e.what();
+  }
+  bpar::obs::diff::print_diff(result, std::cout);
+  return result.exit_code();
+}
+
+int cmd_baseline(int argc, const char* const* argv) {
+  bpar::util::ArgParser args("bpar_prof baseline",
+                             "Seed/update a min-of-N perf baseline");
+  args.add_string("out", "bench_results/baseline.json",
+                  "baseline file to write");
+  args.add_flag("merge", "start from the existing --out contents");
+  if (!args.parse(argc, argv)) return 2;
+  if (args.positional().empty()) {
+    std::cerr << "usage: bpar_prof baseline --out <baseline.json> "
+                 "<run.json> [...]\n";
+    return 2;
+  }
+  bpar::obs::diff::Baseline baseline;
+  if (args.flag("merge")) {
+    baseline = bpar::obs::diff::load_baseline(load_json(args.get_string("out")));
+  }
+  for (const std::string& path : args.positional()) {
+    bpar::obs::diff::merge_baseline(
+        baseline, bpar::obs::diff::flatten(load_json(path)));
+  }
+  std::ofstream os = bpar::obs::open_output_file(args.get_string("out"));
+  os << bpar::obs::diff::baseline_json(baseline);
+  std::cout << "wrote " << baseline.size() << " metric(s) to "
+            << args.get_string("out") << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: bpar_prof <analyze|diff|baseline> [args...]\n"
+                 "run 'bpar_prof <command> --help' for details\n";
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "analyze") return cmd_analyze(argc - 1, argv + 1);
+    if (command == "diff") return cmd_diff(argc - 1, argv + 1);
+    if (command == "baseline") return cmd_baseline(argc - 1, argv + 1);
+  } catch (const std::exception& e) {
+    std::cerr << "bpar_prof " << command << ": " << e.what() << "\n";
+    return 2;
+  }
+  std::cerr << "bpar_prof: unknown command '" << command
+            << "' (expected analyze, diff, or baseline)\n";
+  return 2;
+}
