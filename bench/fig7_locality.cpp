@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
                                      32, 20, 2);
   bpar::rnn::Network hw_net(hw_cfg);
   bpar::exec::BParOptions options;
-  options.num_workers = static_cast<int>(
+  options.common.num_workers = static_cast<int>(
       std::min(8U, std::max(1U, std::thread::hardware_concurrency())));
   options.sample_counters = true;
   bpar::exec::BParExecutor executor(hw_net, options);

@@ -4,37 +4,13 @@
 // percentiles for the sequential, per-layer-barrier, and B-Par executors.
 //
 //   ./latency_inference [--requests N] [--workers N] [--hidden N]
-#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "core/bpar.hpp"
 #include "data/tidigits.hpp"
 #include "util/cli.hpp"
-
-namespace {
-
-struct Percentiles {
-  double p50;
-  double p95;
-  double p99;
-  double mean;
-};
-
-Percentiles percentiles(std::vector<double> samples) {
-  std::sort(samples.begin(), samples.end());
-  auto at = [&](double q) {
-    const auto idx = static_cast<std::size_t>(
-        q * static_cast<double>(samples.size() - 1));
-    return samples[idx];
-  };
-  double sum = 0.0;
-  for (const double s : samples) sum += s;
-  return {at(0.50), at(0.95), at(0.99),
-          sum / static_cast<double>(samples.size())};
-}
-
-}  // namespace
+#include "util/percentiles.hpp"
 
 int main(int argc, char** argv) {
   bpar::util::ArgParser args("latency_inference",
@@ -74,14 +50,13 @@ int main(int argc, char** argv) {
         bpar::ExecutorKind::kBPar}) {
     model.select_executor(
         kind, {.num_workers = static_cast<int>(args.get_int("workers"))});
-    std::vector<int> pred(1);
-    model.infer_batch(batches[0], pred);  // warm up (graph build, caches)
+    model.infer(batches[0]);  // warm up (graph build, caches)
     std::vector<double> samples;
     samples.reserve(batches.size());
     for (const auto& batch : batches) {
-      samples.push_back(model.infer_batch(batch, pred).wall_ms);
+      samples.push_back(model.infer(batch).wall_ms);
     }
-    const auto p = percentiles(std::move(samples));
+    const auto p = bpar::util::percentiles(std::move(samples));
     std::printf("%-14s %8.3f %8.3f %8.3f %8.3f\n",
                 bpar::executor_kind_name(kind), p.p50, p.p95, p.p99, p.mean);
   }

@@ -42,7 +42,6 @@ std::string generate_text(bpar::rnn::Network& trained,
   for (auto& m : window.x) m.resize(1, cfg.input_size);
   window.labels.assign(static_cast<std::size_t>(steps), 0);
 
-  std::vector<int> preds(static_cast<std::size_t>(steps));
   for (int i = 0; i < chars_to_generate; ++i) {
     for (int t = 0; t < steps; ++t) {
       const char c = text[text.size() - static_cast<std::size_t>(steps - t)];
@@ -50,9 +49,8 @@ std::string generate_text(bpar::rnn::Network& trained,
       auto row = window.x[static_cast<std::size_t>(t)].view().row(0);
       std::copy(emb.begin(), emb.end(), row.begin());
     }
-    executor.infer_batch(window, preds);
-    text.push_back(
-        corpus.id_char(preds[static_cast<std::size_t>(steps - 1)]));
+    const auto result = executor.infer(window);
+    text.push_back(corpus.id_char(result.prediction(steps - 1, 0)));
   }
   return text;
 }

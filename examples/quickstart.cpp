@@ -68,11 +68,9 @@ int main(int argc, char** argv) {
   }
 
   // 5. Verify the parallel run produced the same result as sequential.
-  std::vector<int> preds(static_cast<std::size_t>(cfg.batch_size));
-  model.infer_batch(batch, preds);
+  const std::vector<int> preds = model.infer(batch).predictions;
   model.select_executor(bpar::ExecutorKind::kSequential);
-  std::vector<int> ref_preds(static_cast<std::size_t>(cfg.batch_size));
-  model.infer_batch(batch, ref_preds);
+  const std::vector<int> ref_preds = model.infer(batch).predictions;
   std::printf("\npredictions identical to sequential execution: %s\n",
               preds == ref_preds ? "yes" : "NO (bug!)");
   const double acc =

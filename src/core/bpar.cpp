@@ -1,5 +1,6 @@
 #include "core/bpar.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -34,22 +35,13 @@ std::unique_ptr<exec::Executor> make_executor(ExecutorKind kind,
       return std::make_unique<exec::SequentialExecutor>(net);
     case ExecutorKind::kBPar:
       return std::make_unique<exec::BParExecutor>(
-          net, exec::BParOptions{.num_workers = options.num_workers,
-                                 .policy = options.policy,
-                                 .num_replicas = options.num_replicas,
-                                 .watchdog_ms = options.watchdog_ms,
-                                 .faults = options.faults});
+          net, exec::BParOptions{.common = options});
     case ExecutorKind::kBSeq:
       return std::make_unique<exec::BSeqExecutor>(
-          net, exec::BSeqOptions{.num_workers = options.num_workers,
-                                 .num_replicas = options.num_replicas,
-                                 .watchdog_ms = options.watchdog_ms,
-                                 .faults = options.faults});
+          net, exec::BSeqOptions{.common = options});
     case ExecutorKind::kLayerBarrier:
       return std::make_unique<exec::BarrierExecutor>(
-          net, exec::BarrierOptions{.num_workers = options.num_workers,
-                                    .watchdog_ms = options.watchdog_ms,
-                                    .faults = options.faults});
+          net, exec::BarrierOptions{.common = options});
   }
   BPAR_CHECK(false, "unknown executor kind");
   return nullptr;
@@ -80,9 +72,25 @@ exec::StepResult Model::train_batch(const rnn::BatchData& batch) {
   return result;
 }
 
+exec::InferResult Model::infer(const rnn::BatchData& batch,
+                               const exec::InferOptions& options) {
+  return executor_->infer(batch, options);
+}
+
 exec::StepResult Model::infer_batch(const rnn::BatchData& batch,
                                     std::span<int> predictions) {
-  return executor_->infer_batch(batch, predictions);
+  exec::InferResult result = executor_->infer(batch);
+  if (!predictions.empty()) {
+    BPAR_CHECK(predictions.size() == result.predictions.size(),
+               "prediction buffer size mismatch");
+    std::copy(result.predictions.begin(), result.predictions.end(),
+              predictions.begin());
+  }
+  exec::StepResult step;
+  step.loss = result.loss;
+  step.wall_ms = result.wall_ms;
+  step.stats = std::move(result.stats);
+  return step;
 }
 
 void Model::save(const std::string& path) const {

@@ -22,6 +22,7 @@
 
 #include "exec/barrier_executor.hpp"
 #include "exec/bpar_executor.hpp"
+#include "exec/common_options.hpp"
 #include "exec/bseq_executor.hpp"
 #include "exec/executor.hpp"
 #include "exec/sequential.hpp"
@@ -43,17 +44,11 @@ enum class ExecutorKind {
 
 [[nodiscard]] const char* executor_kind_name(ExecutorKind kind);
 
-struct ExecutorOptions {
-  int num_workers = 0;   // 0 → hardware concurrency
-  int num_replicas = 1;  // mini-batches (B-Par / B-Seq)
-  taskrt::SchedulerPolicy policy = taskrt::SchedulerPolicy::kLocalityAware;
-  /// Runtime watchdog: fail with a scheduler-state dump instead of hanging
-  /// when no task completes for this many ms (0 → off; task-based kinds).
-  std::uint32_t watchdog_ms = 0;
-  /// Deterministic fault-injection plan (see taskrt/fault.hpp); the
-  /// BPAR_FAULTS environment variable applies when this is empty.
-  taskrt::FaultSpec faults{};
-};
+/// The knobs every executor understands. This *is* exec::CommonOptions — a
+/// single definition shared by all four executor kinds, so a default can
+/// never silently diverge between paths (tests/test_executors.cpp asserts
+/// this). Executor-specific structs embed it as their `.common` member.
+using ExecutorOptions = exec::CommonOptions;
 
 /// Creates an executor of the given kind bound to `net`.
 [[nodiscard]] std::unique_ptr<exec::Executor> make_executor(
@@ -77,7 +72,11 @@ class Model {
 
   /// Forward + backward + optimizer step. Returns the batch loss.
   exec::StepResult train_batch(const rnn::BatchData& batch);
-  /// Forward only; optional argmax predictions.
+  /// Forward only: loss, argmax predictions, optional logits.
+  exec::InferResult infer(const rnn::BatchData& batch,
+                          const exec::InferOptions& options = {});
+  /// Forward only; optional argmax predictions copied into `predictions`.
+  [[deprecated("use infer(batch) -> InferResult")]]
   exec::StepResult infer_batch(const rnn::BatchData& batch,
                                std::span<int> predictions = {});
 

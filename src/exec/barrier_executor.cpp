@@ -17,12 +17,12 @@ using tensor::ConstMatrixView;
 BarrierExecutor::BarrierExecutor(rnn::Network& net, BarrierOptions options)
     : net_(net),
       options_(options),
-      runtime_({.num_workers = options.num_workers,
+      runtime_({.num_workers = options.common.num_workers,
                 .policy = taskrt::SchedulerPolicy::kFifo,
                 .record_trace = false,
-                .pin_threads = options.pin_threads,
-                .watchdog_ms = options.watchdog_ms,
-                .faults = options.faults}) {
+                .pin_threads = options.common.pin_threads,
+                .watchdog_ms = options.common.watchdog_ms,
+                .faults = options.common.faults}) {
   ws_ = std::make_unique<rnn::Workspace>(net_.config(),
                                          net_.config().batch_size);
   grads_.init_like(net_);
@@ -130,17 +130,18 @@ StepResult BarrierExecutor::train_batch(const rnn::BatchData& batch) {
   return result;
 }
 
-StepResult BarrierExecutor::infer_batch(const rnn::BatchData& batch,
-                                        std::span<int> predictions) {
-  BPAR_SPAN("exec.barrier.infer_batch");
+InferResult BarrierExecutor::infer(const rnn::BatchData& batch,
+                                   const InferOptions& options) {
+  BPAR_SPAN("exec.barrier.infer");
   const auto& cfg = net_.config();
   batch.validate(cfg.input_size, cfg.seq_length);
   BPAR_CHECK(batch.batch() == cfg.batch_size, "batch size mismatch");
   perf::WallTimer timer;
-  StepResult result;
+  InferResult result;
   forward(batch);
   result.loss = loss_head(batch);
-  if (!predictions.empty()) extract_predictions(*ws_, predictions);
+  init_infer_outputs(*ws_, batch.batch(), options.want_logits, result);
+  extract_infer_outputs(*ws_, 0, result);
   result.wall_ms = timer.elapsed_ms();
   return result;
 }

@@ -10,17 +10,17 @@
 
 #include <memory>
 
+#include "exec/common_options.hpp"
 #include "exec/executor.hpp"
 
 namespace bpar::exec {
 
 struct BarrierOptions {
-  int num_workers = 0;
+  /// Workers, pinning, watchdog, faults (`num_replicas` and `policy` are
+  /// ignored: intra-op fork-join has no replicas and uses FIFO dispatch).
+  CommonOptions common{};
   /// Minimum batch rows per intra-op chunk.
   int row_grain = 8;
-  bool pin_threads = false;  // pin workers to the allowed cpuset (Linux)
-  std::uint32_t watchdog_ms = 0;  // no-progress deadline (0 → off)
-  taskrt::FaultSpec faults{};       // deterministic fault injection
 };
 
 class BarrierExecutor final : public Executor {
@@ -28,8 +28,9 @@ class BarrierExecutor final : public Executor {
   BarrierExecutor(rnn::Network& net, BarrierOptions options);
 
   StepResult train_batch(const rnn::BatchData& batch) override;
-  StepResult infer_batch(const rnn::BatchData& batch,
-                         std::span<int> predictions) override;
+  using Executor::infer;
+  InferResult infer(const rnn::BatchData& batch,
+                    const InferOptions& options) override;
   rnn::NetworkGrads& grads() override { return grads_; }
   [[nodiscard]] const char* name() const override { return "layer-barrier"; }
 

@@ -1,5 +1,7 @@
 #include "exec/bpar_executor.hpp"
 
+#include <algorithm>
+
 #include "exec/reference_pass.hpp"
 #include "obs/trace.hpp"
 #include "perf/timer.hpp"
@@ -10,12 +12,12 @@ namespace bpar::exec {
 namespace {
 taskrt::RuntimeOptions runtime_options(const BParOptions& options) {
   taskrt::RuntimeOptions ro;
-  ro.num_workers = options.num_workers;
-  ro.policy = options.policy;
+  ro.num_workers = options.common.num_workers;
+  ro.policy = options.common.policy;
   ro.record_trace = options.record_trace;
-  ro.pin_threads = options.pin_threads;
-  ro.watchdog_ms = options.watchdog_ms;
-  ro.faults = options.faults;
+  ro.pin_threads = options.common.pin_threads;
+  ro.watchdog_ms = options.common.watchdog_ms;
+  ro.faults = options.common.faults;
   ro.sample_counters = options.sample_counters;
   return ro;
 }
@@ -24,38 +26,44 @@ taskrt::RuntimeOptions runtime_options(const BParOptions& options) {
 BParExecutor::BParExecutor(rnn::Network& net, BParOptions options)
     : net_(net), options_(options), runtime_(runtime_options(options)) {}
 
-graph::TrainingProgram& BParExecutor::program(bool training,
-                                              int seq_length) {
+graph::TrainingProgram& BParExecutor::program(bool training, int seq_length,
+                                              int batch_rows) {
   const int steps =
       seq_length > 0 ? seq_length : net_.config().seq_length;
+  const int rows =
+      batch_rows > 0 ? batch_rows : net_.config().batch_size;
   auto& cache = training ? train_programs_ : infer_programs_;
-  auto it = cache.find(steps);
+  auto it = cache.find(ShapeKey{steps, rows});
   if (it == cache.end()) {
     graph::BuildOptions bo;
-    bo.num_replicas = options_.num_replicas;
+    // Replicas cannot outnumber batch rows; small serving micro-batches
+    // degrade gracefully to fewer (or one) replica.
+    bo.num_replicas = std::min(options_.common.num_replicas, rows);
     bo.training = training;
     bo.fuse_merge = options_.fuse_merge;
     bo.compute_input_grads = options_.compute_input_grads;
     bo.seq_length_override = steps;
     it = cache
-             .emplace(steps, std::make_unique<graph::TrainingProgram>(
-                                 net_, net_.config().batch_size, bo))
+             .emplace(ShapeKey{steps, rows},
+                      std::make_unique<graph::TrainingProgram>(net_, rows, bo))
              .first;
   }
   return *it->second;
 }
 
-graph::TrainingProgram& BParExecutor::train_program(int seq_length) {
-  return program(/*training=*/true, seq_length);
+graph::TrainingProgram& BParExecutor::train_program(int seq_length,
+                                                    int batch_rows) {
+  return program(/*training=*/true, seq_length, batch_rows);
 }
 
-graph::TrainingProgram& BParExecutor::infer_program(int seq_length) {
-  return program(/*training=*/false, seq_length);
+graph::TrainingProgram& BParExecutor::infer_program(int seq_length,
+                                                    int batch_rows) {
+  return program(/*training=*/false, seq_length, batch_rows);
 }
 
 StepResult BParExecutor::train_batch(const rnn::BatchData& batch) {
   BPAR_SPAN("exec.train_batch");
-  auto& program = train_program(batch.steps());
+  auto& program = train_program(batch.steps(), batch.batch());
   last_train_ = &program;
   perf::WallTimer timer;
   program.load_batch(batch);
@@ -67,36 +75,22 @@ StepResult BParExecutor::train_batch(const rnn::BatchData& batch) {
   return result;
 }
 
-StepResult BParExecutor::infer_batch(const rnn::BatchData& batch,
-                                     std::span<int> predictions) {
-  BPAR_SPAN("exec.infer_batch");
-  auto& program = infer_program(batch.steps());
+InferResult BParExecutor::infer(const rnn::BatchData& batch,
+                                const InferOptions& options) {
+  BPAR_SPAN("exec.infer");
+  auto& program = infer_program(batch.steps(), batch.batch());
   perf::WallTimer timer;
   program.load_batch(batch);
   program.prepare();
-  StepResult result;
+  InferResult result;
   result.stats = runtime_.run(program.graph());
   result.loss = program.loss();
-  if (!predictions.empty()) {
-    // Stitch replica predictions back into batch order.
-    const int outputs = program.replica(0).num_outputs();
-    BPAR_CHECK(static_cast<int>(predictions.size()) ==
-                   outputs * program.total_batch(),
-               "prediction buffer size mismatch");
-    for (int rep = 0; rep < program.num_replicas(); ++rep) {
-      auto& ws = program.replica(rep);
-      const int r0 = program.replica_row_begin(rep);
-      std::vector<int> local(
-          static_cast<std::size_t>(outputs) * ws.batch());
-      extract_predictions(ws, local);
-      for (int t = 0; t < outputs; ++t) {
-        for (int b = 0; b < ws.batch(); ++b) {
-          predictions[static_cast<std::size_t>(t) * program.total_batch() +
-                      r0 + b] =
-              local[static_cast<std::size_t>(t) * ws.batch() + b];
-        }
-      }
-    }
+  // Stitch replica outputs back into batch order.
+  init_infer_outputs(program.replica(0), program.total_batch(),
+                     options.want_logits, result);
+  for (int rep = 0; rep < program.num_replicas(); ++rep) {
+    extract_infer_outputs(program.replica(rep),
+                          program.replica_row_begin(rep), result);
   }
   result.wall_ms = timer.elapsed_ms();
   return result;

@@ -12,22 +12,20 @@
 
 #include <map>
 #include <memory>
+#include <utility>
 
+#include "exec/common_options.hpp"
 #include "exec/executor.hpp"
 #include "graph/brnn_graph.hpp"
 
 namespace bpar::exec {
 
 struct BParOptions {
-  int num_workers = 0;  // 0 → hardware concurrency
-  taskrt::SchedulerPolicy policy = taskrt::SchedulerPolicy::kLocalityAware;
-  int num_replicas = 1;  // mbs:N
+  /// Workers, replicas (mbs:N), policy, pinning, watchdog, faults.
+  CommonOptions common{};
   bool record_trace = false;
-  bool pin_threads = false;  // pin workers to the allowed cpuset (Linux)
   bool fuse_merge = false;  // ablation knob (see DESIGN.md §5.1)
   bool compute_input_grads = false;  // also produce per-timestep dL/dx
-  std::uint32_t watchdog_ms = 0;  // no-progress deadline (0 → off)
-  taskrt::FaultSpec faults{};       // deterministic fault injection
   /// Per-task-class hardware counters (RunStats::kind_counters); no-op
   /// when perf_event_open is unavailable.
   bool sample_counters = false;
@@ -38,8 +36,9 @@ class BParExecutor final : public Executor {
   BParExecutor(rnn::Network& net, BParOptions options);
 
   StepResult train_batch(const rnn::BatchData& batch) override;
-  StepResult infer_batch(const rnn::BatchData& batch,
-                         std::span<int> predictions) override;
+  using Executor::infer;
+  InferResult infer(const rnn::BatchData& batch,
+                    const InferOptions& options) override;
   /// Gradients of the most recent train_batch (which may have used a
   /// non-default sequence length).
   rnn::NetworkGrads& grads() override {
@@ -47,24 +46,31 @@ class BParExecutor final : public Executor {
   }
   [[nodiscard]] const char* name() const override { return "b-par"; }
 
-  /// Program for the config's default sequence length (or for `seq_length`
-  /// when given); built and cached on first use.
-  [[nodiscard]] graph::TrainingProgram& train_program(int seq_length = 0);
-  [[nodiscard]] graph::TrainingProgram& infer_program(int seq_length = 0);
+  /// Program for the config's default shape, or for the (`seq_length`,
+  /// `batch_rows`) shape bucket when given (0 → the config's value); built
+  /// on first use and cached forever, so repeated calls with the same shape
+  /// replay the prebuilt graph instead of rebuilding it — the contract the
+  /// serving engine (src/serve) relies on.
+  [[nodiscard]] graph::TrainingProgram& train_program(int seq_length = 0,
+                                                      int batch_rows = 0);
+  [[nodiscard]] graph::TrainingProgram& infer_program(int seq_length = 0,
+                                                      int batch_rows = 0);
   [[nodiscard]] taskrt::Runtime& runtime() { return runtime_; }
-  /// Number of distinct sequence lengths with cached graphs.
+  /// Number of distinct (seq_length, batch) shapes with cached graphs.
   [[nodiscard]] std::size_t cached_programs(bool training) const {
     return training ? train_programs_.size() : infer_programs_.size();
   }
 
  private:
-  graph::TrainingProgram& program(bool training, int seq_length);
+  using ShapeKey = std::pair<int, int>;  // (seq_length, batch_rows)
+  graph::TrainingProgram& program(bool training, int seq_length,
+                                  int batch_rows);
 
   rnn::Network& net_;
   BParOptions options_;
   taskrt::Runtime runtime_;
-  std::map<int, std::unique_ptr<graph::TrainingProgram>> train_programs_;
-  std::map<int, std::unique_ptr<graph::TrainingProgram>> infer_programs_;
+  std::map<ShapeKey, std::unique_ptr<graph::TrainingProgram>> train_programs_;
+  std::map<ShapeKey, std::unique_ptr<graph::TrainingProgram>> infer_programs_;
   graph::TrainingProgram* last_train_ = nullptr;
 };
 

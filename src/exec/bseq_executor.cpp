@@ -11,41 +11,42 @@ namespace bpar::exec {
 BSeqExecutor::BSeqExecutor(rnn::Network& net, BSeqOptions options)
     : net_(net),
       options_(options),
-      runtime_({.num_workers = options.num_workers,
+      runtime_({.num_workers = options.common.num_workers,
                 .policy = taskrt::SchedulerPolicy::kFifo,
                 .record_trace = false,
-                .pin_threads = options.pin_threads,
-                .watchdog_ms = options.watchdog_ms,
-                .faults = options.faults}) {
+                .pin_threads = options.common.pin_threads,
+                .watchdog_ms = options.common.watchdog_ms,
+                .faults = options.common.faults}) {
   const auto& cfg = net_.config();
-  BPAR_CHECK(options_.num_replicas >= 1 &&
-                 options_.num_replicas <= cfg.batch_size,
+  const int replicas = options_.common.num_replicas;
+  BPAR_CHECK(replicas >= 1 && replicas <= cfg.batch_size,
              "bad replica count");
-  const int base = cfg.batch_size / options_.num_replicas;
-  const int extra = cfg.batch_size % options_.num_replicas;
+  const int base = cfg.batch_size / replicas;
+  const int extra = cfg.batch_size % replicas;
   int row = 0;
-  for (int r = 0; r < options_.num_replicas; ++r) {
+  for (int r = 0; r < replicas; ++r) {
     row_begin_.push_back(row);
     const int rb = base + (r < extra ? 1 : 0);
     replicas_.push_back(std::make_unique<rnn::Workspace>(cfg, rb));
     row += rb;
   }
-  replica_grads_.resize(static_cast<std::size_t>(options_.num_replicas));
+  replica_grads_.resize(static_cast<std::size_t>(replicas));
   for (auto& g : replica_grads_) g.init_like(net_);
   master_grads_.init_like(net_);
 }
 
 StepResult BSeqExecutor::run(const rnn::BatchData& batch, bool training,
-                             std::span<int> predictions) {
+                             InferResult* infer_result,
+                             const InferOptions& options) {
   const auto& cfg = net_.config();
   batch.validate(cfg.input_size, cfg.seq_length);
   BPAR_CHECK(batch.batch() == cfg.batch_size, "batch size mismatch");
   perf::WallTimer timer;
 
-  std::vector<double> losses(static_cast<std::size_t>(options_.num_replicas),
-                             0.0);
+  const int num_replicas = options_.common.num_replicas;
+  std::vector<double> losses(static_cast<std::size_t>(num_replicas), 0.0);
   taskrt::TaskGraph graph;
-  for (int r = 0; r < options_.num_replicas; ++r) {
+  for (int r = 0; r < num_replicas; ++r) {
     rnn::Workspace* ws = replicas_[static_cast<std::size_t>(r)].get();
     rnn::NetworkGrads* grads = &replica_grads_[static_cast<std::size_t>(r)];
     double* loss_slot = &losses[static_cast<std::size_t>(r)];
@@ -78,22 +79,13 @@ StepResult BSeqExecutor::run(const rnn::BatchData& batch, bool training,
     master_grads_.zero();
     for (const auto& g : replica_grads_) master_grads_.accumulate(g);
   }
-  if (!predictions.empty()) {
-    const int outputs = replicas_[0]->num_outputs();
-    BPAR_CHECK(static_cast<int>(predictions.size()) ==
-                   outputs * cfg.batch_size,
-               "prediction buffer size mismatch");
-    for (int r = 0; r < options_.num_replicas; ++r) {
-      auto& ws = *replicas_[static_cast<std::size_t>(r)];
-      const int r0 = row_begin_[static_cast<std::size_t>(r)];
-      std::vector<int> local(static_cast<std::size_t>(outputs) * ws.batch());
-      extract_predictions(ws, local);
-      for (int t = 0; t < outputs; ++t) {
-        for (int b = 0; b < ws.batch(); ++b) {
-          predictions[static_cast<std::size_t>(t) * cfg.batch_size + r0 + b] =
-              local[static_cast<std::size_t>(t) * ws.batch() + b];
-        }
-      }
+  if (infer_result != nullptr) {
+    init_infer_outputs(*replicas_[0], cfg.batch_size, options.want_logits,
+                       *infer_result);
+    for (int r = 0; r < num_replicas; ++r) {
+      extract_infer_outputs(*replicas_[static_cast<std::size_t>(r)],
+                            row_begin_[static_cast<std::size_t>(r)],
+                            *infer_result);
     }
   }
   result.wall_ms = timer.elapsed_ms();
@@ -102,13 +94,18 @@ StepResult BSeqExecutor::run(const rnn::BatchData& batch, bool training,
 
 StepResult BSeqExecutor::train_batch(const rnn::BatchData& batch) {
   BPAR_SPAN("exec.bseq.train_batch");
-  return run(batch, /*training=*/true, {});
+  return run(batch, /*training=*/true, nullptr, {});
 }
 
-StepResult BSeqExecutor::infer_batch(const rnn::BatchData& batch,
-                                     std::span<int> predictions) {
-  BPAR_SPAN("exec.bseq.infer_batch");
-  return run(batch, /*training=*/false, predictions);
+InferResult BSeqExecutor::infer(const rnn::BatchData& batch,
+                                const InferOptions& options) {
+  BPAR_SPAN("exec.bseq.infer");
+  InferResult result;
+  StepResult step = run(batch, /*training=*/false, &result, options);
+  result.loss = step.loss;
+  result.wall_ms = step.wall_ms;
+  result.stats = std::move(step.stats);
+  return result;
 }
 
 }  // namespace bpar::exec

@@ -9,16 +9,15 @@
 #include <memory>
 #include <vector>
 
+#include "exec/common_options.hpp"
 #include "exec/executor.hpp"
 
 namespace bpar::exec {
 
 struct BSeqOptions {
-  int num_workers = 0;
-  int num_replicas = 1;
-  bool pin_threads = false;  // pin workers to the allowed cpuset (Linux)
-  std::uint32_t watchdog_ms = 0;  // no-progress deadline (0 → off)
-  taskrt::FaultSpec faults{};       // deterministic fault injection
+  /// Workers, replicas, pinning, watchdog, faults (`policy` is ignored:
+  /// the coarse replica tasks are independent, so scheduling is trivial).
+  CommonOptions common{};
 };
 
 class BSeqExecutor final : public Executor {
@@ -26,14 +25,15 @@ class BSeqExecutor final : public Executor {
   BSeqExecutor(rnn::Network& net, BSeqOptions options);
 
   StepResult train_batch(const rnn::BatchData& batch) override;
-  StepResult infer_batch(const rnn::BatchData& batch,
-                         std::span<int> predictions) override;
+  using Executor::infer;
+  InferResult infer(const rnn::BatchData& batch,
+                    const InferOptions& options) override;
   rnn::NetworkGrads& grads() override { return master_grads_; }
   [[nodiscard]] const char* name() const override { return "b-seq"; }
 
  private:
   StepResult run(const rnn::BatchData& batch, bool training,
-                 std::span<int> predictions);
+                 InferResult* infer_result, const InferOptions& options);
 
   rnn::Network& net_;
   BSeqOptions options_;

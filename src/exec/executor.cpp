@@ -1,0 +1,27 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace bpar::exec {
+
+StepResult Executor::infer_batch(const rnn::BatchData& batch,
+                                 std::span<int> predictions) {
+  InferResult result = infer(batch, InferOptions{});
+  if (!predictions.empty()) {
+    BPAR_CHECK(predictions.size() == result.predictions.size(),
+               "prediction buffer size mismatch: span holds ",
+               predictions.size(), ", model produces ",
+               result.predictions.size());
+    std::copy(result.predictions.begin(), result.predictions.end(),
+              predictions.begin());
+  }
+  StepResult step;
+  step.loss = result.loss;
+  step.wall_ms = result.wall_ms;
+  step.stats = std::move(result.stats);
+  return step;
+}
+
+}  // namespace bpar::exec

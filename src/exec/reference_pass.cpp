@@ -1,5 +1,7 @@
 #include "exec/reference_pass.hpp"
 
+#include <algorithm>
+
 #include "kernels/elementwise.hpp"
 #include "kernels/gemm.hpp"
 #include "rnn/cell_kernels.hpp"
@@ -192,6 +194,53 @@ void extract_predictions(const rnn::Workspace& ws, std::span<int> out) {
         mutable_ws.probs(t).cview(),
         out.subspan(static_cast<std::size_t>(t) * ws.batch(),
                     static_cast<std::size_t>(ws.batch())));
+  }
+}
+
+void init_infer_outputs(const rnn::Workspace& ws, int total_batch,
+                        bool want_logits, InferResult& result) {
+  result.outputs = ws.num_outputs();
+  result.batch = total_batch;
+  result.num_classes = ws.config().num_classes;
+  result.predictions.assign(
+      static_cast<std::size_t>(result.outputs) *
+          static_cast<std::size_t>(total_batch),
+      0);
+  if (want_logits) {
+    result.logits.assign(result.predictions.size() *
+                             static_cast<std::size_t>(result.num_classes),
+                         0.0F);
+  } else {
+    result.logits.clear();
+  }
+}
+
+void extract_infer_outputs(const rnn::Workspace& ws, int r0,
+                           InferResult& result) {
+  auto& mutable_ws = const_cast<rnn::Workspace&>(ws);
+  const int outputs = ws.num_outputs();
+  const int rows = ws.batch();
+  BPAR_CHECK(outputs == result.outputs && r0 >= 0 &&
+                 r0 + rows <= result.batch,
+             "infer output slice out of range");
+  std::span<int> preds(result.predictions);
+  for (int t = 0; t < outputs; ++t) {
+    kernels::argmax_rows(
+        mutable_ws.probs(t).cview(),
+        preds.subspan(static_cast<std::size_t>(t) * result.batch + r0,
+                      static_cast<std::size_t>(rows)));
+    if (!result.logits.empty()) {
+      const tensor::Matrix& logits = mutable_ws.logits(t);
+      for (int b = 0; b < rows; ++b) {
+        const std::size_t row =
+            static_cast<std::size_t>(t) * result.batch + r0 + b;
+        std::copy_n(logits.data() + static_cast<std::size_t>(b) *
+                                        result.num_classes,
+                    static_cast<std::size_t>(result.num_classes),
+                    result.logits.data() +
+                        row * static_cast<std::size_t>(result.num_classes));
+      }
+    }
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include <span>
 
+#include "exec/executor.hpp"
 #include "rnn/batch.hpp"
 #include "rnn/network.hpp"
 
@@ -32,5 +33,17 @@ void backward_pass(const rnn::Network& net, rnn::Workspace& ws,
 /// Argmax predictions from the workspace's probs (after forward_pass).
 /// `out` has ws.batch() entries for many-to-one, steps*batch otherwise.
 void extract_predictions(const rnn::Workspace& ws, std::span<int> out);
+
+/// Sizes `result`'s shape fields and output buffers for a `total_batch`-row
+/// batch of `ws`'s configuration (logits allocated only when requested).
+void init_infer_outputs(const rnn::Workspace& ws, int total_batch,
+                        bool want_logits, InferResult& result);
+
+/// Copies the workspace's argmax predictions — and logits, when `result`
+/// was initialized with them — for batch rows [r0, r0 + ws.batch()) into
+/// `result`'s batch-layout buffers. Used by every executor (replicated
+/// executors call it once per replica with that replica's row offset).
+void extract_infer_outputs(const rnn::Workspace& ws, int r0,
+                           InferResult& result);
 
 }  // namespace bpar::exec

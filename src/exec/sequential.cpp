@@ -28,16 +28,17 @@ StepResult SequentialExecutor::train_batch(const rnn::BatchData& batch) {
   return result;
 }
 
-StepResult SequentialExecutor::infer_batch(const rnn::BatchData& batch,
-                                           std::span<int> predictions) {
-  BPAR_SPAN("exec.sequential.infer_batch");
+InferResult SequentialExecutor::infer(const rnn::BatchData& batch,
+                                      const InferOptions& options) {
+  BPAR_SPAN("exec.sequential.infer");
   const auto& cfg = net_.config();
   batch.validate(cfg.input_size, cfg.seq_length);
   BPAR_CHECK(batch.batch() == cfg.batch_size, "batch size mismatch");
   perf::WallTimer timer;
-  StepResult result;
+  InferResult result;
   result.loss = forward_pass(net_, *ws_, batch, 0, batch.batch());
-  if (!predictions.empty()) extract_predictions(*ws_, predictions);
+  init_infer_outputs(*ws_, batch.batch(), options.want_logits, result);
+  extract_infer_outputs(*ws_, 0, result);
   result.wall_ms = timer.elapsed_ms();
   return result;
 }

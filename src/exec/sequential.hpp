@@ -14,8 +14,9 @@ class SequentialExecutor final : public Executor {
   explicit SequentialExecutor(rnn::Network& net);
 
   StepResult train_batch(const rnn::BatchData& batch) override;
-  StepResult infer_batch(const rnn::BatchData& batch,
-                         std::span<int> predictions) override;
+  using Executor::infer;
+  InferResult infer(const rnn::BatchData& batch,
+                    const InferOptions& options) override;
   rnn::NetworkGrads& grads() override { return grads_; }
   [[nodiscard]] const char* name() const override { return "sequential"; }
 

@@ -35,6 +35,27 @@ double Histogram::mean() const {
   return total_ == 0.0 ? 0.0 : weighted_sum_ / total_;
 }
 
+double Histogram::quantile(double q) const {
+  BPAR_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (total_ == 0.0) return 0.0;
+  const double target = q * total_;
+  double cumulative = 0.0;
+  for (std::size_t bin = 0; bin < weights_.size(); ++bin) {
+    if (cumulative + weights_[bin] < target) {
+      cumulative += weights_[bin];
+      continue;
+    }
+    // Bin bounds: the outer bins are open-ended, clamp to the finite edge.
+    const double lo = bin == 0 ? edges_.front() : edges_[bin - 1];
+    const double hi = bin == weights_.size() - 1 ? edges_.back() : edges_[bin];
+    if (weights_[bin] == 0.0) return lo;
+    const double frac =
+        std::clamp((target - cumulative) / weights_[bin], 0.0, 1.0);
+    return lo + frac * (hi - lo);
+  }
+  return edges_.back();
+}
+
 std::string Histogram::bin_label(std::size_t bin, int digits) const {
   BPAR_CHECK(bin < weights_.size(), "bin out of range");
   char buf[64];

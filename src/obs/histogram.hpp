@@ -24,6 +24,11 @@ class Histogram {
   [[nodiscard]] double total_weight() const { return total_; }
   /// Weighted mean of added values.
   [[nodiscard]] double mean() const;
+  /// Estimated q-quantile (q in [0, 1]) from the binned weights, linearly
+  /// interpolated within the containing bin. The open-ended outer bins
+  /// clamp to their finite edge, so tail quantiles are conservative lower
+  /// bounds there; use util::percentiles on raw samples for exact values.
+  [[nodiscard]] double quantile(double q) const;
   /// Human-readable bin label, e.g. "1.5-2.0" or ">=30".
   [[nodiscard]] std::string bin_label(std::size_t bin, int digits = 1) const;
 

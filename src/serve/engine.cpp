@@ -1,0 +1,425 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "taskrt/export.hpp"
+#include "util/check.hpp"
+
+namespace bpar::serve {
+
+namespace {
+
+constexpr std::chrono::steady_clock::time_point kNoDeadline{};
+
+/// Shared microsecond-scale latency edges for the serve.* histograms.
+std::vector<double> latency_edges_us() {
+  return {50,    100,   200,    500,    1000,   2000,    5000,
+          10000, 20000, 50000, 100000, 200000, 500000, 1000000};
+}
+
+obs::HistogramCell& queue_histogram() {
+  static obs::HistogramCell& cell =
+      obs::Registry::instance().histogram("serve.queue_us",
+                                          latency_edges_us());
+  return cell;
+}
+
+obs::HistogramCell& form_histogram() {
+  static obs::HistogramCell& cell = obs::Registry::instance().histogram(
+      "serve.batch_form_us", latency_edges_us());
+  return cell;
+}
+
+obs::HistogramCell& exec_histogram() {
+  static obs::HistogramCell& cell =
+      obs::Registry::instance().histogram("serve.exec_us",
+                                          latency_edges_us());
+  return cell;
+}
+
+obs::HistogramCell& batch_rows_histogram() {
+  static obs::HistogramCell& cell = obs::Registry::instance().histogram(
+      "serve.batch_rows", {1.5, 2.5, 4.5, 8.5, 16.5, 32.5, 64.5});
+  return cell;
+}
+
+double us_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+/// Numerically stable log(sum(exp(logits))).
+double logsumexp(std::span<const float> logits) {
+  double hi = logits[0];
+  for (const float v : logits) hi = std::max(hi, static_cast<double>(v));
+  double sum = 0.0;
+  for (const float v : logits) sum += std::exp(static_cast<double>(v) - hi);
+  return hi + std::log(sum);
+}
+
+}  // namespace
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kRejected:
+      return "rejected";
+    case Status::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::kShutdown:
+      return "shutdown";
+    case Status::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+int InferenceEngine::bucket_rows(int rows, int max_batch) {
+  BPAR_CHECK(rows >= 1, "empty micro-batch");
+  int bucket = 1;
+  while (bucket < rows) bucket *= 2;
+  return std::min(bucket, std::max(rows, max_batch));
+}
+
+InferenceEngine::InferenceEngine(const rnn::NetworkConfig& config,
+                                 EngineOptions options)
+    : net_(config),
+      options_(options),
+      executor_(net_, exec::BParOptions{.common = options.executor,
+                                        .record_trace = options.record_trace}),
+      started_(Clock::now()) {
+  BPAR_CHECK(options_.max_batch >= 1, "max_batch must be >= 1");
+  BPAR_CHECK(options_.max_queue >= 1, "max_queue must be >= 1");
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+InferenceEngine::~InferenceEngine() { shutdown(); }
+
+void InferenceEngine::load_weights(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  BPAR_CHECK(in.good(), "cannot open ", path);
+  net_.load(in);
+}
+
+void InferenceEngine::warmup(std::span<const int> seq_lengths) {
+  BPAR_SPAN("serve.warmup");
+  for (const int steps : seq_lengths) {
+    for (int rows = 1; rows <= options_.max_batch; rows *= 2) {
+      (void)executor_.infer_program(steps, rows);
+    }
+    if (!options_.enable_batching) {
+      (void)executor_.infer_program(steps, 1);
+    }
+  }
+}
+
+std::string InferenceEngine::validate(const Request& request) const {
+  const auto& cfg = net_.config();
+  if (request.steps < 1) return "request has no timesteps";
+  const auto want = static_cast<std::size_t>(request.steps) *
+                    static_cast<std::size_t>(cfg.input_size);
+  if (request.features.size() != want) {
+    return "feature count " + std::to_string(request.features.size()) +
+           " != steps*input_size = " + std::to_string(want);
+  }
+  const std::size_t outputs =
+      cfg.many_to_many ? static_cast<std::size_t>(request.steps) : 1U;
+  if (!request.labels.empty() && request.labels.size() != outputs) {
+    return "label count " + std::to_string(request.labels.size()) +
+           " != outputs = " + std::to_string(outputs);
+  }
+  for (const int label : request.labels) {
+    if (label < 0 || label >= cfg.num_classes) return "label out of range";
+  }
+  return {};
+}
+
+std::future<Response> InferenceEngine::submit(Request request) {
+  BPAR_SPAN("serve.submit");
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  const std::uint64_t id =
+      next_id_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::instance().counter("serve.requests").add();
+
+  Response immediate;
+  immediate.id = id;
+  if (std::string error = validate(request); !error.empty()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::instance().counter("serve.failed").add();
+    immediate.status = Status::kFailed;
+    immediate.error = std::move(error);
+    promise.set_value(std::move(immediate));
+    return future;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      immediate.status = Status::kShutdown;
+    } else if (queue_.size() >= options_.max_queue) {
+      immediate.status = Status::kRejected;
+    } else {
+      Pending pending;
+      pending.request = std::move(request);
+      pending.promise = std::move(promise);
+      pending.enqueued = Clock::now();
+      pending.id = id;
+      queue_.push_back(std::move(pending));
+      obs::Registry::instance().gauge("serve.queue_depth").set(
+          static_cast<double>(queue_.size()));
+      cv_.notify_all();
+      return future;
+    }
+  }
+  if (immediate.status == Status::kRejected) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::instance().counter("serve.rejected").add();
+  }
+  promise.set_value(std::move(immediate));
+  return future;
+}
+
+Response InferenceEngine::infer(Request request) {
+  return submit(std::move(request)).get();
+}
+
+void InferenceEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && !dispatcher_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void InferenceEngine::dispatcher_loop() {
+  const int cap = options_.enable_batching ? options_.max_batch : 1;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ && drained
+
+    // The head request defines the micro-batch's shape group: BRNN outputs
+    // depend on the whole sequence, so only requests with the SAME length
+    // coalesce (the batch dimension pads; timesteps never do).
+    const int steps = queue_.front().request.steps;
+    const Clock::time_point flush_at =
+        queue_.front().enqueued +
+        std::chrono::microseconds(options_.max_delay_us);
+    const auto matching = [&] {
+      std::size_t m = 0;
+      for (const Pending& p : queue_) m += (p.request.steps == steps) ? 1 : 0;
+      return m;
+    };
+    while (!stopping_ && matching() < static_cast<std::size_t>(cap) &&
+           Clock::now() < flush_at) {
+      cv_.wait_until(lock, flush_at);
+    }
+
+    // Seal: extract up to `cap` same-length requests in FIFO order.
+    const Clock::time_point sealed = Clock::now();
+    std::vector<Pending> taken;
+    taken.reserve(static_cast<std::size_t>(cap));
+    for (auto it = queue_.begin();
+         it != queue_.end() && taken.size() < static_cast<std::size_t>(cap);) {
+      if (it->request.steps == steps) {
+        taken.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    obs::Registry::instance().gauge("serve.queue_depth").set(
+        static_cast<double>(queue_.size()));
+
+    lock.unlock();
+    process_batch(std::move(taken), sealed);
+    lock.lock();
+  }
+}
+
+void InferenceEngine::process_batch(std::vector<Pending> taken,
+                                    Clock::time_point sealed) {
+  BPAR_SPAN("serve.batch");
+  auto& registry = obs::Registry::instance();
+
+  // Expired requests answer without executing.
+  std::vector<Pending> live;
+  live.reserve(taken.size());
+  for (Pending& p : taken) {
+    if (p.request.deadline != kNoDeadline && sealed > p.request.deadline) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter("serve.deadline_exceeded").add();
+      Response response;
+      response.id = p.id;
+      response.status = Status::kDeadlineExceeded;
+      response.queue_us = us_between(p.enqueued, sealed);
+      p.promise.set_value(std::move(response));
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (live.empty()) return;
+
+  const auto& cfg = net_.config();
+  const int real_rows = static_cast<int>(live.size());
+  const int rows = options_.enable_batching
+                       ? bucket_rows(real_rows, options_.max_batch)
+                       : real_rows;
+  const int steps = live.front().request.steps;
+  const int outputs = cfg.many_to_many ? steps : 1;
+  bool need_logits = false;
+  for (const Pending& p : live) {
+    need_logits |= p.request.want_logits || !p.request.labels.empty();
+  }
+
+  // Form the padded batch. Matrix buffers are zero-initialized, so padding
+  // rows are all-zero inputs with label 0; their outputs are never read.
+  rnn::BatchData batch;
+  batch.x.resize(static_cast<std::size_t>(steps));
+  for (auto& m : batch.x) m.resize(rows, cfg.input_size);
+  batch.labels.assign(static_cast<std::size_t>(outputs) *
+                          static_cast<std::size_t>(rows),
+                      0);
+  for (int r = 0; r < real_rows; ++r) {
+    const Request& request = live[static_cast<std::size_t>(r)].request;
+    for (int t = 0; t < steps; ++t) {
+      const auto row = batch.x[static_cast<std::size_t>(t)].view().row(r);
+      std::copy_n(request.features.data() +
+                      static_cast<std::size_t>(t) * cfg.input_size,
+                  static_cast<std::size_t>(cfg.input_size), row.begin());
+    }
+    for (std::size_t t = 0; t < request.labels.size(); ++t) {
+      batch.labels[t * static_cast<std::size_t>(rows) +
+                   static_cast<std::size_t>(r)] = request.labels[t];
+    }
+  }
+  const Clock::time_point formed = Clock::now();
+
+  exec::InferResult result;
+  std::string error;
+  try {
+    if (options_.rebuild_per_call) {
+      // Benchmark mode: pay graph construction on every batch.
+      exec::BParExecutor fresh(net_,
+                               exec::BParOptions{.common = options_.executor});
+      result = fresh.infer(batch, {.want_logits = need_logits});
+    } else {
+      result = executor_.infer(batch, {.want_logits = need_logits});
+      if (options_.record_trace) {
+        std::lock_guard<std::mutex> lock(trace_mu_);
+        last_traced_program_ = &executor_.infer_program(steps, rows);
+        last_traced_stats_ = result.stats;
+      }
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  const Clock::time_point done = Clock::now();
+
+  const double form_us = us_between(sealed, formed);
+  const double exec_us = us_between(formed, done);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  padded_rows_.fetch_add(static_cast<std::uint64_t>(rows - real_rows),
+                         std::memory_order_relaxed);
+  registry.counter("serve.batches").add();
+  registry.counter("serve.padded_rows")
+      .add(static_cast<std::uint64_t>(rows - real_rows));
+  form_histogram().add(form_us);
+  exec_histogram().add(exec_us);
+  batch_rows_histogram().add(static_cast<double>(real_rows));
+
+  for (int r = 0; r < real_rows; ++r) {
+    Pending& p = live[static_cast<std::size_t>(r)];
+    Response response;
+    response.id = p.id;
+    response.batch_rows = rows;
+    response.real_rows = real_rows;
+    response.queue_us = us_between(p.enqueued, sealed);
+    response.batch_form_us = form_us;
+    response.exec_us = exec_us;
+    if (!error.empty()) {
+      response.status = Status::kFailed;
+      response.error = error;
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter("serve.failed").add();
+      p.promise.set_value(std::move(response));
+      continue;
+    }
+    response.predictions.resize(static_cast<std::size_t>(outputs));
+    for (int t = 0; t < outputs; ++t) {
+      response.predictions[static_cast<std::size_t>(t)] =
+          result.prediction(t, r);
+    }
+    if (p.request.want_logits) {
+      response.logits.reserve(static_cast<std::size_t>(outputs) *
+                              static_cast<std::size_t>(cfg.num_classes));
+      for (int t = 0; t < outputs; ++t) {
+        const auto row = result.logits_row(t, r);
+        response.logits.insert(response.logits.end(), row.begin(), row.end());
+      }
+    }
+    if (!p.request.labels.empty()) {
+      // Exact per-request loss from this row's logits — the batch-mean loss
+      // would smear padding and neighbours into it.
+      double loss = 0.0;
+      for (int t = 0; t < outputs; ++t) {
+        const auto row = result.logits_row(t, r);
+        const int label = p.request.labels[static_cast<std::size_t>(t)];
+        loss += logsumexp(row) - static_cast<double>(row[
+            static_cast<std::size_t>(label)]);
+      }
+      response.loss = loss / outputs;
+    }
+    queue_histogram().add(response.queue_us);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    registry.counter("serve.completed").add();
+    p.promise.set_value(std::move(response));
+  }
+
+  const double elapsed_s =
+      std::chrono::duration<double>(done - started_).count();
+  if (elapsed_s > 0.0) {
+    registry.gauge("serve.throughput_rps")
+        .set(static_cast<double>(completed_.load(std::memory_order_relaxed)) /
+             elapsed_s);
+  }
+}
+
+InferenceEngine::Stats InferenceEngine::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.padded_rows = padded_rows_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void InferenceEngine::write_unified_trace(const std::string& path) {
+  BPAR_CHECK(options_.record_trace,
+             "write_unified_trace requires EngineOptions::record_trace");
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  BPAR_CHECK(last_traced_program_ != nullptr,
+             "no cached-path micro-batch has been served yet");
+  taskrt::write_unified_trace_file(last_traced_program_->graph(),
+                                   last_traced_stats_, path);
+}
+
+std::size_t InferenceEngine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace bpar::serve

@@ -1,0 +1,203 @@
+// Inference serving engine: concurrent clients, dynamic micro-batching,
+// cached forward-only task graphs (DESIGN.md §5f).
+//
+// An InferenceEngine owns a trained rnn::Network and a BParExecutor whose
+// per-(seq_length, batch_rows) program cache turns every repeated request
+// shape into a prebuilt task-graph replay — no graph construction on the
+// hot path. Clients submit single-sequence requests from any thread; a
+// single dispatcher thread coalesces them into micro-batches (up to
+// `max_batch`, or whatever arrived when the head request has waited
+// `max_delay_us`), pads the batch up to a power-of-two row bucket so the
+// cache stays small, and masks the padded rows out of every per-request
+// result (argmax, logits, loss — per-request losses are recomputed from the
+// request's own logits, so padding never pollutes them).
+//
+// Backpressure: the request queue is bounded (`max_queue`); submissions
+// beyond it complete immediately with Status::kRejected. Requests may carry
+// a deadline — once expired they are answered with kDeadlineExceeded
+// instead of executing. shutdown() stops intake, drains everything already
+// queued, and joins the dispatcher.
+//
+// Observability: per-stage latency histograms (serve.queue_us /
+// serve.batch_form_us / serve.exec_us), request/batch counters, and
+// throughput + queue-depth gauges in the obs registry; BPAR_SPAN tracing on
+// the submit and batch paths, so `bpar_prof analyze` works on serving runs
+// unchanged.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/bpar_executor.hpp"
+#include "exec/common_options.hpp"
+#include "rnn/network.hpp"
+
+namespace bpar::serve {
+
+struct EngineOptions {
+  /// Workers / replicas / policy for the owned BParExecutor. Replicas are
+  /// clamped to the micro-batch rows per shape, so small batches degrade
+  /// gracefully to one replica.
+  exec::CommonOptions executor{};
+  /// Largest micro-batch the dispatcher coalesces (and the top row bucket).
+  int max_batch = 8;
+  /// Flush deadline: a formed batch executes as soon as it reaches
+  /// max_batch OR the oldest queued request has waited this long.
+  std::uint32_t max_delay_us = 500;
+  /// Bounded queue; submissions beyond this reject with kRejected.
+  std::size_t max_queue = 256;
+  /// false → every request executes alone (batch-1 latency mode).
+  bool enable_batching = true;
+  /// Benchmark knob: build a fresh executor (and thus fresh task graphs)
+  /// for every micro-batch instead of replaying the cached programs. Only
+  /// for measuring what the cache buys (tools/bpar_serve --rebuild).
+  bool rebuild_per_call = false;
+  /// Record per-task timing in the executor so write_unified_trace() can
+  /// export an analyzable trace (`bpar_prof analyze`) of the last batch.
+  bool record_trace = false;
+};
+
+enum class Status {
+  kOk,
+  kRejected,          // bounded queue full at submit time
+  kDeadlineExceeded,  // request expired before execution
+  kShutdown,          // submitted after shutdown() began
+  kFailed,            // invalid request or executor error (see error)
+};
+
+[[nodiscard]] const char* status_name(Status status);
+
+/// One sequence to classify. `features` is row-major by timestep:
+/// features[t * input_size + f]. Labels are optional — empty means no loss
+/// is computed; otherwise 1 entry (many-to-one) or `steps` entries
+/// (many-to-many) and the response carries this request's exact loss.
+struct Request {
+  int steps = 0;
+  std::vector<float> features;
+  std::vector<int> labels;
+  /// Optional absolute deadline; default (epoch) = none.
+  std::chrono::steady_clock::time_point deadline{};
+  bool want_logits = false;
+};
+
+struct Response {
+  Status status = Status::kOk;
+  std::uint64_t id = 0;
+  /// Mean cross-entropy of THIS request (padding-immune; 0 without labels).
+  double loss = 0.0;
+  std::vector<int> predictions;  // [outputs] argmax class ids
+  std::vector<float> logits;     // [outputs * classes] when want_logits
+  int batch_rows = 0;            // executed micro-batch rows (with padding)
+  int real_rows = 0;             // of which were real requests
+  double queue_us = 0.0;         // submit → micro-batch sealed
+  double batch_form_us = 0.0;    // seal → batch buffers filled
+  double exec_us = 0.0;          // task-graph execution
+  std::string error;             // kFailed diagnostic
+};
+
+class InferenceEngine {
+ public:
+  /// Builds the network from `config` (load trained weights through
+  /// network() or load_weights() before serving) and starts the dispatcher.
+  InferenceEngine(const rnn::NetworkConfig& config, EngineOptions options);
+  ~InferenceEngine();  // shutdown(): drains the queue, joins the dispatcher
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  [[nodiscard]] rnn::Network& network() { return net_; }
+  [[nodiscard]] const rnn::NetworkConfig& config() const {
+    return net_.config();
+  }
+  [[nodiscard]] exec::BParExecutor& executor() { return executor_; }
+
+  /// Reads weights saved by Model::save / rnn::Network::save.
+  void load_weights(const std::string& path);
+
+  /// Pre-builds the forward program of every row bucket for each sequence
+  /// length, so the first real requests don't pay graph construction.
+  void warmup(std::span<const int> seq_lengths);
+
+  /// Thread-safe. The future completes when the request is served (or
+  /// immediately, with a non-kOk status, when it cannot be queued).
+  [[nodiscard]] std::future<Response> submit(Request request);
+
+  /// Blocking convenience: submit(request).get().
+  [[nodiscard]] Response infer(Request request);
+
+  /// Stops intake (new submits answer kShutdown), serves everything already
+  /// queued, and joins the dispatcher. Idempotent.
+  void shutdown();
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;  // answered kOk
+    std::uint64_t rejected = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t padded_rows = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// Writes a unified chrome-trace (task slices of the LAST served
+  /// micro-batch + every obs span recorded so far) that `bpar_prof
+  /// analyze` consumes. Requires EngineOptions::record_trace and at least
+  /// one cached-path batch; call when quiescent (e.g. after shutdown()).
+  void write_unified_trace(const std::string& path);
+
+  /// The row bucket a micro-batch of `rows` requests pads up to: the next
+  /// power of two, clamped to `max_batch`.
+  [[nodiscard]] static int bucket_rows(int rows, int max_batch);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Request request;
+    std::promise<Response> promise;
+    Clock::time_point enqueued;
+    std::uint64_t id = 0;
+  };
+
+  void dispatcher_loop();
+  /// Serves one sealed micro-batch (dispatcher thread only).
+  void process_batch(std::vector<Pending> taken, Clock::time_point sealed);
+  [[nodiscard]] std::string validate(const Request& request) const;
+
+  rnn::Network net_;
+  EngineOptions options_;
+  exec::BParExecutor executor_;
+  Clock::time_point started_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;  // guarded by mu_
+  bool stopping_ = false;      // guarded by mu_
+
+  mutable std::mutex trace_mu_;  // guards the two last-trace fields
+  graph::TrainingProgram* last_traced_program_ = nullptr;
+  taskrt::RunStats last_traced_stats_;
+
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> padded_rows_{0};
+
+  std::thread dispatcher_;  // last member: starts after everything above
+};
+
+}  // namespace bpar::serve

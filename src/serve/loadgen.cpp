@@ -1,0 +1,102 @@
+#include "serve/loadgen.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace bpar::serve {
+
+Request make_request(const rnn::NetworkConfig& config, int steps,
+                     std::uint64_t seed, bool with_labels) {
+  util::Rng rng(seed);
+  Request request;
+  request.steps = steps;
+  request.features.resize(static_cast<std::size_t>(steps) *
+                          static_cast<std::size_t>(config.input_size));
+  for (float& f : request.features) {
+    f = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  if (with_labels) {
+    const int outputs = config.many_to_many ? steps : 1;
+    request.labels.resize(static_cast<std::size_t>(outputs));
+    for (int& label : request.labels) {
+      label = static_cast<int>(rng.uniform_index(
+          static_cast<std::uint64_t>(config.num_classes)));
+    }
+  }
+  return request;
+}
+
+LoadgenResult run_load(InferenceEngine& engine,
+                       const LoadgenOptions& options) {
+  BPAR_CHECK(options.clients >= 1, "need at least one client");
+  BPAR_CHECK(!options.seq_lengths.empty(), "need at least one seq length");
+  using Clock = std::chrono::steady_clock;
+
+  LoadgenResult result;
+  std::mutex mu;  // guards result aggregation across client threads
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(options.clients));
+  for (int c = 0; c < options.clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<double> local_ms;
+      local_ms.reserve(static_cast<std::size_t>(options.requests_per_client));
+      std::uint64_t ok = 0;
+      std::uint64_t rejected = 0;
+      std::uint64_t expired = 0;
+      std::uint64_t failed = 0;
+      for (int i = 0; i < options.requests_per_client; ++i) {
+        const int steps = options.seq_lengths[static_cast<std::size_t>(i) %
+                                              options.seq_lengths.size()];
+        Request request = make_request(
+            engine.config(), steps,
+            options.seed + static_cast<std::uint64_t>(c) * 100003U +
+                static_cast<std::uint64_t>(i),
+            options.with_labels);
+        const Clock::time_point t0 = Clock::now();
+        const Response response = engine.infer(std::move(request));
+        const Clock::time_point t1 = Clock::now();
+        switch (response.status) {
+          case Status::kOk:
+            ++ok;
+            local_ms.push_back(
+                std::chrono::duration<double, std::milli>(t1 - t0).count());
+            break;
+          case Status::kRejected:
+            ++rejected;
+            break;
+          case Status::kDeadlineExceeded:
+            ++expired;
+            break;
+          case Status::kShutdown:
+          case Status::kFailed:
+            ++failed;
+            break;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      result.ok += ok;
+      result.rejected += rejected;
+      result.expired += expired;
+      result.failed += failed;
+      result.latencies_ms.insert(result.latencies_ms.end(), local_ms.begin(),
+                                 local_ms.end());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  result.wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result.throughput_rps =
+      result.wall_s > 0.0 ? static_cast<double>(result.ok) / result.wall_s
+                          : 0.0;
+  result.latency_ms = util::percentiles(result.latencies_ms);
+  return result;
+}
+
+}  // namespace bpar::serve

@@ -1,0 +1,49 @@
+// Closed-loop load generator for the inference serving engine.
+//
+// N client threads each issue requests back-to-back (a new request the
+// moment the previous response lands — the classic closed-loop model), so
+// offered load scales with the client count and the engine's dynamic
+// micro-batcher sees realistic concurrency. Used by tools/bpar_serve, the
+// bench/fig_serving sweep, and the serving tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "util/percentiles.hpp"
+
+namespace bpar::serve {
+
+struct LoadgenOptions {
+  int clients = 8;               // concurrent closed-loop client threads
+  int requests_per_client = 50;  // requests each client issues
+  /// Sequence lengths cycled per client (request i uses
+  /// seq_lengths[i % size]); one entry → a single shape bucket.
+  std::vector<int> seq_lengths = {20};
+  bool with_labels = true;  // attach labels so responses carry losses
+  std::uint64_t seed = 1;   // feature/label generator seed
+};
+
+struct LoadgenResult {
+  util::Percentiles latency_ms;      // per-request client-observed latency
+  double wall_s = 0.0;               // whole-run wall time
+  double throughput_rps = 0.0;       // ok_responses / wall_s
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t failed = 0;
+  std::vector<double> latencies_ms;  // raw samples (ok responses only)
+};
+
+/// Runs the closed loop against `engine` and gathers latency percentiles.
+/// Thread-safe with respect to the engine; does not shut it down.
+[[nodiscard]] LoadgenResult run_load(InferenceEngine& engine,
+                                     const LoadgenOptions& options);
+
+/// Deterministic random request for the engine's model shape.
+[[nodiscard]] Request make_request(const rnn::NetworkConfig& config,
+                                   int steps, std::uint64_t seed,
+                                   bool with_labels);
+
+}  // namespace bpar::serve

@@ -62,6 +62,8 @@ struct FaultSpec {
   std::vector<TaskId> throw_tasks;  // fire in every session
   std::vector<TaskId> stall_tasks;  // fire in every session
 
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+
   [[nodiscard]] bool enabled() const {
     return throw_rate > 0.0 || delay_rate > 0.0 || stall_rate > 0.0 ||
            !throw_tasks.empty() || !stall_tasks.empty();

@@ -53,9 +53,9 @@ GradCheckResult check_gradients(rnn::Network& net, exec::Executor& executor,
     float& w = ref.param->at(r, c);
     const float saved = w;
     w = saved + epsilon;
-    const double loss_plus = executor.infer_batch(batch, {}).loss;
+    const double loss_plus = executor.infer(batch).loss;
     w = saved - epsilon;
-    const double loss_minus = executor.infer_batch(batch, {}).loss;
+    const double loss_minus = executor.infer(batch).loss;
     w = saved;
 
     const double numeric =

@@ -161,10 +161,9 @@ EpochStats Trainer::evaluate(const std::vector<rnn::BatchData>& batches) {
   std::size_t total = 0;
   double correct = 0.0;
   for (const auto& batch : batches) {
-    std::vector<int> predictions(batch.labels.size());
-    const auto result = active_executor().infer_batch(batch, predictions);
+    const auto result = active_executor().infer(batch);
     stats.mean_loss += result.loss;
-    correct += accuracy(predictions, batch.labels) *
+    correct += accuracy(result.predictions, batch.labels) *
                static_cast<double>(batch.labels.size());
     total += batch.labels.size();
   }

@@ -1,0 +1,28 @@
+#include "util/percentiles.hpp"
+
+#include <algorithm>
+
+namespace bpar::util {
+
+Percentiles percentiles(std::vector<double> samples) {
+  Percentiles p;
+  if (samples.empty()) return p;
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1));
+    return samples[idx];
+  };
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  p.p50 = at(0.50);
+  p.p95 = at(0.95);
+  p.p99 = at(0.99);
+  p.mean = sum / static_cast<double>(samples.size());
+  p.min = samples.front();
+  p.max = samples.back();
+  p.count = samples.size();
+  return p;
+}
+
+}  // namespace bpar::util

@@ -1,0 +1,26 @@
+// Exact sample percentiles — hoisted out of examples/latency_inference.cpp
+// so the latency example, the serving load generator (tools/bpar_serve), and
+// bench/fig_serving report tail latency the same way. For streaming /
+// pre-binned data use obs::Histogram::quantile instead; this helper sorts
+// the raw samples and is exact.
+#pragma once
+
+#include <vector>
+
+namespace bpar::util {
+
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Sorts `samples` (by value — callers keep their copy) and returns exact
+/// nearest-rank percentiles. An empty input returns all zeros.
+[[nodiscard]] Percentiles percentiles(std::vector<double> samples);
+
+}  // namespace bpar::util

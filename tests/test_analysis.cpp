@@ -243,7 +243,7 @@ TEST(Analysis, RealRuntimeScorecardMatchesRuntimeAccounting) {
   const rnn::NetworkConfig cfg = small_config();
   rnn::Network net(cfg);
   exec::BParOptions options;
-  options.num_workers = 4;
+  options.common.num_workers = 4;
   options.record_trace = true;
   exec::BParExecutor executor(net, options);
   const rnn::BatchData batch = tiny_batch(cfg, 42);
@@ -278,7 +278,7 @@ TEST(Analysis, RealRuntimeUnifiedTraceRoundTrip) {
   const rnn::NetworkConfig cfg = small_config();
   rnn::Network net(cfg);
   exec::BParOptions options;
-  options.num_workers = 2;
+  options.common.num_workers = 2;
   options.record_trace = true;
   exec::BParExecutor executor(net, options);
   const exec::StepResult step = executor.train_batch(tiny_batch(cfg, 9));
@@ -460,7 +460,7 @@ TEST(Counters, SampledRunPopulatesKindCountersWhenAvailable) {
   const rnn::NetworkConfig cfg = small_config();
   rnn::Network net(cfg);
   exec::BParOptions options;
-  options.num_workers = 2;
+  options.common.num_workers = 2;
   options.sample_counters = true;
   exec::BParExecutor executor(net, options);
   const exec::StepResult step = executor.train_batch(tiny_batch(cfg, 3));

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <type_traits>
 
 #include "core/bpar.hpp"
 #include "exec/barrier_executor.hpp"
@@ -118,42 +119,49 @@ TEST_P(ExecutorEquivalence, AllExecutorsMatchSequential) {
   };
 
   add("bpar_w1", [](rnn::Network& n) {
-    return std::make_unique<BParExecutor>(n, exec::BParOptions{.num_workers = 1});
+    return std::make_unique<BParExecutor>(
+        n, exec::BParOptions{.common = {.num_workers = 1}});
   });
   add("bpar_w4_fifo", [](rnn::Network& n) {
     return std::make_unique<BParExecutor>(
-        n, exec::BParOptions{.num_workers = 4,
-                             .policy = taskrt::SchedulerPolicy::kFifo});
+        n, exec::BParOptions{
+               .common = {.num_workers = 4,
+                          .policy = taskrt::SchedulerPolicy::kFifo}});
   });
   add("bpar_w4_locality", [](rnn::Network& n) {
     return std::make_unique<BParExecutor>(
-        n, exec::BParOptions{.num_workers = 4,
-                             .policy =
-                                 taskrt::SchedulerPolicy::kLocalityAware});
+        n, exec::BParOptions{
+               .common = {.num_workers = 4,
+                          .policy = taskrt::SchedulerPolicy::kLocalityAware}});
   });
   if (cfg.batch_size >= 4) {
     add("bpar_w4_mbs4", [](rnn::Network& n) {
       return std::make_unique<BParExecutor>(
-          n, exec::BParOptions{.num_workers = 4, .num_replicas = 4});
+          n, exec::BParOptions{.common = {.num_workers = 4,
+                                          .num_replicas = 4}});
     });
     add("bseq_r4", [](rnn::Network& n) {
       return std::make_unique<BSeqExecutor>(
-          n, exec::BSeqOptions{.num_workers = 4, .num_replicas = 4});
+          n, exec::BSeqOptions{.common = {.num_workers = 4,
+                                          .num_replicas = 4}});
     });
   }
   add("bpar_fused_merge", [](rnn::Network& n) {
     return std::make_unique<BParExecutor>(
-        n, exec::BParOptions{.num_workers = 4, .fuse_merge = true});
+        n, exec::BParOptions{.common = {.num_workers = 4},
+                             .fuse_merge = true});
   });
   add("bpar_w4_pinned", [](rnn::Network& n) {
     return std::make_unique<BParExecutor>(
-        n, exec::BParOptions{.num_workers = 4,
-                             .policy = taskrt::SchedulerPolicy::kLocalityAware,
-                             .pin_threads = true});
+        n, exec::BParOptions{
+               .common = {.num_workers = 4,
+                          .policy = taskrt::SchedulerPolicy::kLocalityAware,
+                          .pin_threads = true}});
   });
   add("barrier_w4", [](rnn::Network& n) {
     return std::make_unique<BarrierExecutor>(
-        n, exec::BarrierOptions{.num_workers = 4, .row_grain = 3});
+        n, exec::BarrierOptions{.common = {.num_workers = 4},
+                                .row_grain = 3});
   });
 
   for (auto& c : candidates) {
@@ -173,16 +181,41 @@ TEST_P(ExecutorEquivalence, InferencePredictionsMatch) {
 
   rnn::Network ref_net(cfg);
   SequentialExecutor ref(ref_net);
-  std::vector<int> ref_preds(pred_count);
-  const double ref_loss = ref.infer_batch(batch, ref_preds).loss;
+  const exec::InferResult ref_result = ref.infer(batch);
+  ASSERT_EQ(ref_result.predictions.size(), pred_count);
 
   rnn::Network net2(cfg);
-  BParExecutor bpar(net2, {.num_workers = 4, .num_replicas =
-                                                 cfg.batch_size >= 2 ? 2 : 1});
-  std::vector<int> preds(pred_count);
-  const double loss = bpar.infer_batch(batch, preds).loss;
-  EXPECT_NEAR(loss, ref_loss, 1e-4 * std::abs(ref_loss) + 1e-6);
-  EXPECT_EQ(preds, ref_preds);
+  BParExecutor bpar(
+      net2, {.common = {.num_workers = 4,
+                        .num_replicas = cfg.batch_size >= 2 ? 2 : 1}});
+  const exec::InferResult result = bpar.infer(batch);
+  EXPECT_NEAR(result.loss, ref_result.loss,
+              1e-4 * std::abs(ref_result.loss) + 1e-6);
+  EXPECT_EQ(result.predictions, ref_result.predictions);
+}
+
+TEST_P(ExecutorEquivalence, InferLogitsMatchSequential) {
+  const NetworkConfig& cfg = GetParam().cfg;
+  const BatchData batch = make_batch(cfg, 888);
+
+  rnn::Network ref_net(cfg);
+  SequentialExecutor ref(ref_net);
+  const exec::InferResult ref_result =
+      ref.infer(batch, {.want_logits = true});
+  ASSERT_FALSE(ref_result.logits.empty());
+  ASSERT_EQ(ref_result.logits.size(),
+            ref_result.predictions.size() *
+                static_cast<std::size_t>(cfg.num_classes));
+
+  rnn::Network net2(cfg);
+  BParExecutor bpar(
+      net2, {.common = {.num_workers = 4,
+                        .num_replicas = cfg.batch_size >= 2 ? 2 : 1}});
+  const exec::InferResult result = bpar.infer(batch, {.want_logits = true});
+  ASSERT_EQ(result.logits.size(), ref_result.logits.size());
+  for (std::size_t i = 0; i < result.logits.size(); ++i) {
+    EXPECT_NEAR(result.logits[i], ref_result.logits[i], 1e-4F) << i;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -214,7 +247,7 @@ TEST(ExecutorDeterminism, RepeatedBParRunsAreBitwiseIdentical) {
                                 .cfg;
   const BatchData batch = make_batch(cfg, 12);
   rnn::Network net(cfg);
-  BParExecutor bpar(net, {.num_workers = 4, .num_replicas = 2});
+  BParExecutor bpar(net, {.common = {.num_workers = 4, .num_replicas = 2}});
   const double loss1 = bpar.train_batch(batch).loss;
   const double norm1 = bpar.grads().l2_norm();
   for (int i = 0; i < 3; ++i) {
@@ -231,7 +264,7 @@ TEST(ExecutorStats, BParReportsTaskCounts) {
                                 .cfg;
   const BatchData batch = make_batch(cfg, 5);
   rnn::Network net(cfg);
-  BParExecutor bpar(net, {.num_workers = 2});
+  BParExecutor bpar(net, {.common = {.num_workers = 2}});
   const auto result = bpar.train_batch(batch);
   EXPECT_EQ(result.stats.tasks_executed, bpar.train_program().graph().size());
   EXPECT_GT(result.stats.tasks_executed, 0U);
@@ -265,12 +298,25 @@ TEST(ModelFacade, SaveLoadRoundTrip) {
 
   cfg.seed = 999;  // different init
   Model b(cfg);
-  const double before = b.infer_batch(batch).loss;
+  const double before = b.infer(batch).loss;
   b.load(path);
-  const double after = b.infer_batch(batch).loss;
-  const double original = a.infer_batch(batch).loss;
+  const double after = b.infer(batch).loss;
+  const double original = a.infer(batch).loss;
   EXPECT_NE(before, after);
   EXPECT_EQ(after, original);
+}
+
+// Satellite check for the options unification: all four executor paths pull
+// their shared knobs from the ONE exec::CommonOptions definition, so a
+// default cannot silently diverge between them.
+TEST(ExecutorOptionsUnification, DefaultsShareOneDefinition) {
+  static_assert(std::is_same_v<ExecutorOptions, exec::CommonOptions>,
+                "bpar::ExecutorOptions must be exec::CommonOptions");
+  const exec::CommonOptions defaults{};
+  EXPECT_EQ(exec::BParOptions{}.common, defaults);
+  EXPECT_EQ(exec::BSeqOptions{}.common, defaults);
+  EXPECT_EQ(exec::BarrierOptions{}.common, defaults);
+  EXPECT_EQ(ExecutorOptions{}, defaults);
 }
 
 }  // namespace

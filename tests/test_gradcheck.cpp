@@ -78,8 +78,8 @@ TEST_P(GradCheck, BParExecutorGradientsMatchFiniteDifferences) {
   cfg.num_classes = 5;
   cfg.seed = 13;
   rnn::Network net(cfg);
-  exec::BParExecutor executor(net,
-                              {.num_workers = 4, .num_replicas = 2});
+  exec::BParExecutor executor(net, {.common = {.num_workers = 4,
+                                               .num_replicas = 2}});
   const BatchData batch = make_batch(cfg, 55);
   const auto result =
       train::check_gradients(net, executor, batch, 40, 1e-2F);
@@ -114,8 +114,8 @@ TEST(InputGradients, MatchFiniteDifferencesAndSequential) {
   cfg.num_classes = 3;
   cfg.seed = 21;
   rnn::Network net(cfg);
-  exec::BParExecutor bpar(net, {.num_workers = 3,
-                                .num_replicas = 2,
+  exec::BParExecutor bpar(net, {.common = {.num_workers = 3,
+                                           .num_replicas = 2},
                                 .compute_input_grads = true});
   BatchData batch = make_batch(cfg, 66);
   bpar.train_batch(batch);
@@ -145,9 +145,9 @@ TEST(InputGradients, MatchFiniteDifferencesAndSequential) {
     float& slot = batch.x[check_t].at(r, c);
     const float saved = slot;
     slot = saved + eps;
-    const double plus = bpar.infer_batch(batch, {}).loss;
+    const double plus = bpar.infer(batch).loss;
     slot = saved - eps;
-    const double minus = bpar.infer_batch(batch, {}).loss;
+    const double minus = bpar.infer(batch).loss;
     slot = saved;
     const double numeric = (plus - minus) / (2.0 * static_cast<double>(eps));
     const double analytic = full_dx.at(r, c);

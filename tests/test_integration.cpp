@@ -122,9 +122,9 @@ TEST(Integration, TrainedAccuracyIdenticalAcrossExecutors) {
     model.select_executor(kind, {.num_workers = 3, .num_replicas = 2});
     std::vector<int> preds;
     for (const auto& batch : batches) {
-      std::vector<int> p(batch.labels.size());
-      model.infer_batch(batch, p);
-      preds.insert(preds.end(), p.begin(), p.end());
+      const auto result = model.infer(batch);
+      preds.insert(preds.end(), result.predictions.begin(),
+                   result.predictions.end());
     }
     all_preds.push_back(std::move(preds));
   }

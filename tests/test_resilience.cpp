@@ -90,9 +90,10 @@ class FaultyExecutor final : public exec::Executor {
     return result;
   }
 
-  exec::StepResult infer_batch(const BatchData& batch,
-                               std::span<int> predictions) override {
-    return inner_.infer_batch(batch, predictions);
+  using exec::Executor::infer;
+  exec::InferResult infer(const BatchData& batch,
+                          const exec::InferOptions& options) override {
+    return inner_.infer(batch, options);
   }
 
   rnn::NetworkGrads& grads() override { return inner_.grads(); }

@@ -1,0 +1,339 @@
+// Serving engine suite (DESIGN.md §5f): micro-batcher flush rules, padding
+// masking (batched results must match a batch-1 sequential reference),
+// cached-program determinism, FIFO fairness, backpressure, deadlines, and a
+// many-client concurrency smoke that doubles as the TSan target.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <vector>
+
+#include "exec/sequential.hpp"
+#include "rnn/network.hpp"
+#include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
+#include "util/rng.hpp"
+
+namespace bpar {
+namespace {
+
+using serve::EngineOptions;
+using serve::InferenceEngine;
+using serve::LoadgenOptions;
+using serve::Request;
+using serve::Response;
+using serve::Status;
+
+rnn::NetworkConfig small_config(int seq = 6, int max_batch = 4) {
+  rnn::NetworkConfig cfg;
+  cfg.cell = rnn::CellType::kLstm;
+  cfg.input_size = 5;
+  cfg.hidden_size = 8;
+  cfg.num_layers = 2;
+  cfg.seq_length = seq;
+  cfg.batch_size = max_batch;
+  cfg.num_classes = 4;
+  return cfg;
+}
+
+EngineOptions quiet_options(int max_batch = 4) {
+  EngineOptions options;
+  options.executor.num_workers = 2;
+  options.executor.num_replicas = 2;
+  options.max_batch = max_batch;
+  return options;
+}
+
+/// The request as a batch-1 BatchData for the reference executor.
+rnn::BatchData unit_batch(const rnn::NetworkConfig& cfg,
+                          const Request& request) {
+  rnn::BatchData batch;
+  batch.x.resize(static_cast<std::size_t>(request.steps));
+  for (int t = 0; t < request.steps; ++t) {
+    auto& m = batch.x[static_cast<std::size_t>(t)];
+    m.resize(1, cfg.input_size);
+    for (int f = 0; f < cfg.input_size; ++f) {
+      m.view().at(0, f) =
+          request.features[static_cast<std::size_t>(t) *
+                               static_cast<std::size_t>(cfg.input_size) +
+                           static_cast<std::size_t>(f)];
+    }
+  }
+  batch.labels = request.labels;
+  return batch;
+}
+
+TEST(ServeBucketRows, PowersOfTwoClampedToMaxBatch) {
+  EXPECT_EQ(InferenceEngine::bucket_rows(1, 8), 1);
+  EXPECT_EQ(InferenceEngine::bucket_rows(2, 8), 2);
+  EXPECT_EQ(InferenceEngine::bucket_rows(3, 8), 4);
+  EXPECT_EQ(InferenceEngine::bucket_rows(5, 8), 8);
+  EXPECT_EQ(InferenceEngine::bucket_rows(8, 8), 8);
+  EXPECT_EQ(InferenceEngine::bucket_rows(3, 6), 4);
+  EXPECT_EQ(InferenceEngine::bucket_rows(5, 6), 6);   // clamped, not 8
+  EXPECT_EQ(InferenceEngine::bucket_rows(6, 6), 6);
+}
+
+TEST(ServeEngine, RepeatedInferIsBitExact) {
+  const auto cfg = small_config();
+  InferenceEngine engine(cfg, quiet_options());
+  Request request = serve::make_request(cfg, cfg.seq_length, 7,
+                                        /*with_labels=*/true);
+  request.want_logits = true;
+
+  const Response first = engine.infer(request);
+  ASSERT_EQ(first.status, Status::kOk);
+  ASSERT_FALSE(first.logits.empty());
+  // Cached-program replays must be deterministic down to the bit.
+  for (int i = 0; i < 4; ++i) {
+    const Response again = engine.infer(request);
+    ASSERT_EQ(again.status, Status::kOk);
+    EXPECT_EQ(again.predictions, first.predictions);
+    EXPECT_EQ(again.logits, first.logits);  // float-exact
+    EXPECT_EQ(again.loss, first.loss);
+  }
+  // All five identical requests hit ONE cached forward program.
+  EXPECT_EQ(engine.executor().cached_programs(false), 1U);
+  EXPECT_EQ(engine.stats().batches, 5U);
+}
+
+TEST(ServeEngine, PaddedBatchMatchesSequentialReference) {
+  const auto cfg = small_config();
+  EngineOptions options = quiet_options(/*max_batch=*/4);
+  options.max_delay_us = 50000;  // long enough for 3 submits to coalesce
+  InferenceEngine engine(cfg, options);
+
+  // Reference network with the engine's exact weights.
+  rnn::NetworkConfig ref_cfg = cfg;
+  ref_cfg.batch_size = 1;
+  rnn::Network ref_net(ref_cfg);
+  {
+    std::stringstream weights;
+    engine.network().save(weights);
+    ref_net.load(weights);
+  }
+  exec::SequentialExecutor ref(ref_net);
+
+  std::vector<Request> requests;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Request r = serve::make_request(cfg, cfg.seq_length, seed, true);
+    r.want_logits = true;
+    requests.push_back(std::move(r));
+  }
+  std::vector<std::future<Response>> futures;
+  futures.reserve(requests.size());
+  for (const Request& r : requests) futures.push_back(engine.submit(r));
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Response response = futures[i].get();
+    ASSERT_EQ(response.status, Status::kOk);
+    // 3 real rows padded up to the 4-row bucket.
+    EXPECT_EQ(response.real_rows, 3);
+    EXPECT_EQ(response.batch_rows, 4);
+
+    const auto expect =
+        ref.infer(unit_batch(ref_cfg, requests[i]), {.want_logits = true});
+    EXPECT_EQ(response.predictions, expect.predictions);
+    EXPECT_NEAR(response.loss, expect.loss, 1e-5);
+    ASSERT_EQ(response.logits.size(), expect.logits.size());
+    for (std::size_t k = 0; k < expect.logits.size(); ++k) {
+      EXPECT_NEAR(response.logits[k], expect.logits[k], 1e-4F) << "logit " << k;
+    }
+  }
+  EXPECT_EQ(engine.stats().batches, 1U);
+  EXPECT_EQ(engine.stats().padded_rows, 1U);
+}
+
+TEST(ServeBatcher, FlushesWhenFull) {
+  const auto cfg = small_config();
+  EngineOptions options = quiet_options(/*max_batch=*/4);
+  options.max_delay_us = 10'000'000;  // would wait ten seconds if size
+                                      // didn't trigger the flush
+  InferenceEngine engine(cfg, options);
+
+  std::vector<std::future<Response>> futures;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    futures.push_back(
+        engine.submit(serve::make_request(cfg, cfg.seq_length, seed, true)));
+  }
+  for (auto& f : futures) {
+    const Response response = f.get();
+    EXPECT_EQ(response.status, Status::kOk);
+    EXPECT_EQ(response.real_rows, 4);
+  }
+  EXPECT_EQ(engine.stats().batches, 1U);
+  EXPECT_EQ(engine.stats().padded_rows, 0U);
+}
+
+TEST(ServeBatcher, FlushesOnDeadlineWhenUnderfull) {
+  const auto cfg = small_config();
+  EngineOptions options = quiet_options(/*max_batch=*/8);
+  options.max_delay_us = 2000;
+  InferenceEngine engine(cfg, options);
+
+  auto f0 = engine.submit(serve::make_request(cfg, cfg.seq_length, 0, true));
+  auto f1 = engine.submit(serve::make_request(cfg, cfg.seq_length, 1, true));
+  const Response r0 = f0.get();
+  const Response r1 = f1.get();
+  EXPECT_EQ(r0.status, Status::kOk);
+  EXPECT_EQ(r1.status, Status::kOk);
+  // Both served without 6 more requests ever arriving.
+  EXPECT_LE(r0.real_rows, 2);
+  EXPECT_GE(engine.stats().batches, 1U);
+  EXPECT_EQ(engine.stats().completed, 2U);
+}
+
+TEST(ServeBatcher, FifoOrderAcrossBatches) {
+  const auto cfg = small_config();
+  EngineOptions options = quiet_options(/*max_batch=*/2);
+  InferenceEngine engine(cfg, options);
+
+  std::vector<std::future<Response>> futures;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    futures.push_back(
+        engine.submit(serve::make_request(cfg, cfg.seq_length, seed, true)));
+  }
+  // FIFO: by the time the LAST submission is answered, every earlier
+  // same-shape request must already have its response.
+  EXPECT_EQ(futures.back().get().status, Status::kOk);
+  for (std::size_t i = 0; i + 1 < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "request " << i << " overtaken by a later one";
+    EXPECT_EQ(futures[i].get().status, Status::kOk);
+  }
+}
+
+TEST(ServeEngine, MixedLengthsOnlyCoalesceSameShape) {
+  const auto cfg = small_config(/*seq=*/6);
+  EngineOptions options = quiet_options(/*max_batch=*/4);
+  options.max_delay_us = 20000;
+  InferenceEngine engine(cfg, options);
+
+  auto fa = engine.submit(serve::make_request(cfg, 6, 1, true));
+  auto fb = engine.submit(serve::make_request(cfg, 9, 2, true));
+  auto fc = engine.submit(serve::make_request(cfg, 6, 3, true));
+  const Response ra = fa.get();
+  const Response rb = fb.get();
+  const Response rc = fc.get();
+  ASSERT_EQ(ra.status, Status::kOk);
+  ASSERT_EQ(rb.status, Status::kOk);
+  ASSERT_EQ(rc.status, Status::kOk);
+  // The length-9 request never rides in a length-6 batch.
+  EXPECT_EQ(rb.real_rows, 1);
+  EXPECT_EQ(rb.predictions.size(), 1U);
+  // Two shape groups → at least two micro-batches, and exactly one cached
+  // forward program per (length, row-bucket) pair actually served.
+  EXPECT_GE(engine.stats().batches, 2U);
+  EXPECT_EQ(engine.executor().cached_programs(false), 2U);
+}
+
+TEST(ServeEngine, RejectsWhenQueueFull) {
+  const auto cfg = small_config();
+  EngineOptions options = quiet_options(/*max_batch=*/64);
+  options.max_delay_us = 10'000'000;  // dispatcher sits on the open batch
+  options.max_queue = 4;
+  InferenceEngine engine(cfg, options);
+
+  std::vector<std::future<Response>> futures;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    futures.push_back(
+        engine.submit(serve::make_request(cfg, cfg.seq_length, seed, true)));
+  }
+  // The 5th submission bounced off the bounded queue immediately.
+  EXPECT_EQ(futures.back().get().status, Status::kRejected);
+  engine.shutdown();  // drains the four queued requests
+  int ok = 0;
+  for (std::size_t i = 0; i + 1 < futures.size(); ++i) {
+    ok += futures[i].get().status == Status::kOk ? 1 : 0;
+  }
+  EXPECT_EQ(ok, 4);
+  EXPECT_EQ(engine.stats().rejected, 1U);
+  EXPECT_EQ(engine.stats().completed, 4U);
+}
+
+TEST(ServeEngine, ExpiredRequestsSkipExecution) {
+  const auto cfg = small_config();
+  EngineOptions options = quiet_options(/*max_batch=*/4);
+  options.max_delay_us = 20000;
+  InferenceEngine engine(cfg, options);
+
+  Request late = serve::make_request(cfg, cfg.seq_length, 1, true);
+  late.deadline = std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1);  // already expired
+  auto f_late = engine.submit(std::move(late));
+  std::vector<std::future<Response>> rest;
+  for (std::uint64_t seed = 2; seed <= 4; ++seed) {
+    rest.push_back(
+        engine.submit(serve::make_request(cfg, cfg.seq_length, seed, true)));
+  }
+  EXPECT_EQ(f_late.get().status, Status::kDeadlineExceeded);
+  for (auto& f : rest) EXPECT_EQ(f.get().status, Status::kOk);
+  EXPECT_EQ(engine.stats().expired, 1U);
+  EXPECT_EQ(engine.stats().completed, 3U);
+}
+
+TEST(ServeEngine, ValidatesRequests) {
+  const auto cfg = small_config();
+  InferenceEngine engine(cfg, quiet_options());
+
+  Request bad_features = serve::make_request(cfg, cfg.seq_length, 1, true);
+  bad_features.features.pop_back();
+  const Response r1 = engine.infer(std::move(bad_features));
+  EXPECT_EQ(r1.status, Status::kFailed);
+  EXPECT_FALSE(r1.error.empty());
+
+  Request bad_label = serve::make_request(cfg, cfg.seq_length, 1, true);
+  bad_label.labels[0] = cfg.num_classes;
+  EXPECT_EQ(engine.infer(std::move(bad_label)).status, Status::kFailed);
+
+  EXPECT_EQ(engine.stats().failed, 2U);
+  EXPECT_EQ(engine.stats().completed, 0U);
+}
+
+TEST(ServeEngine, ShutdownAnswersNewSubmitsWithShutdown) {
+  const auto cfg = small_config();
+  InferenceEngine engine(cfg, quiet_options());
+  (void)engine.infer(serve::make_request(cfg, cfg.seq_length, 1, true));
+  engine.shutdown();
+  const Response after =
+      engine.infer(serve::make_request(cfg, cfg.seq_length, 2, true));
+  EXPECT_EQ(after.status, Status::kShutdown);
+}
+
+// ≥8 concurrent clients hammering the bounded queue; every submitted
+// request must get exactly one response (promise semantics make duplicates
+// impossible — a double set_value would throw — so conservation of counts
+// is the whole story). This test is the serving TSan target.
+TEST(ServeConcurrency, ManyClientsNoLostResponses) {
+  const auto cfg = small_config();
+  EngineOptions options = quiet_options(/*max_batch=*/4);
+  options.max_delay_us = 200;
+  options.max_queue = 16;  // small enough that backpressure can trigger
+  InferenceEngine engine(cfg, options);
+
+  LoadgenOptions load;
+  load.clients = 8;
+  load.requests_per_client = 25;
+  load.seq_lengths = {cfg.seq_length, cfg.seq_length + 2};
+  const auto result = serve::run_load(engine, load);
+  engine.shutdown();
+
+  const auto stats = engine.stats();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(load.clients) *
+      static_cast<std::uint64_t>(load.requests_per_client);
+  EXPECT_EQ(stats.submitted, total);
+  EXPECT_EQ(result.ok + result.rejected + result.expired + result.failed,
+            total);
+  EXPECT_EQ(stats.completed + stats.rejected + stats.expired + stats.failed,
+            total);
+  EXPECT_EQ(result.ok, stats.completed);
+  EXPECT_EQ(result.failed, 0U);
+  EXPECT_GT(result.ok, 0U);
+  EXPECT_EQ(engine.queue_depth(), 0U);
+}
+
+}  // namespace
+}  // namespace bpar

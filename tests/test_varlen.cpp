@@ -72,7 +72,8 @@ double reference_loss(const rnn::Network& net, const BatchData& batch,
 TEST(VariableLength, TrainAcceptsMultipleLengths) {
   const NetworkConfig cfg = base_config();
   rnn::Network net(cfg);
-  exec::BParExecutor bpar(net, {.num_workers = 4, .num_replicas = 2});
+  exec::BParExecutor bpar(net, {.common = {.num_workers = 4,
+                                           .num_replicas = 2}});
 
   for (const int steps : {4, 7, 2, 4, 9}) {
     const BatchData batch = make_batch(cfg, steps, 100 + steps);
@@ -92,10 +93,10 @@ TEST(VariableLength, TrainAcceptsMultipleLengths) {
 TEST(VariableLength, InferCachesPerLengthToo) {
   const NetworkConfig cfg = base_config();
   rnn::Network net(cfg);
-  exec::BParExecutor bpar(net, {.num_workers = 2});
+  exec::BParExecutor bpar(net, {.common = {.num_workers = 2}});
   for (const int steps : {3, 5, 3}) {
     const BatchData batch = make_batch(cfg, steps, 200 + steps);
-    const double loss = bpar.infer_batch(batch, {}).loss;
+    const double loss = bpar.infer(batch).loss;
     EXPECT_GT(loss, 0.0);
   }
   EXPECT_EQ(bpar.cached_programs(/*training=*/false), 2U);
@@ -106,7 +107,8 @@ TEST(VariableLength, ManyToManyLabelsScaleWithLength) {
   NetworkConfig cfg = base_config();
   cfg.many_to_many = true;
   rnn::Network net(cfg);
-  exec::BParExecutor bpar(net, {.num_workers = 3, .num_replicas = 3});
+  exec::BParExecutor bpar(net, {.common = {.num_workers = 3,
+                                           .num_replicas = 3}});
   for (const int steps : {2, 6}) {
     const BatchData batch = make_batch(cfg, steps, 300 + steps);
     const double ref_loss = reference_loss(net, batch, nullptr);
@@ -119,7 +121,7 @@ TEST(VariableLength, ManyToManyLabelsScaleWithLength) {
 TEST(VariableLength, GraphSizesScaleWithLength) {
   const NetworkConfig cfg = base_config();
   rnn::Network net(cfg);
-  exec::BParExecutor bpar(net, {.num_workers = 1});
+  exec::BParExecutor bpar(net, {.common = {.num_workers = 1}});
   const std::size_t small = bpar.train_program(2).graph().size();
   const std::size_t large = bpar.train_program(8).graph().size();
   EXPECT_GT(large, 3 * small / 2);
@@ -130,7 +132,8 @@ TEST(VariableLength, GraphSizesScaleWithLength) {
 TEST(VariableLength, SequenceLengthOneWorks) {
   const NetworkConfig cfg = base_config();
   rnn::Network net(cfg);
-  exec::BParExecutor bpar(net, {.num_workers = 2, .num_replicas = 2});
+  exec::BParExecutor bpar(net, {.common = {.num_workers = 2,
+                                           .num_replicas = 2}});
   const BatchData batch = make_batch(cfg, 1, 999);
   const double ref_loss = reference_loss(net, batch, nullptr);
   EXPECT_NEAR(bpar.train_batch(batch).loss, ref_loss,

@@ -1,0 +1,170 @@
+// bpar_serve — multi-threaded closed-loop load generator for the inference
+// serving engine (src/serve). Spins up an InferenceEngine, drives it with N
+// client threads, and reports client-observed latency percentiles,
+// throughput, and the engine's batching/backpressure counters.
+//
+//   ./bpar_serve --clients 8 --requests 50 --max-batch 8 --max-delay-us 500
+//   ./bpar_serve --compare            # cached program replay vs rebuild
+//   ./bpar_serve --no-batching        # batch-1 latency mode
+//
+// With --trace/--metrics the run emits obs telemetry that `bpar_prof
+// analyze` consumes unchanged (serve.queue_us / serve.batch_form_us /
+// serve.exec_us histograms, throughput gauges, dispatcher spans).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/session.hpp"
+#include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::vector<int> parse_seq_list(const std::string& text) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!item.empty()) out.push_back(std::stoi(item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct RunOutcome {
+  bpar::serve::LoadgenResult load;
+  bpar::serve::InferenceEngine::Stats stats;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bpar::util::ArgParser args("bpar_serve",
+                             "closed-loop serving load generator");
+  bpar::obs::add_cli_flags(args);
+  args.add_int("clients", 8, "concurrent closed-loop client threads");
+  args.add_int("requests", 50, "requests per client");
+  args.add_int("workers", 4, "executor worker threads");
+  args.add_int("replicas", 4, "executor replicas (clamped to batch rows)");
+  args.add_int("max-batch", 8, "largest coalesced micro-batch");
+  args.add_int("max-delay-us", 500, "micro-batch flush deadline");
+  args.add_int("queue", 256, "bounded request queue capacity");
+  args.add_int("hidden", 64, "hidden size");
+  args.add_int("layers", 2, "BLSTM layers");
+  args.add_int("classes", 10, "output classes");
+  args.add_string("seq", "20", "comma-separated request sequence lengths");
+  args.add_int("seed", 1, "request generator seed");
+  args.add_flag("no-batching", "serve every request alone (batch-1 mode)");
+  args.add_flag("no-labels",
+                "send unlabeled requests (skips loss/logit extraction)");
+  args.add_flag("rebuild",
+                "rebuild task graphs per micro-batch (no program cache)");
+  args.add_flag("compare",
+                "run cached-replay and rebuild-per-call back to back");
+  if (!args.parse(argc, argv)) return 1;
+  bpar::obs::ObsSession session("bpar_serve", args,
+                                bpar::obs::ReportMode::kJson);
+
+  const std::vector<int> seq_lengths = parse_seq_list(args.get_string("seq"));
+  if (seq_lengths.empty()) {
+    std::fprintf(stderr, "bpar_serve: --seq must name at least one length\n");
+    return 1;
+  }
+
+  bpar::rnn::NetworkConfig cfg;
+  cfg.cell = bpar::rnn::CellType::kLstm;
+  cfg.input_size = 16;
+  cfg.hidden_size = static_cast<int>(args.get_int("hidden"));
+  cfg.num_layers = static_cast<int>(args.get_int("layers"));
+  cfg.seq_length = seq_lengths.front();
+  cfg.batch_size = static_cast<int>(args.get_int("max-batch"));
+  cfg.num_classes = static_cast<int>(args.get_int("classes"));
+
+  bpar::serve::EngineOptions engine_options;
+  engine_options.executor.num_workers =
+      static_cast<int>(args.get_int("workers"));
+  engine_options.executor.num_replicas =
+      static_cast<int>(args.get_int("replicas"));
+  engine_options.max_batch = static_cast<int>(args.get_int("max-batch"));
+  engine_options.max_delay_us =
+      static_cast<std::uint32_t>(args.get_int("max-delay-us"));
+  engine_options.max_queue =
+      static_cast<std::size_t>(args.get_int("queue"));
+  engine_options.enable_batching = !args.flag("no-batching");
+
+  bpar::serve::LoadgenOptions load_options;
+  load_options.clients = static_cast<int>(args.get_int("clients"));
+  load_options.requests_per_client =
+      static_cast<int>(args.get_int("requests"));
+  load_options.seq_lengths = seq_lengths;
+  load_options.with_labels = !args.flag("no-labels");
+  load_options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  // With --trace, the cached-mode engine records per-task timing and is
+  // kept alive past session.finish() so its unified (task slices + obs
+  // spans) trace replaces the spans-only one — `bpar_prof analyze` needs
+  // the task slices.
+  const std::string trace_path = args.get_string("trace");
+  std::unique_ptr<bpar::serve::InferenceEngine> traced_engine;
+  const auto run_one = [&](bool rebuild) -> RunOutcome {
+    bpar::serve::EngineOptions options = engine_options;
+    options.rebuild_per_call = rebuild;
+    options.record_trace = !trace_path.empty() && !rebuild;
+    auto engine =
+        std::make_unique<bpar::serve::InferenceEngine>(cfg, options);
+    engine->warmup(seq_lengths);
+    RunOutcome outcome;
+    outcome.load = bpar::serve::run_load(*engine, load_options);
+    engine->shutdown();
+    outcome.stats = engine->stats();
+    if (options.record_trace) traced_engine = std::move(engine);
+    return outcome;
+  };
+
+  std::vector<std::pair<std::string, bool>> modes;
+  if (args.flag("compare")) {
+    modes = {{"cached", false}, {"rebuild", true}};
+  } else {
+    const bool rebuild = args.flag("rebuild");
+    modes = {{rebuild ? "rebuild" : "cached", rebuild}};
+  }
+
+  std::printf("bpar_serve: %d clients x %d requests, max_batch=%d, "
+              "max_delay=%ldus, batching=%s\n\n",
+              load_options.clients, load_options.requests_per_client,
+              engine_options.max_batch,
+              static_cast<long>(engine_options.max_delay_us),
+              engine_options.enable_batching ? "on" : "off");
+
+  bpar::util::Table table({"mode", "throughput rps", "p50 ms", "p95 ms",
+                           "p99 ms", "mean ms", "ok", "rejected", "expired",
+                           "failed", "batches", "padded rows"});
+  for (const auto& [name, rebuild] : modes) {
+    const RunOutcome outcome = run_one(rebuild);
+    const auto& p = outcome.load.latency_ms;
+    table.add_row({name, bpar::util::fmt(outcome.load.throughput_rps, 1),
+                   bpar::util::fmt(p.p50, 3), bpar::util::fmt(p.p95, 3),
+                   bpar::util::fmt(p.p99, 3), bpar::util::fmt(p.mean, 3),
+                   std::to_string(outcome.load.ok),
+                   std::to_string(outcome.load.rejected),
+                   std::to_string(outcome.load.expired),
+                   std::to_string(outcome.load.failed),
+                   std::to_string(outcome.stats.batches),
+                   std::to_string(outcome.stats.padded_rows)});
+  }
+  table.print("serving load test");
+  session.report().add_table("serving", table.header(), table.data());
+  session.finish();
+  if (traced_engine != nullptr) {
+    traced_engine->write_unified_trace(trace_path);
+    std::printf("\nwrote %s (analyze with: bpar_prof analyze %s)\n",
+                trace_path.c_str(), trace_path.c_str());
+  }
+  return 0;
+}
