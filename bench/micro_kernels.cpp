@@ -1,9 +1,15 @@
 // google-benchmark microbenchmarks of the numeric substrate: GEMM
-// variants, cell forward/backward kernels, merges, and softmax.
+// variants, cell forward/backward kernels, merges, softmax, plus
+// per-backend (scalar / AVX2 / AVX-512 / NEON) and int8 kernel benches for
+// the BPAR_KERNEL_BACKEND A/B comparisons in EXPERIMENTS.md.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "kernels/backend.hpp"
 #include "kernels/elementwise.hpp"
 #include "kernels/gemm.hpp"
+#include "kernels/quant.hpp"
 #include "rnn/cell_kernels.hpp"
 #include "rnn/flops.hpp"
 #include "rnn/merge.hpp"
@@ -131,6 +137,109 @@ void BM_MergeForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MergeForward)->Arg(0)->Arg(1)->Arg(3);
+
+// Per-backend benches: one registration per runtime-dispatchable backend,
+// named BM_<Kernel>Backend/<name>, so `bpar_prof diff` can compare e.g.
+// gbench/BM_GemmNtBackend/avx512 against .../scalar across runs.
+void gemm_nt_backend(benchmark::State& state,
+                     const bpar::kernels::Backend* backend, int m, int n,
+                     int k) {
+  bpar::util::Rng rng(7);
+  Matrix a(m, k);
+  Matrix b(n, k);
+  Matrix c(m, n);
+  bpar::tensor::fill_uniform(a.view(), rng, -1.0F, 1.0F);
+  bpar::tensor::fill_uniform(b.view(), rng, -1.0F, 1.0F);
+  for (auto _ : state) {
+    backend->gemm_nt(a.cview(), b.cview(), c.view(), 1.0F, 0.0F);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      bpar::kernels::gemm_flops(m, n, k) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+void gemm_nn_backend(benchmark::State& state,
+                     const bpar::kernels::Backend* backend, int m, int n,
+                     int k) {
+  bpar::util::Rng rng(8);
+  Matrix a(m, k);
+  Matrix b(k, n);
+  Matrix c(m, n);
+  bpar::tensor::fill_uniform(a.view(), rng, -1.0F, 1.0F);
+  bpar::tensor::fill_uniform(b.view(), rng, -1.0F, 1.0F);
+  for (auto _ : state) {
+    backend->gemm_nn(a.cview(), b.cview(), c.view(), 1.0F, 0.0F);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      bpar::kernels::gemm_flops(m, n, k) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+void sigmoid_backend(benchmark::State& state,
+                     const bpar::kernels::Backend* backend) {
+  bpar::util::Rng rng(9);
+  Matrix base(64, 1024);
+  bpar::tensor::fill_uniform(base.view(), rng, -8.0F, 8.0F);
+  Matrix work = base;
+  for (auto _ : state) {
+    state.PauseTiming();
+    work = base;
+    state.ResumeTiming();
+    for (int r = 0; r < work.rows(); ++r) {
+      backend->sigmoid_inplace(work.view().row(r));
+    }
+    benchmark::DoNotOptimize(work.data());
+  }
+}
+
+void BM_QgemmNtInt8(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  bpar::util::Rng rng(10);
+  Matrix a(m, k);
+  Matrix b(n, k);
+  Matrix c(m, n);
+  bpar::tensor::fill_uniform(a.view(), rng, -1.0F, 1.0F);
+  bpar::tensor::fill_uniform(b.view(), rng, -1.0F, 1.0F);
+  bpar::kernels::QuantizedMatrix qb;
+  qb.quantize_from(b.cview());
+  for (auto _ : state) {
+    bpar::kernels::qgemm_nt(a.cview(), qb.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      bpar::kernels::gemm_flops(m, n, k) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_QgemmNtInt8)->Args({32, 256, 128})->Args({128, 1024, 512});
+
+const int kBackendBenchesRegistered = [] {
+  int count = 0;
+  for (const auto* backend : bpar::kernels::available_backends()) {
+    const std::string name = backend->name;
+    benchmark::RegisterBenchmark(
+        ("BM_GemmNtBackend/" + name).c_str(),
+        [backend](benchmark::State& s) {
+          gemm_nt_backend(s, backend, 128, 1024, 512);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_GemmNnBackend/" + name).c_str(),
+        [backend](benchmark::State& s) {
+          gemm_nn_backend(s, backend, 128, 512, 1024);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_SigmoidBackend/" + name).c_str(),
+        [backend](benchmark::State& s) { sigmoid_backend(s, backend); });
+    ++count;
+  }
+  return count;
+}();
 
 void BM_SoftmaxCe(benchmark::State& state) {
   bpar::util::Rng rng(6);

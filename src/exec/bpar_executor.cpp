@@ -43,6 +43,12 @@ graph::TrainingProgram& BParExecutor::program(bool training, int seq_length,
     bo.fuse_merge = options_.fuse_merge;
     bo.compute_input_grads = options_.compute_input_grads;
     bo.seq_length_override = steps;
+    if (!training && options_.quantized_inference) {
+      if (quantized_ == nullptr) {
+        quantized_ = std::make_unique<rnn::QuantizedNetwork>(net_);
+      }
+      bo.quantized = quantized_.get();
+    }
     it = cache
              .emplace(ShapeKey{steps, rows},
                       std::make_unique<graph::TrainingProgram>(net_, rows, bo))
@@ -59,6 +65,10 @@ graph::TrainingProgram& BParExecutor::train_program(int seq_length,
 graph::TrainingProgram& BParExecutor::infer_program(int seq_length,
                                                     int batch_rows) {
   return program(/*training=*/false, seq_length, batch_rows);
+}
+
+void BParExecutor::refresh_quantized_weights() {
+  if (quantized_ != nullptr) quantized_->requantize(net_);
 }
 
 StepResult BParExecutor::train_batch(const rnn::BatchData& batch) {

@@ -17,6 +17,7 @@
 #include "exec/common_options.hpp"
 #include "exec/executor.hpp"
 #include "graph/brnn_graph.hpp"
+#include "rnn/quantized.hpp"
 
 namespace bpar::exec {
 
@@ -29,6 +30,11 @@ struct BParOptions {
   /// Per-task-class hardware counters (RunStats::kind_counters); no-op
   /// when perf_event_open is unavailable.
   bool sample_counters = false;
+  /// int8 inference (DESIGN.md §5g): quantize the trained fp32 weights
+  /// once (per output channel) and run inference-graph GEMMs in int8 with
+  /// fp32 dequantization at the activation boundary. Training always stays
+  /// fp32. Call refresh_quantized_weights() after mutating the Network.
+  bool quantized_inference = false;
 };
 
 class BParExecutor final : public Executor {
@@ -61,6 +67,14 @@ class BParExecutor final : public Executor {
     return training ? train_programs_.size() : infer_programs_.size();
   }
 
+  /// Re-quantizes the int8 weight sidecar from the current fp32 weights.
+  /// Required after in-place weight updates (training steps, load_weights)
+  /// when quantized_inference is on; cheap no-op otherwise.
+  void refresh_quantized_weights();
+  [[nodiscard]] bool quantized_inference() const {
+    return options_.quantized_inference;
+  }
+
  private:
   using ShapeKey = std::pair<int, int>;  // (seq_length, batch_rows)
   graph::TrainingProgram& program(bool training, int seq_length,
@@ -69,6 +83,9 @@ class BParExecutor final : public Executor {
   rnn::Network& net_;
   BParOptions options_;
   taskrt::Runtime runtime_;
+  /// int8 weight sidecar shared by every cached inference program; built
+  /// lazily the first time an inference graph is requested.
+  std::unique_ptr<rnn::QuantizedNetwork> quantized_;
   std::map<ShapeKey, std::unique_ptr<graph::TrainingProgram>> train_programs_;
   std::map<ShapeKey, std::unique_ptr<graph::TrainingProgram>> infer_programs_;
   graph::TrainingProgram* last_train_ = nullptr;

@@ -6,8 +6,10 @@
 #include "kernels/elementwise.hpp"
 #include "kernels/gemm.hpp"
 #include "obs/trace.hpp"
+#include "kernels/quant.hpp"
 #include "rnn/flops.hpp"
 #include "rnn/merge.hpp"
+#include "rnn/quantized.hpp"
 #include "util/check.hpp"
 
 namespace bpar::graph {
@@ -367,6 +369,11 @@ void TrainingProgram::build_forward_layer(ReplicaCtx& ctx, int l) {
     rnn::Workspace* ws = ctx.ws;
     const rnn::LayerParams* params =
         opts_.executable ? &net_.layer(dir, l) : nullptr;
+    // int8 path: inference graphs only — training reads fp32 weights.
+    const kernels::QuantizedMatrix* qw =
+        (opts_.executable && !opts_.training && opts_.quantized != nullptr)
+            ? &opts_.quantized->layer(dir, l)
+            : nullptr;
     for (int s = 0; s < steps; ++s) {
       // Input index this processing step consumes.
       const int ti = dir == 0 ? s : steps - 1 - s;
@@ -392,7 +399,7 @@ void TrainingProgram::build_forward_layer(ReplicaCtx& ctx, int l) {
       std::function<void()> fn;
       if (opts_.executable) {
         const int t = s;
-        fn = [this, ws, params, dir, l, t, ti, lstm, fused_merge,
+        fn = [this, ws, params, qw, dir, l, t, ti, lstm, fused_merge,
               r0 = ctx.r0, rb = ctx.rb, steps] {
           const NetworkConfig& c = cfg_;
           ConstMatrixView x =
@@ -407,7 +414,13 @@ void TrainingProgram::build_forward_layer(ReplicaCtx& ctx, int l) {
             c_prev = t == 0 ? ws->zero_state.cview()
                             : ws->tape(dir, l, t - 1).c.cview();
           }
-          rnn::cell_forward(*params, x, h_prev, c_prev, ws->tape(dir, l, t));
+          if (qw != nullptr) {
+            rnn::cell_forward_quantized(*params, *qw, x, h_prev, c_prev,
+                                        ws->tape(dir, l, t));
+          } else {
+            rnn::cell_forward(*params, x, h_prev, c_prev,
+                              ws->tape(dir, l, t));
+          }
           if (fused_merge) {
             rnn::merge_forward(c.merge, ws->tape(0, l, t).h.cview(),
                                ws->tape(1, l, steps - 1 - t).h.cview(),
@@ -516,13 +529,21 @@ void TrainingProgram::build_loss_and_dense(ReplicaCtx& ctx) {
                             out(ctx.addr_loss(t))};
     std::function<void()> fn;
     if (opts_.executable) {
+      const kernels::QuantizedMatrix* q_out =
+          (!opts_.training && opts_.quantized != nullptr)
+              ? &opts_.quantized->w_out()
+              : nullptr;
       fn = [this, ws, t, weight, &losses = losses_, rep = ctx.rep,
             outputs = ctx.outputs(), m2m = cfg.many_to_many, last,
-            r0 = ctx.r0, rb = ctx.rb] {
+            r0 = ctx.r0, rb = ctx.rb, q_out] {
         ConstMatrixView y =
             m2m ? ws->merged(last, t).cview() : ws->final_merged.cview();
         MatrixView logits = ws->logits(t).view();
-        kernels::gemm_nt(y, net_.w_out.cview(), logits);
+        if (q_out != nullptr) {
+          kernels::qgemm_nt(y, q_out->view(), logits);
+        } else {
+          kernels::gemm_nt(y, net_.w_out.cview(), logits);
+        }
         kernels::add_bias_rows(logits, net_.b_out.cview().row(0));
         kernels::softmax_rows(logits, ws->probs(t).view());
         const std::size_t offset =

@@ -1,0 +1,108 @@
+// AVX-512 kernel backend (F + BW + DQ + VL). Compiled with the matching
+// -mavx512* flags; nothing here may run before the cpuid check in
+// avx512_backend().
+#include "kernels/backend.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define BPAR_HAVE_AVX512_BACKEND 1
+#include <immintrin.h>
+
+#include "kernels/simd_kernels.hpp"
+#endif
+
+namespace bpar::kernels {
+
+#if BPAR_HAVE_AVX512_BACKEND
+namespace {
+
+struct Avx512Vec {
+  using reg = __m512;
+  static constexpr int kWidth = 16;
+
+  static reg loadu(const float* p) { return _mm512_loadu_ps(p); }
+  static void storeu(float* p, reg v) { _mm512_storeu_ps(p, v); }
+  static reg set1(float v) { return _mm512_set1_ps(v); }
+  static reg zero() { return _mm512_setzero_ps(); }
+  static reg add(reg a, reg b) { return _mm512_add_ps(a, b); }
+  static reg sub(reg a, reg b) { return _mm512_sub_ps(a, b); }
+  static reg mul(reg a, reg b) { return _mm512_mul_ps(a, b); }
+  static reg div(reg a, reg b) { return _mm512_div_ps(a, b); }
+  static reg fma(reg a, reg b, reg c) { return _mm512_fmadd_ps(a, b, c); }
+  static reg min(reg a, reg b) { return _mm512_min_ps(a, b); }
+  static reg max(reg a, reg b) { return _mm512_max_ps(a, b); }
+  static reg round_nearest(reg v) {
+    return _mm512_roundscale_ps(v, _MM_FROUND_TO_NEAREST_INT |
+                                       _MM_FROUND_NO_EXC);
+  }
+  static reg scale_by_pow2(reg x, reg n) {
+    const __m512i ni = _mm512_cvtps_epi32(n);
+    const __m512i pow2 =
+        _mm512_slli_epi32(_mm512_add_epi32(ni, _mm512_set1_epi32(127)), 23);
+    return _mm512_mul_ps(x, _mm512_castsi512_ps(pow2));
+  }
+  // Explicit extract/add chains instead of _mm512_reduce_add_*: GCC's
+  // implementations go through _mm256_undefined_pd and trip
+  // -Wmaybe-uninitialized.
+  static float hsum(reg v) {
+    const __m256 lo = _mm512_castps512_ps256(v);
+    const __m256 hi = _mm512_extractf32x8_ps(v, 1);
+    const __m256 s8 = _mm256_add_ps(lo, hi);
+    __m128 s = _mm_add_ps(_mm256_castps256_ps128(s8),
+                          _mm256_extractf128_ps(s8, 1));
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    return _mm_cvtss_f32(s);
+  }
+
+  /// 32 int8 lanes widened to int16, madd into 16 int32 partials.
+  static std::int32_t dot_i8(const std::int8_t* a, const std::int8_t* b,
+                             int k) {
+    __m512i acc = _mm512_setzero_si512();
+    int p = 0;
+    for (; p + 32 <= k; p += 32) {
+      const __m256i av =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + p));
+      const __m256i bv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + p));
+      const __m512i a16 = _mm512_cvtepi8_epi16(av);
+      const __m512i b16 = _mm512_cvtepi8_epi16(bv);
+      acc = _mm512_add_epi32(acc, _mm512_madd_epi16(a16, b16));
+    }
+    const __m256i lo8 = _mm512_castsi512_si256(acc);
+    const __m256i hi8 = _mm512_extracti64x4_epi64(acc, 1);
+    const __m256i s8 = _mm256_add_epi32(lo8, hi8);
+    __m128i s = _mm_add_epi32(_mm256_castsi256_si128(s8),
+                              _mm256_extracti128_si256(s8, 1));
+    s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 1));
+    std::int32_t sum = _mm_cvtsi128_si32(s);
+    for (; p < k; ++p) {
+      sum += static_cast<std::int32_t>(a[p]) * static_cast<std::int32_t>(b[p]);
+    }
+    return sum;
+  }
+};
+
+}  // namespace
+#endif  // BPAR_HAVE_AVX512_BACKEND
+
+const Backend* avx512_backend() {
+#if BPAR_HAVE_AVX512_BACKEND
+  static const Backend* backend = []() -> const Backend* {
+    if (!__builtin_cpu_supports("avx512f") ||
+        !__builtin_cpu_supports("avx512bw") ||
+        !__builtin_cpu_supports("avx512dq") ||
+        !__builtin_cpu_supports("avx512vl")) {
+      return nullptr;
+    }
+    static const Backend table =
+        simd::SimdKernels<Avx512Vec>::make_backend("avx512");
+    return &table;
+  }();
+  return backend;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace bpar::kernels

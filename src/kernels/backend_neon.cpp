@@ -1,0 +1,75 @@
+// NEON (aarch64) kernel backend. NEON is architecturally guaranteed on
+// AArch64, so no runtime feature check is needed — the whole TU is simply
+// empty on other architectures.
+#include "kernels/backend.hpp"
+
+#if defined(__aarch64__)
+#define BPAR_HAVE_NEON_BACKEND 1
+#include <arm_neon.h>
+
+#include "kernels/simd_kernels.hpp"
+#endif
+
+namespace bpar::kernels {
+
+#if BPAR_HAVE_NEON_BACKEND
+namespace {
+
+struct NeonVec {
+  using reg = float32x4_t;
+  static constexpr int kWidth = 4;
+
+  static reg loadu(const float* p) { return vld1q_f32(p); }
+  static void storeu(float* p, reg v) { vst1q_f32(p, v); }
+  static reg set1(float v) { return vdupq_n_f32(v); }
+  static reg zero() { return vdupq_n_f32(0.0F); }
+  static reg add(reg a, reg b) { return vaddq_f32(a, b); }
+  static reg sub(reg a, reg b) { return vsubq_f32(a, b); }
+  static reg mul(reg a, reg b) { return vmulq_f32(a, b); }
+  static reg div(reg a, reg b) { return vdivq_f32(a, b); }
+  static reg fma(reg a, reg b, reg c) { return vfmaq_f32(c, a, b); }
+  static reg min(reg a, reg b) { return vminq_f32(a, b); }
+  static reg max(reg a, reg b) { return vmaxq_f32(a, b); }
+  static reg round_nearest(reg v) { return vrndnq_f32(v); }
+  static reg scale_by_pow2(reg x, reg n) {
+    const int32x4_t ni = vcvtq_s32_f32(n);
+    const int32x4_t pow2 = vshlq_n_s32(vaddq_s32(ni, vdupq_n_s32(127)), 23);
+    return vmulq_f32(x, vreinterpretq_f32_s32(pow2));
+  }
+  static float hsum(reg v) { return vaddvq_f32(v); }
+
+  /// int8 dot: vmull_s8 widens to int16 products, vpadalq_s16 pair-adds
+  /// into the int32 accumulator.
+  static std::int32_t dot_i8(const std::int8_t* a, const std::int8_t* b,
+                             int k) {
+    int32x4_t acc = vdupq_n_s32(0);
+    int p = 0;
+    for (; p + 16 <= k; p += 16) {
+      const int8x16_t av = vld1q_s8(a + p);
+      const int8x16_t bv = vld1q_s8(b + p);
+      const int16x8_t lo = vmull_s8(vget_low_s8(av), vget_low_s8(bv));
+      const int16x8_t hi = vmull_s8(vget_high_s8(av), vget_high_s8(bv));
+      acc = vpadalq_s16(acc, lo);
+      acc = vpadalq_s16(acc, hi);
+    }
+    std::int32_t sum = vaddvq_s32(acc);
+    for (; p < k; ++p) {
+      sum += static_cast<std::int32_t>(a[p]) * static_cast<std::int32_t>(b[p]);
+    }
+    return sum;
+  }
+};
+
+}  // namespace
+#endif  // BPAR_HAVE_NEON_BACKEND
+
+const Backend* neon_backend() {
+#if BPAR_HAVE_NEON_BACKEND
+  static const Backend table = simd::SimdKernels<NeonVec>::make_backend("neon");
+  return &table;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace bpar::kernels

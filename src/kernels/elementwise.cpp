@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstring>
 
+#include "kernels/backend.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 
@@ -12,13 +13,15 @@ namespace bpar::kernels {
 
 float sigmoid(float x) { return 1.0F / (1.0F + std::exp(-x)); }
 
+// The four fused pointwise kernels on the LSTM/GRU cell hot path dispatch
+// through the runtime-selected backend; everything else below is cheap or
+// already memory-bound and stays scalar.
+
 void sigmoid_inplace(std::span<float> v) {
-  for (float& x : v) x = sigmoid(x);
+  active_backend().sigmoid_inplace(v);
 }
 
-void tanh_inplace(std::span<float> v) {
-  for (float& x : v) x = std::tanh(x);
-}
+void tanh_inplace(std::span<float> v) { active_backend().tanh_inplace(v); }
 
 void add_inplace(std::span<float> dst, std::span<const float> src) {
   BPAR_DCHECK(dst.size() == src.size());
@@ -34,13 +37,13 @@ void add(std::span<const float> a, std::span<const float> b,
 void hadamard(std::span<const float> a, std::span<const float> b,
               std::span<float> dst) {
   BPAR_DCHECK(a.size() == b.size() && a.size() == dst.size());
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = a[i] * b[i];
+  active_backend().hadamard(a, b, dst);
 }
 
 void hadamard_acc(std::span<const float> a, std::span<const float> b,
                   std::span<float> dst) {
   BPAR_DCHECK(a.size() == b.size() && a.size() == dst.size());
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += a[i] * b[i];
+  active_backend().hadamard_acc(a, b, dst);
 }
 
 void scale_inplace(std::span<float> dst, float s) {
@@ -49,7 +52,7 @@ void scale_inplace(std::span<float> dst, float s) {
 
 void axpy(float s, std::span<const float> src, std::span<float> dst) {
   BPAR_DCHECK(src.size() == dst.size());
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += s * src[i];
+  active_backend().axpy(s, src, dst);
 }
 
 void add_bias_rows(MatrixView m, std::span<const float> bias) {

@@ -1,32 +1,13 @@
+// Public GEMM entry points: shape checks + tracing here, the numeric body
+// in the runtime-selected kernel backend (backend.hpp). The scalar
+// implementations these dispatch to by default live in backend_scalar.cpp.
 #include "kernels/gemm.hpp"
 
-#include <algorithm>
-
+#include "kernels/backend.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace bpar::kernels {
-namespace {
-
-// Block sizes sized for a 32K L1 / 1M L2: a kc x nc panel of B plus an
-// mc x kc panel of A stay resident while the micro-loops stream C.
-constexpr int kBlockM = 64;
-constexpr int kBlockN = 256;
-constexpr int kBlockK = 256;
-
-inline void scale_c(MatrixView c, float beta) {
-  if (beta == 1.0F) return;
-  for (int i = 0; i < c.rows; ++i) {
-    float* crow = c.row(i).data();
-    if (beta == 0.0F) {
-      std::fill_n(crow, c.cols, 0.0F);
-    } else {
-      for (int j = 0; j < c.cols; ++j) crow[j] *= beta;
-    }
-  }
-}
-
-}  // namespace
 
 void gemm_nn(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
              float beta) {
@@ -34,28 +15,7 @@ void gemm_nn(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
   BPAR_CHECK(a.rows == c.rows && b.cols == c.cols && a.cols == b.rows,
              "gemm_nn shape mismatch: A ", a.rows, "x", a.cols, " B ", b.rows,
              "x", b.cols, " C ", c.rows, "x", c.cols);
-  scale_c(c, beta);
-  const int m = c.rows;
-  const int n = c.cols;
-  const int k = a.cols;
-  for (int k0 = 0; k0 < k; k0 += kBlockK) {
-    const int k1 = std::min(k, k0 + kBlockK);
-    for (int i0 = 0; i0 < m; i0 += kBlockM) {
-      const int i1 = std::min(m, i0 + kBlockM);
-      for (int j0 = 0; j0 < n; j0 += kBlockN) {
-        const int j1 = std::min(n, j0 + kBlockN);
-        for (int i = i0; i < i1; ++i) {
-          const float* arow = a.row(i).data();
-          float* crow = c.row(i).data();
-          for (int p = k0; p < k1; ++p) {
-            const float av = alpha * arow[p];
-            const float* brow = b.row(p).data();
-            for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
-          }
-        }
-      }
-    }
-  }
+  active_backend().gemm_nn(a, b, c, alpha, beta);
 }
 
 void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
@@ -64,26 +24,7 @@ void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
   BPAR_CHECK(a.rows == c.rows && b.rows == c.cols && a.cols == b.cols,
              "gemm_nt shape mismatch: A ", a.rows, "x", a.cols, " B ", b.rows,
              "x", b.cols, " C ", c.rows, "x", c.cols);
-  const int m = c.rows;
-  const int n = c.cols;
-  const int k = a.cols;
-  for (int i0 = 0; i0 < m; i0 += kBlockM) {
-    const int i1 = std::min(m, i0 + kBlockM);
-    for (int j0 = 0; j0 < n; j0 += kBlockN) {
-      const int j1 = std::min(n, j0 + kBlockN);
-      for (int i = i0; i < i1; ++i) {
-        const float* arow = a.row(i).data();
-        float* crow = c.row(i).data();
-        for (int j = j0; j < j1; ++j) {
-          // Dot product of two contiguous rows — vectorizes cleanly.
-          const float* brow = b.row(j).data();
-          float acc = 0.0F;
-          for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-          crow[j] = alpha * acc + (beta == 0.0F ? 0.0F : beta * crow[j]);
-        }
-      }
-    }
-  }
+  active_backend().gemm_nt(a, b, c, alpha, beta);
 }
 
 void gemm_tn(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
@@ -92,20 +33,7 @@ void gemm_tn(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
   BPAR_CHECK(a.cols == c.rows && b.cols == c.cols && a.rows == b.rows,
              "gemm_tn shape mismatch: A ", a.rows, "x", a.cols, " B ", b.rows,
              "x", b.cols, " C ", c.rows, "x", c.cols);
-  scale_c(c, beta);
-  const int m = c.rows;  // = a.cols
-  const int n = c.cols;  // = b.cols
-  const int k = a.rows;  // = b.rows
-  for (int p = 0; p < k; ++p) {
-    const float* arow = a.row(p).data();
-    const float* brow = b.row(p).data();
-    for (int i = 0; i < m; ++i) {
-      const float av = alpha * arow[i];
-      if (av == 0.0F) continue;
-      float* crow = c.row(i).data();
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  active_backend().gemm_tn(a, b, c, alpha, beta);
 }
 
 void gemv_t(ConstMatrixView a, std::span<const float> x, std::span<float> y,
@@ -114,12 +42,7 @@ void gemv_t(ConstMatrixView a, std::span<const float> x, std::span<float> y,
   BPAR_CHECK(static_cast<int>(x.size()) == a.rows &&
                  static_cast<int>(y.size()) == a.cols,
              "gemv_t shape mismatch");
-  for (auto& v : y) v *= beta;
-  for (int i = 0; i < a.rows; ++i) {
-    const float av = alpha * x[static_cast<std::size_t>(i)];
-    const float* arow = a.row(i).data();
-    for (int j = 0; j < a.cols; ++j) y[static_cast<std::size_t>(j)] += av * arow[j];
-  }
+  active_backend().gemv_t(a, x, y, alpha, beta);
 }
 
 }  // namespace bpar::kernels

@@ -5,11 +5,13 @@
 //   gemm_nt:  C = alpha * A   * B^T + beta * C      (G  = X * W^T)
 //   gemm_tn:  C = alpha * A^T * B   + beta * C      (dW = dG^T * X)
 //
-// Implementations are cache-blocked and written so GCC auto-vectorizes the
-// inner loops. They are sequential by design: task-level parallelism comes
-// from the runtime (B-Par) or from explicit row-splitting (the intra-op
-// parallel baselines), matching the paper's "B-Par is mapped to
-// MKL-Sequential" setup.
+// These entry points validate shapes and dispatch to the runtime-selected
+// kernel backend (kernels/backend.hpp): cache-blocked scalar reference by
+// default, register-tiled AVX2 / AVX-512 / NEON when the CPU supports
+// them. All implementations are sequential by design: task-level
+// parallelism comes from the runtime (B-Par) or from explicit
+// row-splitting (the intra-op parallel baselines), matching the paper's
+// "B-Par is mapped to MKL-Sequential" setup.
 #pragma once
 
 #include "tensor/tensor.hpp"

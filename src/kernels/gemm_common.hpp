@@ -1,0 +1,35 @@
+// Shared pieces of every GEMM backend: cache-block sizes and the single
+// beta-handling implementation (internal header — backends only).
+#pragma once
+
+#include <algorithm>
+
+#include "tensor/tensor.hpp"
+
+namespace bpar::kernels::detail {
+
+// Block sizes sized for a 32K L1 / 1M L2: a kc x nc panel of B plus an
+// mc x kc panel of A stay resident while the micro-loops stream C.
+inline constexpr int kBlockM = 64;
+inline constexpr int kBlockN = 256;
+inline constexpr int kBlockK = 256;
+
+/// The one shared beta implementation with BLAS semantics: beta == 0
+/// OVERWRITES C (any NaN/Inf already in C is discarded — std::fill, never
+/// 0 * c), beta == 1 leaves C untouched, anything else scales in place.
+/// Every backend's gemm_nn/nt/tn pre-scales C through this and then pure
+/// accumulates, so the three variants can never diverge on beta again
+/// (tests/test_kernels.cpp BetaSemantics pins this down).
+inline void scale_c(tensor::MatrixView c, float beta) {
+  if (beta == 1.0F) return;
+  for (int i = 0; i < c.rows; ++i) {
+    float* crow = c.row(i).data();
+    if (beta == 0.0F) {
+      std::fill_n(crow, c.cols, 0.0F);
+    } else {
+      for (int j = 0; j < c.cols; ++j) crow[j] *= beta;
+    }
+  }
+}
+
+}  // namespace bpar::kernels::detail

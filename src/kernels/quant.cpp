@@ -1,0 +1,109 @@
+#include "kernels/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/gemm_common.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace bpar::kernels {
+namespace {
+
+/// Symmetric scale for values of magnitude <= max_abs. An all-zero (or
+/// non-finite-free, empty) row gets scale 0: it quantizes to zeros and
+/// dequantizes to exact zeros.
+inline float scale_for(float max_abs) { return max_abs / 127.0F; }
+
+inline std::int8_t quantize_one(float v, float inv_scale) {
+  const float q = std::nearbyint(v * inv_scale);
+  return static_cast<std::int8_t>(std::clamp(q, -127.0F, 127.0F));
+}
+
+void quantize_row(const float* src, int n, std::int8_t* dst, float scale) {
+  if (scale == 0.0F) {
+    std::fill_n(dst, n, std::int8_t{0});
+    return;
+  }
+  const float inv = 1.0F / scale;
+  for (int j = 0; j < n; ++j) dst[j] = quantize_one(src[j], inv);
+}
+
+float row_max_abs(const float* src, int n) {
+  float mx = 0.0F;
+  for (int j = 0; j < n; ++j) mx = std::max(mx, std::abs(src[j]));
+  return mx;
+}
+
+}  // namespace
+
+void QuantizedMatrix::quantize_from(tensor::ConstMatrixView w,
+                                    bool per_channel) {
+  rows_ = w.rows;
+  cols_ = w.cols;
+  data_.resize(static_cast<std::size_t>(rows_) * cols_);
+  scales_.assign(static_cast<std::size_t>(rows_), 0.0F);
+  if (per_channel) {
+    for (int r = 0; r < rows_; ++r) {
+      const float* src = w.row(r).data();
+      scales_[static_cast<std::size_t>(r)] = scale_for(row_max_abs(src, cols_));
+    }
+  } else {
+    float mx = 0.0F;
+    for (int r = 0; r < rows_; ++r) {
+      mx = std::max(mx, row_max_abs(w.row(r).data(), cols_));
+    }
+    std::fill(scales_.begin(), scales_.end(), scale_for(mx));
+  }
+  for (int r = 0; r < rows_; ++r) {
+    quantize_row(w.row(r).data(), cols_,
+                 data_.data() + static_cast<std::size_t>(r) * cols_,
+                 scales_[static_cast<std::size_t>(r)]);
+  }
+}
+
+void quantize_rows(tensor::ConstMatrixView a, std::int8_t* out,
+                   float* scales) {
+  const int n = a.cols;
+  for (int r = 0; r < a.rows; ++r) {
+    const float* src = a.row(r).data();
+    const float scale = scale_for(row_max_abs(src, n));
+    scales[r] = scale;
+    quantize_row(src, n, out + static_cast<std::size_t>(r) * n, scale);
+  }
+}
+
+void qgemm_nt(tensor::ConstMatrixView a, const QuantView& b,
+              tensor::MatrixView c, float beta) {
+  BPAR_SPAN("kernels.qgemm_nt");
+  BPAR_CHECK(a.rows == c.rows && b.rows == c.cols && a.cols == b.cols,
+             "qgemm_nt shape mismatch: A ", a.rows, "x", a.cols, " B ", b.rows,
+             "x", b.cols, " C ", c.rows, "x", c.cols);
+  detail::scale_c(c, beta);
+
+  // Dynamic per-row activation quantization into thread-local scratch
+  // (tasks run concurrently; each worker keeps its own buffers).
+  thread_local std::vector<std::int8_t> aq;
+  thread_local std::vector<float> ascale;
+  const int m = a.rows;
+  const int n = c.cols;
+  const int k = a.cols;
+  aq.resize(static_cast<std::size_t>(m) * k);
+  ascale.resize(static_cast<std::size_t>(std::max(m, 1)));
+  quantize_rows(a, aq.data(), ascale.data());
+
+  const auto dot = active_backend().dot_i8;
+  for (int i = 0; i < m; ++i) {
+    const std::int8_t* arow = aq.data() + static_cast<std::size_t>(i) * k;
+    const float sa = ascale[static_cast<std::size_t>(i)];
+    float* crow = c.row(i).data();
+    if (sa == 0.0F) continue;  // exact zero row contributes nothing
+    for (int j = 0; j < n; ++j) {
+      const float sb = b.scales[j];
+      if (sb == 0.0F) continue;
+      crow[j] += sa * sb * static_cast<float>(dot(arow, b.row(j), k));
+    }
+  }
+}
+
+}  // namespace bpar::kernels

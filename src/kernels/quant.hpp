@@ -1,0 +1,83 @@
+// int8 symmetric quantization + quantized GEMM (DESIGN.md §5g).
+//
+// The opt-in int8 inference path quantizes trained fp32 weights once at
+// load time (per-tensor or per-channel scales — a channel is an output row
+// of the fused gate matrix, i.e. one unit of one gate) and activations
+// dynamically per call with one scale per batch row. The GEMM accumulates
+// int8 x int8 products exactly in int32 through Backend::dot_i8 and
+// dequantizes to fp32 at the activation boundary:
+//
+//   C(i, j) (+)= a_scale(i) * b_scale(j) * sum_k Aq(i, k) * Bq(j, k)
+//
+// Quantization is symmetric (zero-point 0, scale = max|x| / 127), so
+// column sub-blocks of a quantized matrix (the x vs h_prev halves of a
+// fused RNN weight matrix) share their row's scale and can be sliced with
+// QuantView::block exactly like fp32 MatrixViews.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/backend.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bpar::kernels {
+
+/// Non-owning view over int8 data with per-row dequantization scales.
+/// `scales` has one entry per row (per-tensor quantization just repeats
+/// the same value), indexed relative to the view's first row.
+struct QuantView {
+  const std::int8_t* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int ld = 0;
+  const float* scales = nullptr;
+
+  [[nodiscard]] QuantView block(int r0, int c0, int nr, int nc) const {
+    return {data + static_cast<std::size_t>(r0) * ld + c0, nr, nc, ld,
+            scales + r0};
+  }
+  [[nodiscard]] const std::int8_t* row(int r) const {
+    return data + static_cast<std::size_t>(r) * ld;
+  }
+};
+
+/// Owning int8 matrix produced by quantizing an fp32 weight matrix.
+class QuantizedMatrix {
+ public:
+  QuantizedMatrix() = default;
+
+  /// (Re)quantizes `w` in place; per_channel → one scale per row,
+  /// otherwise one scale for the whole tensor (stored per-row anyway so
+  /// QuantView never branches).
+  void quantize_from(tensor::ConstMatrixView w, bool per_channel = true);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] QuantView view() const {
+    return {data_.data(), rows_, cols_, cols_, scales_.data()};
+  }
+
+  /// fp32 reconstruction error bound of row r: half a quantization step.
+  [[nodiscard]] float step(int r) const {
+    return scales_[static_cast<std::size_t>(r)];
+  }
+
+ private:
+  std::vector<std::int8_t> data_;
+  std::vector<float> scales_;  // one per row, always
+  int rows_ = 0;
+  int cols_ = 0;
+};
+
+/// Quantizes each row of `a` symmetrically into `out` (size rows*cols,
+/// leading dimension = a.cols) with one scale per row written to `scales`.
+void quantize_rows(tensor::ConstMatrixView a, std::int8_t* out, float* scales);
+
+/// C = dequant(Aq · Bq^T) + beta * C with A (fp32 activations) quantized
+/// dynamically per row inside the call. Shapes as gemm_nt: A(m,k), B(n,k),
+/// C(m,n). beta follows the shared BLAS semantics (0 overwrites).
+void qgemm_nt(tensor::ConstMatrixView a, const QuantView& b,
+              tensor::MatrixView c, float beta = 0.0F);
+
+}  // namespace bpar::kernels

@@ -3,8 +3,10 @@
 #include <cmath>
 
 #include "kernels/elementwise.hpp"
+#include "kernels/quant.hpp"
 #include "obs/trace.hpp"
 #include "kernels/gemm.hpp"
+#include "rnn/quantized.hpp"
 #include "util/check.hpp"
 
 namespace bpar::rnn {
@@ -51,16 +53,14 @@ ConstCellTapeViews CellTape::cviews() const {
 
 namespace {
 
-void lstm_forward(const LayerParams& p, ConstMatrixView x,
-                  ConstMatrixView h_prev, ConstMatrixView c_prev,
-                  const CellTapeViews& tape) {
-  const int batch = x.rows;
+/// Everything after the gate GEMMs: bias add, activations, state update.
+/// Shared by the fp32 and int8 forward paths — `tape.gates` must already
+/// hold x * Wx^T + h_prev * Wh^T (pre-bias, pre-activation).
+void lstm_pointwise(const LayerParams& p, ConstMatrixView c_prev,
+                    const CellTapeViews& tape) {
+  const int batch = tape.gates.rows;
   const int hidden = p.hidden_size;
   MatrixView gates = tape.gates;
-
-  // gates = x * Wx^T + h_prev * Wh^T + b
-  gemm_nt(x, p.w_input(), gates);
-  gemm_nt(h_prev, p.w_recurrent(), gates, 1.0F, 1.0F);
   kernels::add_bias_rows(gates, p.b.cview().row(0));
 
   BPAR_SPAN("rnn.lstm_pointwise");
@@ -88,6 +88,64 @@ void lstm_forward(const LayerParams& p, ConstMatrixView x,
   }
 }
 
+void lstm_forward(const LayerParams& p, ConstMatrixView x,
+                  ConstMatrixView h_prev, ConstMatrixView c_prev,
+                  const CellTapeViews& tape) {
+  // gates = x * Wx^T + h_prev * Wh^T (+ b inside the pointwise stage)
+  gemm_nt(x, p.w_input(), tape.gates);
+  gemm_nt(h_prev, p.w_recurrent(), tape.gates, 1.0F, 1.0F);
+  lstm_pointwise(p, c_prev, tape);
+}
+
+/// Bias + sigmoid over the fused z,r block, then rh = r ⊙ h_prev. Shared by
+/// the fp32 and int8 paths; the z,r GEMMs must have run already.
+void gru_zr_pointwise(const LayerParams& p, ConstMatrixView h_prev,
+                      const CellTapeViews& tape) {
+  const int batch = tape.gates.rows;
+  const int hidden = p.hidden_size;
+  MatrixView gates = tape.gates;
+  MatrixView zr = gates.block(0, 0, batch, 2 * hidden);
+  for (int r = 0; r < batch; ++r) {
+    kernels::add_inplace(zr.row(r),
+                         p.b.cview().row(0).subspan(0, 2 * hidden));
+    kernels::sigmoid_inplace(zr.row(r));
+  }
+
+  // rh = r ⊙ h_prev, then the candidate block uses rh as recurrent input.
+  for (int r = 0; r < batch; ++r) {
+    const float* rr = gates.row(r).data() + hidden;
+    kernels::hadamard({rr, static_cast<std::size_t>(hidden)}, h_prev.row(r),
+                      tape.rh.row(r));
+  }
+}
+
+/// Bias + tanh over the candidate block, then h = z⊙h̄ + (1-z)⊙h_prev
+/// (Eq. 10). Shared by the fp32 and int8 paths.
+void gru_hbar_pointwise(const LayerParams& p, ConstMatrixView h_prev,
+                        const CellTapeViews& tape) {
+  const int batch = tape.gates.rows;
+  const int hidden = p.hidden_size;
+  MatrixView gates = tape.gates;
+  MatrixView hbar = gates.block(0, 2 * hidden, batch, hidden);
+  for (int r = 0; r < batch; ++r) {
+    kernels::add_inplace(hbar.row(r),
+                         p.b.cview().row(0).subspan(2 * hidden));
+    kernels::tanh_inplace(hbar.row(r));
+  }
+
+  BPAR_SPAN("rnn.gru_pointwise");
+  for (int r = 0; r < batch; ++r) {
+    const float* g = gates.row(r).data();
+    const float* z = g;
+    const float* hb = g + 2 * hidden;
+    const float* hp = h_prev.row(r).data();
+    float* h = tape.h.row(r).data();
+    for (int j = 0; j < hidden; ++j) {
+      h[j] = z[j] * hb[j] + (1.0F - z[j]) * hp[j];
+    }
+  }
+}
+
 void gru_forward(const LayerParams& p, ConstMatrixView x,
                  ConstMatrixView h_prev, const CellTapeViews& tape) {
   const int batch = x.rows;
@@ -102,18 +160,7 @@ void gru_forward(const LayerParams& p, ConstMatrixView x,
       p.w.cview().block(0, p.input_size, 2 * hidden, hidden);
   gemm_nt(x, w_zr_x, zr);
   gemm_nt(h_prev, w_zr_h, zr, 1.0F, 1.0F);
-  for (int r = 0; r < batch; ++r) {
-    kernels::add_inplace(zr.row(r),
-                         p.b.cview().row(0).subspan(0, 2 * hidden));
-    kernels::sigmoid_inplace(zr.row(r));
-  }
-
-  // rh = r ⊙ h_prev, then the candidate block uses rh as recurrent input.
-  for (int r = 0; r < batch; ++r) {
-    const float* rr = gates.row(r).data() + hidden;
-    kernels::hadamard({rr, static_cast<std::size_t>(hidden)}, h_prev.row(r),
-                      tape.rh.row(r));
-  }
+  gru_zr_pointwise(p, h_prev, tape);
 
   MatrixView hbar = gates.block(0, 2 * hidden, batch, hidden);
   const ConstMatrixView w_h_x =
@@ -122,24 +169,7 @@ void gru_forward(const LayerParams& p, ConstMatrixView x,
       p.w.cview().block(2 * hidden, p.input_size, hidden, hidden);
   gemm_nt(x, w_h_x, hbar);
   gemm_nt(tape.rh, w_h_h, hbar, 1.0F, 1.0F);
-  for (int r = 0; r < batch; ++r) {
-    kernels::add_inplace(hbar.row(r),
-                         p.b.cview().row(0).subspan(2 * hidden));
-    kernels::tanh_inplace(hbar.row(r));
-  }
-
-  // h = z ⊙ h̄ + (1 - z) ⊙ h_prev   (Eq. 10)
-  BPAR_SPAN("rnn.gru_pointwise");
-  for (int r = 0; r < batch; ++r) {
-    const float* g = gates.row(r).data();
-    const float* z = g;
-    const float* hb = g + 2 * hidden;
-    const float* hp = h_prev.row(r).data();
-    float* h = tape.h.row(r).data();
-    for (int j = 0; j < hidden; ++j) {
-      h[j] = z[j] * hb[j] + (1.0F - z[j]) * hp[j];
-    }
-  }
+  gru_hbar_pointwise(p, h_prev, tape);
 }
 
 void lstm_backward(const LayerParams& p, ConstMatrixView x,
@@ -292,6 +322,47 @@ void cell_forward(const LayerParams& p, ConstMatrixView x,
     lstm_forward(p, x, h_prev, c_prev, tape);
   } else {
     gru_forward(p, x, h_prev, tape);
+  }
+}
+
+void cell_forward_quantized(const LayerParams& p,
+                            const kernels::QuantizedMatrix& qw,
+                            ConstMatrixView x, ConstMatrixView h_prev,
+                            ConstMatrixView c_prev,
+                            const CellTapeViews& tape) {
+  BPAR_SPAN("rnn.cell_forward_q8");
+  BPAR_CHECK(x.cols == p.input_size, "cell input width ", x.cols,
+             " != layer input size ", p.input_size);
+  BPAR_CHECK(h_prev.cols == p.hidden_size && h_prev.rows == x.rows,
+             "h_prev shape mismatch");
+  BPAR_CHECK(qw.rows() == p.w.rows() && qw.cols() == p.w.cols(),
+             "quantized weight shape mismatch");
+  const int batch = x.rows;
+  const int hidden = p.hidden_size;
+  const kernels::QuantView w = qw.view();
+  MatrixView gates = tape.gates;
+
+  if (p.cell == CellType::kLstm) {
+    BPAR_CHECK(c_prev.data != nullptr, "LSTM needs c_prev");
+    // Per-row weight scales let the x and h_prev column halves of the
+    // fused matrix be sliced exactly like the fp32 views.
+    kernels::qgemm_nt(x, w.block(0, 0, w.rows, p.input_size), gates);
+    kernels::qgemm_nt(h_prev, w.block(0, p.input_size, w.rows, hidden), gates,
+                      1.0F);
+    lstm_pointwise(p, c_prev, tape);
+  } else {
+    MatrixView zr = gates.block(0, 0, batch, 2 * hidden);
+    kernels::qgemm_nt(x, w.block(0, 0, 2 * hidden, p.input_size), zr);
+    kernels::qgemm_nt(h_prev, w.block(0, p.input_size, 2 * hidden, hidden),
+                      zr, 1.0F);
+    gru_zr_pointwise(p, h_prev, tape);
+
+    MatrixView hbar = gates.block(0, 2 * hidden, batch, hidden);
+    kernels::qgemm_nt(x, w.block(2 * hidden, 0, hidden, p.input_size), hbar);
+    kernels::qgemm_nt(tape.rh,
+                      w.block(2 * hidden, p.input_size, hidden, hidden), hbar,
+                      1.0F);
+    gru_hbar_pointwise(p, h_prev, tape);
   }
 }
 

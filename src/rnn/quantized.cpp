@@ -1,0 +1,25 @@
+#include "rnn/quantized.hpp"
+
+namespace bpar::rnn {
+
+QuantizedNetwork::QuantizedNetwork(const Network& net, bool per_channel)
+    : per_channel_(per_channel) {
+  const NetworkConfig& cfg = net.config();
+  for (int dir = 0; dir < 2; ++dir) {
+    layers_[dir].resize(static_cast<std::size_t>(cfg.num_layers));
+  }
+  requantize(net);
+}
+
+void QuantizedNetwork::requantize(const Network& net) {
+  const NetworkConfig& cfg = net.config();
+  for (int dir = 0; dir < 2; ++dir) {
+    for (int l = 0; l < cfg.num_layers; ++l) {
+      layers_[dir][static_cast<std::size_t>(l)].quantize_from(
+          net.layer(dir, l).w.cview(), per_channel_);
+    }
+  }
+  w_out_.quantize_from(net.w_out.cview(), per_channel_);
+}
+
+}  // namespace bpar::rnn

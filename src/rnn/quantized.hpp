@@ -1,0 +1,64 @@
+// int8 quantized inference weights (DESIGN.md §5g).
+//
+// A QuantizedNetwork is a read-only sidecar of a trained fp32 Network: every
+// per-(direction, layer) fused weight matrix plus the dense classifier
+// weights, quantized symmetrically per output channel (one scale per row of
+// the fused gate matrix). Biases and activations stay fp32 — activations are
+// quantized dynamically per batch row inside qgemm_nt and dequantized at the
+// activation boundary, so the cell pointwise math is shared verbatim with
+// the fp32 path.
+//
+// The sidecar is built (or refreshed) from the Network whenever weights
+// change; inference graphs built with BuildOptions::quantized != nullptr
+// route their cell and dense GEMMs through it.
+#pragma once
+
+#include "kernels/quant.hpp"
+#include "rnn/network.hpp"
+
+namespace bpar::rnn {
+
+class QuantizedNetwork {
+ public:
+  /// Quantizes every weight matrix of `net`. per_channel → one scale per
+  /// output row; otherwise one scale per tensor.
+  explicit QuantizedNetwork(const Network& net, bool per_channel = true);
+
+  /// Re-quantizes in place from (possibly updated) fp32 weights. Shapes
+  /// must match the Network this was built from.
+  void requantize(const Network& net);
+
+  [[nodiscard]] const kernels::QuantizedMatrix& layer(int dir, int l) const {
+    return layers_[dir][static_cast<std::size_t>(l)];
+  }
+  [[nodiscard]] const kernels::QuantizedMatrix& w_out() const {
+    return w_out_;
+  }
+
+ private:
+  std::vector<kernels::QuantizedMatrix> layers_[2];  // [dir][layer]
+  kernels::QuantizedMatrix w_out_;
+  bool per_channel_;
+};
+
+/// Forward pass of one cell using int8 weights: the gate GEMMs run through
+/// kernels::qgemm_nt against `qw` (the quantized fused weight matrix of this
+/// direction/layer); bias add and activations are the shared fp32 pointwise
+/// code. Writes the same tape as cell_forward.
+void cell_forward_quantized(const LayerParams& p,
+                            const kernels::QuantizedMatrix& qw,
+                            tensor::ConstMatrixView x,
+                            tensor::ConstMatrixView h_prev,
+                            tensor::ConstMatrixView c_prev,
+                            const CellTapeViews& tape);
+
+inline void cell_forward_quantized(const LayerParams& p,
+                                   const kernels::QuantizedMatrix& qw,
+                                   tensor::ConstMatrixView x,
+                                   tensor::ConstMatrixView h_prev,
+                                   tensor::ConstMatrixView c_prev,
+                                   CellTape& tape) {
+  cell_forward_quantized(p, qw, x, h_prev, c_prev, tape.views());
+}
+
+}  // namespace bpar::rnn

@@ -91,8 +91,10 @@ InferenceEngine::InferenceEngine(const rnn::NetworkConfig& config,
                                  EngineOptions options)
     : net_(config),
       options_(options),
-      executor_(net_, exec::BParOptions{.common = options.executor,
-                                        .record_trace = options.record_trace}),
+      executor_(net_,
+                exec::BParOptions{.common = options.executor,
+                                  .record_trace = options.record_trace,
+                                  .quantized_inference = options.quantized}),
       started_(Clock::now()) {
   BPAR_CHECK(options_.max_batch >= 1, "max_batch must be >= 1");
   BPAR_CHECK(options_.max_queue >= 1, "max_queue must be >= 1");
@@ -105,6 +107,7 @@ void InferenceEngine::load_weights(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   BPAR_CHECK(in.good(), "cannot open ", path);
   net_.load(in);
+  executor_.refresh_quantized_weights();
 }
 
 void InferenceEngine::warmup(std::span<const int> seq_lengths) {
@@ -310,8 +313,9 @@ void InferenceEngine::process_batch(std::vector<Pending> taken,
   try {
     if (options_.rebuild_per_call) {
       // Benchmark mode: pay graph construction on every batch.
-      exec::BParExecutor fresh(net_,
-                               exec::BParOptions{.common = options_.executor});
+      exec::BParExecutor fresh(
+          net_, exec::BParOptions{.common = options_.executor,
+                                  .quantized_inference = options_.quantized});
       result = fresh.infer(batch, {.want_logits = need_logits});
     } else {
       result = executor_.infer(batch, {.want_logits = need_logits});

@@ -63,6 +63,9 @@ struct EngineOptions {
   /// Record per-task timing in the executor so write_unified_trace() can
   /// export an analyzable trace (`bpar_prof analyze`) of the last batch.
   bool record_trace = false;
+  /// int8 inference (DESIGN.md §5g): serve with quantized weights.
+  /// load_weights() re-quantizes automatically.
+  bool quantized = false;
 };
 
 enum class Status {

@@ -1,10 +1,14 @@
 // GEMM and elementwise kernel tests, including parameterized shape sweeps
-// against a naive reference implementation.
+// against a naive reference implementation and a backend parity suite that
+// pins every SIMD backend to the scalar reference (DESIGN.md §5g).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <tuple>
 
+#include "kernels/backend.hpp"
 #include "kernels/elementwise.hpp"
 #include "kernels/gemm.hpp"
 #include "tensor/tensor.hpp"
@@ -237,6 +241,228 @@ TEST(Elementwise, ArgmaxRows) {
   kernels::argmax_rows(m.cview(), out);
   EXPECT_EQ(out[0], 2);
   EXPECT_EQ(out[1], 0);
+}
+
+// ---------------------------------------------------------------------------
+// Backend parity: every runtime-dispatchable backend must agree with the
+// scalar reference (the numerical golden model) within SIMD-reassociation
+// tolerance, across odd/tail shapes, empty dims, and alpha/beta corners.
+// ---------------------------------------------------------------------------
+
+const float kNaN = std::numeric_limits<float>::quiet_NaN();
+const float kInf = std::numeric_limits<float>::infinity();
+
+// Shapes chosen to exercise vector tails (non-multiples of 8/16), empty
+// dims, single rows/cols, and k beyond one cache block (kBlockK = 256).
+const GemmShape kParityShapes[] = {
+    {0, 3, 4},   {3, 0, 4},    {3, 4, 0},   {1, 1, 1},
+    {5, 7, 3},   {17, 31, 33}, {31, 33, 1}, {1, 16, 257},
+    {8, 16, 32}, {64, 70, 300}};
+const std::pair<float, float> kAlphaBeta[] = {
+    {1.0F, 0.0F}, {0.7F, 0.3F}, {0.0F, 1.0F}, {1.3F, 1.0F}, {0.0F, 0.0F}};
+
+TEST(BackendParity, GemmAllVariantsMatchScalar) {
+  const kernels::Backend& ref = kernels::scalar_backend();
+  for (const auto* backend : kernels::available_backends()) {
+    for (const auto& [m, n, k] : kParityShapes) {
+      for (const auto& [alpha, beta] : kAlphaBeta) {
+        util::Rng rng(42);
+        const Matrix a_nn = random_matrix(m, k, rng);
+        const Matrix b_nn = random_matrix(k, n, rng);
+        const Matrix b_nt = random_matrix(n, k, rng);
+        const Matrix a_tn = random_matrix(k, m, rng);
+        const Matrix c0 = random_matrix(m, n, rng);
+        const auto check = [&](auto fn, const Matrix& a, const Matrix& b) {
+          Matrix got = c0;
+          Matrix want = c0;
+          (backend->*fn)(a.cview(), b.cview(), got.view(), alpha, beta);
+          (ref.*fn)(a.cview(), b.cview(), want.view(), alpha, beta);
+          EXPECT_TRUE(
+              tensor::allclose(got.cview(), want.cview(), 5e-4F, 5e-5F))
+              << backend->name << " vs scalar, shape " << m << "x" << n << "x"
+              << k << " alpha=" << alpha << " beta=" << beta << ", max diff "
+              << tensor::max_abs_diff(got.cview(), want.cview());
+        };
+        check(&kernels::Backend::gemm_nn, a_nn, b_nn);
+        check(&kernels::Backend::gemm_nt, a_nn, b_nt);
+        check(&kernels::Backend::gemm_tn, a_tn, b_nn);
+      }
+    }
+  }
+}
+
+TEST(BackendParity, GemvTMatchesScalar) {
+  const kernels::Backend& ref = kernels::scalar_backend();
+  for (const auto* backend : kernels::available_backends()) {
+    for (const int m : {1, 7, 16, 33}) {
+      for (const int n : {1, 5, 17, 64}) {
+        util::Rng rng(9);
+        const Matrix a = random_matrix(m, n, rng);
+        Matrix x(1, m);
+        tensor::fill_uniform(x.view(), rng, -1.0F, 1.0F);
+        Matrix y0(1, n);
+        tensor::fill_uniform(y0.view(), rng, -1.0F, 1.0F);
+        Matrix got = y0;
+        Matrix want = y0;
+        backend->gemv_t(a.cview(), x.cview().row(0), got.view().row(0), 0.9F,
+                        0.4F);
+        ref.gemv_t(a.cview(), x.cview().row(0), want.view().row(0), 0.9F,
+                   0.4F);
+        EXPECT_TRUE(tensor::allclose(got.cview(), want.cview(), 1e-4F, 1e-5F))
+            << backend->name << " gemv_t " << m << "x" << n;
+      }
+    }
+  }
+}
+
+// Regression for the scalar gemm_tn `if (av == 0) continue;` shortcut: a
+// zero in A must NOT suppress NaN/Inf coming from B — 0 * NaN and 0 * Inf
+// are NaN, and the trainer's all_finite() divergence probes rely on
+// non-finite values propagating into C.
+TEST(BackendParity, GemmTnPropagatesNonFiniteThroughZeros) {
+  for (const auto* backend : kernels::available_backends()) {
+    Matrix a(3, 2);  // A(k=3, m=2), all zeros
+    Matrix b(3, 2);  // B(k=3, n=2)
+    b.at(0, 0) = kNaN;
+    b.at(1, 1) = kInf;
+    Matrix c(2, 2);
+    backend->gemm_tn(a.cview(), b.cview(), c.view(), 1.0F, 0.0F);
+    EXPECT_TRUE(std::isnan(c.at(0, 0)))
+        << backend->name << ": 0 * NaN must stay NaN";
+    EXPECT_TRUE(std::isnan(c.at(0, 1)))
+        << backend->name << ": 0 * Inf must stay NaN";
+    EXPECT_TRUE(std::isnan(c.at(1, 0))) << backend->name;
+  }
+}
+
+TEST(BackendParity, GemmNtPropagatesNonFiniteThroughZeros) {
+  for (const auto* backend : kernels::available_backends()) {
+    Matrix a(2, 3);  // zeros
+    Matrix b(2, 3);
+    b.at(0, 0) = kNaN;
+    b.at(1, 2) = kInf;
+    Matrix c(2, 2);
+    backend->gemm_nt(a.cview(), b.cview(), c.view(), 1.0F, 0.0F);
+    EXPECT_TRUE(std::isnan(c.at(0, 0))) << backend->name;
+    EXPECT_TRUE(std::isnan(c.at(1, 1))) << backend->name;
+  }
+}
+
+// Shared BLAS beta semantics: beta == 0 must OVERWRITE C — existing NaNs
+// (e.g. uninitialized or poisoned buffers) are discarded, in all three
+// variants, in every backend.
+TEST(BackendParity, BetaZeroOverwritesNaNInC) {
+  for (const auto* backend : kernels::available_backends()) {
+    util::Rng rng(11);
+    const int m = 5, n = 9, k = 7;
+    const Matrix a_nn = random_matrix(m, k, rng);
+    const Matrix b_nn = random_matrix(k, n, rng);
+    const Matrix b_nt = random_matrix(n, k, rng);
+    const Matrix a_tn = random_matrix(k, m, rng);
+    const auto check = [&](auto fn, const Matrix& a, const Matrix& b,
+                           const char* variant) {
+      Matrix poisoned(m, n);
+      tensor::fill_constant(poisoned.view(), kNaN);
+      Matrix clean(m, n);
+      (backend->*fn)(a.cview(), b.cview(), poisoned.view(), 1.0F, 0.0F);
+      (backend->*fn)(a.cview(), b.cview(), clean.view(), 1.0F, 0.0F);
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+          EXPECT_TRUE(std::isfinite(poisoned.at(i, j)))
+              << backend->name << " " << variant << " left NaN at (" << i
+              << "," << j << ")";
+        }
+      }
+      EXPECT_EQ(tensor::max_abs_diff(poisoned.cview(), clean.cview()), 0.0F)
+          << backend->name << " " << variant;
+    };
+    check(&kernels::Backend::gemm_nn, a_nn, b_nn, "nn");
+    check(&kernels::Backend::gemm_nt, a_nn, b_nt, "nt");
+    check(&kernels::Backend::gemm_tn, a_tn, b_nn, "tn");
+  }
+}
+
+TEST(BackendParity, PointwiseMatchesScalar) {
+  const kernels::Backend& ref = kernels::scalar_backend();
+  for (const auto* backend : kernels::available_backends()) {
+    for (const int n : {0, 1, 3, 8, 15, 16, 17, 64, 100}) {
+      std::vector<float> base(static_cast<std::size_t>(n));
+      util::Rng rng(13);
+      for (auto& v : base) {
+        v = static_cast<float>(rng.uniform(-12.0, 12.0));
+      }
+      if (n > 2) {  // exercise the exp clamp range
+        base[0] = -95.0F;
+        base[1] = 95.0F;
+      }
+      auto sig_got = base, sig_want = base;
+      backend->sigmoid_inplace(sig_got);
+      ref.sigmoid_inplace(sig_want);
+      auto tanh_got = base, tanh_want = base;
+      backend->tanh_inplace(tanh_got);
+      ref.tanh_inplace(tanh_want);
+      for (int i = 0; i < n; ++i) {
+        const auto u = static_cast<std::size_t>(i);
+        EXPECT_NEAR(sig_got[u], sig_want[u], 1e-5F)
+            << backend->name << " sigmoid(" << base[u] << ")";
+        EXPECT_NEAR(tanh_got[u], tanh_want[u], 1e-5F)
+            << backend->name << " tanh(" << base[u] << ")";
+      }
+
+      std::vector<float> other(static_cast<std::size_t>(n));
+      for (auto& v : other) {
+        v = static_cast<float>(rng.uniform(-2.0, 2.0));
+      }
+      std::vector<float> had_got(static_cast<std::size_t>(n));
+      std::vector<float> had_want(static_cast<std::size_t>(n));
+      backend->hadamard(base, other, had_got);
+      ref.hadamard(base, other, had_want);
+      backend->hadamard_acc(base, other, had_got);
+      ref.hadamard_acc(base, other, had_want);
+      backend->axpy(1.5F, other, had_got);
+      ref.axpy(1.5F, other, had_want);
+      for (int i = 0; i < n; ++i) {
+        const auto u = static_cast<std::size_t>(i);
+        EXPECT_NEAR(had_got[u], had_want[u], 1e-4F)
+            << backend->name << " fused pointwise chain at " << i;
+      }
+    }
+  }
+}
+
+// int8 dot products accumulate exactly in int32 → bit-identical across
+// backends, including every tail length.
+TEST(BackendParity, DotI8ExactAcrossBackends) {
+  const kernels::Backend& ref = kernels::scalar_backend();
+  for (const auto* backend : kernels::available_backends()) {
+    for (const int k : {0, 1, 15, 16, 17, 31, 32, 33, 64, 100}) {
+      util::Rng rng(17);
+      std::vector<std::int8_t> a(static_cast<std::size_t>(k));
+      std::vector<std::int8_t> b(static_cast<std::size_t>(k));
+      for (auto& v : a) {
+        v = static_cast<std::int8_t>(rng.uniform(-127.0, 127.0));
+      }
+      for (auto& v : b) {
+        v = static_cast<std::int8_t>(rng.uniform(-127.0, 127.0));
+      }
+      EXPECT_EQ(backend->dot_i8(a.data(), b.data(), k),
+                ref.dot_i8(a.data(), b.data(), k))
+          << backend->name << " k=" << k;
+    }
+  }
+}
+
+TEST(BackendParity, NameLookupAndOverride) {
+  EXPECT_NE(kernels::backend_by_name("scalar"), nullptr);
+  EXPECT_EQ(kernels::backend_by_name("no-such-isa"), nullptr);
+  EXPECT_STREQ(kernels::scalar_backend().name, "scalar");
+  // available_backends always contains scalar and the native choice.
+  bool has_scalar = false;
+  for (const auto* b : kernels::available_backends()) {
+    if (std::string_view(b->name) == "scalar") has_scalar = true;
+  }
+  EXPECT_TRUE(has_scalar);
+  EXPECT_NE(kernels::active_backend_name(), nullptr);
 }
 
 TEST(Elementwise, AddBiasAndRowSums) {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/backend.hpp"
 #include "obs/session.hpp"
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
@@ -67,9 +68,25 @@ int main(int argc, char** argv) {
                 "rebuild task graphs per micro-batch (no program cache)");
   args.add_flag("compare",
                 "run cached-replay and rebuild-per-call back to back");
+  args.add_string("backend", "",
+                  "kernel backend: scalar|avx2|avx512|neon|native "
+                  "(default: auto-detect, or $BPAR_KERNEL_BACKEND)");
+  args.add_flag("quantized",
+                "serve with int8 quantized weights (DESIGN.md 5g)");
   if (!args.parse(argc, argv)) return 1;
   bpar::obs::ObsSession session("bpar_serve", args,
                                 bpar::obs::ReportMode::kJson);
+
+  const std::string backend = args.get_string("backend");
+  if (!backend.empty() && !bpar::kernels::set_backend(backend)) {
+    std::fprintf(stderr,
+                 "bpar_serve: unknown --backend '%s' (available:", backend.c_str());
+    for (const auto* b : bpar::kernels::available_backends()) {
+      std::fprintf(stderr, " %s", b->name);
+    }
+    std::fprintf(stderr, ")\n");
+    return 1;
+  }
 
   const std::vector<int> seq_lengths = parse_seq_list(args.get_string("seq"));
   if (seq_lengths.empty()) {
@@ -97,6 +114,7 @@ int main(int argc, char** argv) {
   engine_options.max_queue =
       static_cast<std::size_t>(args.get_int("queue"));
   engine_options.enable_batching = !args.flag("no-batching");
+  engine_options.quantized = args.flag("quantized");
 
   bpar::serve::LoadgenOptions load_options;
   load_options.clients = static_cast<int>(args.get_int("clients"));
@@ -136,11 +154,13 @@ int main(int argc, char** argv) {
   }
 
   std::printf("bpar_serve: %d clients x %d requests, max_batch=%d, "
-              "max_delay=%ldus, batching=%s\n\n",
+              "max_delay=%ldus, batching=%s, backend=%s, weights=%s\n\n",
               load_options.clients, load_options.requests_per_client,
               engine_options.max_batch,
               static_cast<long>(engine_options.max_delay_us),
-              engine_options.enable_batching ? "on" : "off");
+              engine_options.enable_batching ? "on" : "off",
+              bpar::kernels::active_backend_name(),
+              engine_options.quantized ? "int8" : "fp32");
 
   bpar::util::Table table({"mode", "throughput rps", "p50 ms", "p95 ms",
                            "p99 ms", "mean ms", "ok", "rejected", "expired",
