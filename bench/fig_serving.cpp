@@ -8,6 +8,7 @@
 // column shows the latency floor.
 //
 //   ./fig_serving [--requests N] [--workers N] [--max-batch N]
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -50,6 +51,7 @@ int main(int argc, char** argv) {
   load.seq_lengths = {cfg.seq_length};
 
   const std::vector<int> seq_lengths = {cfg.seq_length};
+  double peak_rps = 0.0;  // best closed-loop batched throughput
   bpar::util::Table table({"config", "throughput(rps)", "p50(ms)", "p99(ms)",
                            "mean batch rows"});
   for (const bool batching : {false, true}) {
@@ -67,6 +69,7 @@ int main(int argc, char** argv) {
               ? static_cast<double>(stats.completed + stats.padded_rows) /
                     static_cast<double>(stats.batches)
               : 0.0;
+      if (batching) peak_rps = std::max(peak_rps, result.throughput_rps);
       const std::string key = std::to_string(clients) +
                               (batching ? "c-batched" : "c-single");
       table.add_row({key, bpar::util::fmt(result.throughput_rps, 1),
@@ -81,5 +84,48 @@ int main(int argc, char** argv) {
       "(mean rows ↑): throughput scales while p99 stays bounded by the\n"
       "flush deadline; batching off serves every request alone.\n");
   bench::emit_csv(args, table, "fig_serving");
+
+  // Open-loop sweep (DESIGN.md §5h): offered load is fixed by a Poisson
+  // arrival process — it does not politely back off when the engine slows
+  // down, so this is the curve that shows admission control honestly.
+  // Rates are multiples of the closed-loop peak measured above: below the
+  // knee latency stays near the flush deadline; past saturation the
+  // backlog grows until load shedding answers the overflow as kShed and
+  // the served (kOk) tail stays bounded instead of diverging.
+  bpar::util::Table open_table({"offered x peak", "offered(rps)",
+                                "served(rps)", "ok", "shed", "rejected",
+                                "p50(ms)", "p95(ms)", "p99(ms)"});
+  for (const double fraction : {0.5, 0.9, 1.5, 2.0}) {
+    const double rate = std::max(1.0, peak_rps * fraction);
+    bpar::serve::EngineOptions options = base;
+    options.enable_batching = true;
+    bpar::serve::InferenceEngine engine(cfg, options);
+    engine.warmup(seq_lengths);
+    bpar::serve::LoadgenOptions open = load;
+    open.clients = 8;
+    open.rate_rps = rate;
+    // Size the run to a ~2s window at the offered rate so every sweep
+    // point measures a comparable interval.
+    open.requests_per_client = std::max(
+        10, static_cast<int>(rate * 2.0 / open.clients));
+    const auto result = bpar::serve::run_load(engine, open);
+    engine.shutdown();
+    open_table.add_row({bpar::util::fmt(fraction, 2),
+                        bpar::util::fmt(result.offered_rps, 1),
+                        bpar::util::fmt(result.throughput_rps, 1),
+                        std::to_string(result.ok),
+                        std::to_string(result.shed),
+                        std::to_string(result.rejected),
+                        bpar::util::fmt(result.latency_ms.p50, 3),
+                        bpar::util::fmt(result.latency_ms.p95, 3),
+                        bpar::util::fmt(result.latency_ms.p99, 3)});
+  }
+  open_table.print("open-loop offered load vs latency");
+  std::printf(
+      "\npast the closed-loop peak (~%.0f rps) the open-loop backlog grows\n"
+      "until queue-delay shedding engages: served rps plateaus, the kOk\n"
+      "tail stays bounded, and the overflow is answered kShed.\n",
+      peak_rps);
+  bench::emit_csv(args, open_table, "fig_serving_openloop");
   return 0;
 }

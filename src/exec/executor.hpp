@@ -17,6 +17,7 @@
 // survives only as a deprecated non-virtual shim over infer().
 #pragma once
 
+#include <cmath>
 #include <span>
 #include <vector>
 
@@ -62,6 +63,17 @@ struct InferResult {
                            static_cast<std::size_t>(batch) +
                        static_cast<std::size_t>(b)];
   }
+  /// NaN/Inf output guard: false when the batch loss or any returned logit
+  /// is non-finite — poisoned inputs (or faulted kernels) surface here, and
+  /// the serving engine treats it as an execution failure (retry/bisect).
+  [[nodiscard]] bool finite() const {
+    if (!std::isfinite(loss)) return false;
+    for (const float v : logits) {
+      if (!std::isfinite(v)) return false;
+    }
+    return true;
+  }
+
   /// Logits of output t, sequence b (empty span unless requested).
   [[nodiscard]] std::span<const float> logits_row(int t, int b) const {
     if (logits.empty()) return {};

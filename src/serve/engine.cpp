@@ -5,10 +5,13 @@
 #include <fstream>
 #include <utility>
 
+#include "kernels/backend.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "taskrt/export.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace bpar::serve {
 
@@ -53,6 +56,13 @@ double us_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::micro>(b - a).count();
 }
 
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Numerically stable log(sum(exp(logits))).
 double logsumexp(std::span<const float> logits) {
   double hi = logits[0];
@@ -70,12 +80,48 @@ const char* status_name(Status status) {
       return "ok";
     case Status::kRejected:
       return "rejected";
+    case Status::kShed:
+      return "shed";
     case Status::kDeadlineExceeded:
       return "deadline_exceeded";
     case Status::kShutdown:
       return "shutdown";
     case Status::kFailed:
       return "failed";
+    case Status::kInternalError:
+      return "internal_error";
+  }
+  return "unknown";
+}
+
+const char* priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::kHigh:
+      return "high";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+Priority parse_priority(std::string_view name) {
+  if (name == "high") return Priority::kHigh;
+  if (name == "normal") return Priority::kNormal;
+  if (name == "batch") return Priority::kBatch;
+  throw util::Error("unknown priority '" + std::string(name) +
+                    "' (expected high|normal|batch)");
+}
+
+const char* health_name(Health health) {
+  switch (health) {
+    case Health::kHealthy:
+      return "healthy";
+    case Health::kDegraded:
+      return "degraded";
+    case Health::kDraining:
+      return "draining";
   }
   return "unknown";
 }
@@ -91,13 +137,42 @@ InferenceEngine::InferenceEngine(const rnn::NetworkConfig& config,
                                  EngineOptions options)
     : net_(config),
       options_(options),
-      executor_(net_,
-                exec::BParOptions{.common = options.executor,
-                                  .record_trace = options.record_trace,
-                                  .quantized_inference = options.quantized}),
-      started_(Clock::now()) {
+      executor_(std::make_unique<exec::BParExecutor>(
+          net_,
+          exec::BParOptions{.common = options.executor,
+                            .record_trace = options.record_trace,
+                            .quantized_inference = options.quantized})),
+      started_(Clock::now()),
+      native_backend_(kernels::active_backend_name()) {
   BPAR_CHECK(options_.max_batch >= 1, "max_batch must be >= 1");
   BPAR_CHECK(options_.max_queue >= 1, "max_queue must be >= 1");
+  BPAR_CHECK(options_.max_batch_retries >= 0,
+             "max_batch_retries must be >= 0");
+
+  // Degradation ladder, most valuable acceleration first: each rung keeps
+  // the flags of the previous one and switches one more thing off.
+  ladder_.push_back(DegradeStep{});  // level 0: full service
+  DegradeStep step;
+  if (options_.quantized) {
+    step.name = "fp32";
+    step.disable_quantized = true;
+    ladder_.push_back(step);
+  }
+  if (native_backend_ != std::string("scalar")) {
+    step.name = "scalar-backend";
+    step.scalar_backend = true;
+    ladder_.push_back(step);
+  }
+  if (options_.enable_batching && options_.max_batch > 1) {
+    step.name = "batch-1";
+    step.batch_one = true;
+    ladder_.push_back(step);
+  }
+
+  touch_progress();
+  if (options_.watchdog_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -107,17 +182,17 @@ void InferenceEngine::load_weights(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   BPAR_CHECK(in.good(), "cannot open ", path);
   net_.load(in);
-  executor_.refresh_quantized_weights();
+  executor_->refresh_quantized_weights();
 }
 
 void InferenceEngine::warmup(std::span<const int> seq_lengths) {
   BPAR_SPAN("serve.warmup");
   for (const int steps : seq_lengths) {
     for (int rows = 1; rows <= options_.max_batch; rows *= 2) {
-      (void)executor_.infer_program(steps, rows);
+      (void)executor_->infer_program(steps, rows);
     }
     if (!options_.enable_batching) {
-      (void)executor_.infer_program(steps, 1);
+      (void)executor_->infer_program(steps, 1);
     }
   }
 }
@@ -143,6 +218,17 @@ std::string InferenceEngine::validate(const Request& request) const {
   return {};
 }
 
+std::size_t InferenceEngine::total_queued_locked() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+std::uint32_t InferenceEngine::effective_shed_wait_us() const {
+  return options_.shed_wait_us != 0 ? options_.shed_wait_us
+                                    : 16U * options_.max_delay_us;
+}
+
 std::future<Response> InferenceEngine::submit(Request request) {
   BPAR_SPAN("serve.submit");
   std::promise<Response> promise;
@@ -162,12 +248,26 @@ std::future<Response> InferenceEngine::submit(Request request) {
     promise.set_value(std::move(immediate));
     return future;
   }
+  // An already-expired deadline never earns a queue slot: answering now
+  // keeps dead requests from delaying live ones through the bounded queue.
+  if (request.deadline != kNoDeadline && Clock::now() > request.deadline) {
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::instance().counter("serve.deadline_exceeded").add();
+    immediate.status = Status::kDeadlineExceeded;
+    promise.set_value(std::move(immediate));
+    return future;
+  }
 
+  const auto cls = static_cast<std::size_t>(request.priority);
+  const std::size_t quota = options_.class_quota[cls] != 0
+                                ? options_.class_quota[cls]
+                                : options_.max_queue;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
+    if (stopping_.load(std::memory_order_relaxed)) {
       immediate.status = Status::kShutdown;
-    } else if (queue_.size() >= options_.max_queue) {
+    } else if (total_queued_locked() >= options_.max_queue ||
+               queues_[cls].size() >= quota) {
       immediate.status = Status::kRejected;
     } else {
       Pending pending;
@@ -175,9 +275,9 @@ std::future<Response> InferenceEngine::submit(Request request) {
       pending.promise = std::move(promise);
       pending.enqueued = Clock::now();
       pending.id = id;
-      queue_.push_back(std::move(pending));
+      queues_[cls].push_back(std::move(pending));
       obs::Registry::instance().gauge("serve.queue_depth").set(
-          static_cast<double>(queue_.size()));
+          static_cast<double>(total_queued_locked()));
       cv_.notify_all();
       return future;
     }
@@ -197,56 +297,125 @@ Response InferenceEngine::infer(Request request) {
 void InferenceEngine::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ && !dispatcher_.joinable()) return;
-    stopping_ = true;
+    if (stopping_.load(std::memory_order_relaxed) &&
+        !dispatcher_.joinable()) {
+      return;
+    }
+    stopping_.store(true, std::memory_order_relaxed);
+    set_health(Health::kDraining);
   }
   cv_.notify_all();
+  watchdog_cv_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
+  if (watchdog_.joinable()) watchdog_.join();
+  // A degraded engine may have switched the process-global kernel backend
+  // to scalar; leaving that behind would slow every later user.
+  if (degrade_level_.load(std::memory_order_relaxed) > 0 &&
+      !native_backend_.empty()) {
+    (void)kernels::set_backend(native_backend_);
+  }
+}
+
+void InferenceEngine::shed_overdue_locked(Clock::time_point now) {
+  const std::uint32_t limit_us = effective_shed_wait_us();
+  const auto cap = static_cast<std::size_t>(options_.max_batch);
+  bool any = false;
+  // Lowest class first; kHigh (class 0) is never shed. Stop as soon as the
+  // backlog fits in one micro-batch again — shedding is a pressure valve,
+  // not a purge.
+  for (int cls = kNumPriorities - 1; cls >= 1; --cls) {
+    auto& queue = queues_[static_cast<std::size_t>(cls)];
+    while (!queue.empty() && total_queued_locked() > cap &&
+           us_between(queue.front().enqueued, now) >
+               static_cast<double>(limit_us)) {
+      Pending victim = std::move(queue.front());
+      queue.pop_front();
+      any = true;
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::instance().counter("serve.shed").add();
+      Response response;
+      response.id = victim.id;
+      response.status = Status::kShed;
+      response.queue_us = us_between(victim.enqueued, now);
+      victim.promise.set_value(std::move(response));
+    }
+  }
+  if (any) {
+    BPAR_SPAN("serve.shed");
+    obs::Registry::instance().gauge("serve.queue_depth").set(
+        static_cast<double>(total_queued_locked()));
+  }
 }
 
 void InferenceEngine::dispatcher_loop() {
-  const int cap = options_.enable_batching ? options_.max_batch : 1;
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // stopping_ && drained
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return stopping_.load(std::memory_order_relaxed) ||
+             total_queued_locked() > 0;
+    });
+    touch_progress();
+    if (total_queued_locked() == 0) return;  // stopping && drained
 
+    shed_overdue_locked(Clock::now());
+    if (total_queued_locked() == 0) continue;
+
+    // Strict priority: the head comes from the highest non-empty class.
     // The head request defines the micro-batch's shape group: BRNN outputs
     // depend on the whole sequence, so only requests with the SAME length
     // coalesce (the batch dimension pads; timesteps never do).
-    const int steps = queue_.front().request.steps;
+    std::size_t head_cls = 0;
+    while (queues_[head_cls].empty()) ++head_cls;
+    const int cap =
+        (options_.enable_batching &&
+         !ladder_[static_cast<std::size_t>(
+                      degrade_level_.load(std::memory_order_relaxed))]
+              .batch_one)
+            ? options_.max_batch
+            : 1;
+    const int steps = queues_[head_cls].front().request.steps;
     const Clock::time_point flush_at =
-        queue_.front().enqueued +
+        queues_[head_cls].front().enqueued +
         std::chrono::microseconds(options_.max_delay_us);
     const auto matching = [&] {
       std::size_t m = 0;
-      for (const Pending& p : queue_) m += (p.request.steps == steps) ? 1 : 0;
+      for (const auto& q : queues_) {
+        for (const Pending& p : q) m += (p.request.steps == steps) ? 1 : 0;
+      }
       return m;
     };
-    while (!stopping_ && matching() < static_cast<std::size_t>(cap) &&
+    while (!stopping_.load(std::memory_order_relaxed) &&
+           matching() < static_cast<std::size_t>(cap) &&
            Clock::now() < flush_at) {
       cv_.wait_until(lock, flush_at);
     }
 
-    // Seal: extract up to `cap` same-length requests in FIFO order.
+    // Seal: extract up to `cap` same-length requests, classes in priority
+    // order, FIFO within a class.
     const Clock::time_point sealed = Clock::now();
     std::vector<Pending> taken;
     taken.reserve(static_cast<std::size_t>(cap));
-    for (auto it = queue_.begin();
-         it != queue_.end() && taken.size() < static_cast<std::size_t>(cap);) {
-      if (it->request.steps == steps) {
-        taken.push_back(std::move(*it));
-        it = queue_.erase(it);
-      } else {
-        ++it;
+    for (auto& queue : queues_) {
+      for (auto it = queue.begin();
+           it != queue.end() &&
+           taken.size() < static_cast<std::size_t>(cap);) {
+        if (it->request.steps == steps) {
+          taken.push_back(std::move(*it));
+          it = queue.erase(it);
+        } else {
+          ++it;
+        }
       }
+      if (taken.size() >= static_cast<std::size_t>(cap)) break;
     }
     obs::Registry::instance().gauge("serve.queue_depth").set(
-        static_cast<double>(queue_.size()));
+        static_cast<double>(total_queued_locked()));
 
     lock.unlock();
+    in_flight_.store(true, std::memory_order_relaxed);
     process_batch(std::move(taken), sealed);
-    lock.lock();
+    in_flight_.store(false, std::memory_order_relaxed);
+    touch_progress();
   }
 }
 
@@ -273,11 +442,76 @@ void InferenceEngine::process_batch(std::vector<Pending> taken,
   }
   if (live.empty()) return;
 
+  serve_group(std::move(live), sealed, /*depth=*/0);
+
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - started_).count();
+  if (elapsed_s > 0.0) {
+    registry.gauge("serve.throughput_rps")
+        .set(static_cast<double>(completed_.load(std::memory_order_relaxed)) /
+             elapsed_s);
+  }
+}
+
+exec::BParExecutor& InferenceEngine::active_executor() {
+  const auto level =
+      static_cast<std::size_t>(degrade_level_.load(std::memory_order_relaxed));
+  if (options_.quantized && ladder_[level].disable_quantized) {
+    if (fp32_executor_ == nullptr) {
+      fp32_executor_ = std::make_unique<exec::BParExecutor>(
+          net_, exec::BParOptions{.common = options_.executor,
+                                  .record_trace = options_.record_trace,
+                                  .quantized_inference = false});
+    }
+    return *fp32_executor_;
+  }
+  return *executor_;
+}
+
+std::string InferenceEngine::try_execute(const rnn::BatchData& batch,
+                                         bool need_logits, int steps,
+                                         int rows,
+                                         exec::InferResult& result) {
+  try {
+    if (options_.rebuild_per_call) {
+      // Benchmark mode: pay graph construction on every batch.
+      exec::BParExecutor fresh(
+          net_, exec::BParOptions{.common = options_.executor,
+                                  .quantized_inference = options_.quantized});
+      result = fresh.infer(batch, {.want_logits = need_logits});
+    } else {
+      exec::BParExecutor& executor = active_executor();
+      result = executor.infer(batch, {.want_logits = need_logits});
+      if (options_.record_trace && &executor == executor_.get()) {
+        std::lock_guard<std::mutex> lock(trace_mu_);
+        last_traced_program_ = &executor.infer_program(steps, rows);
+        last_traced_stats_ = result.stats;
+      }
+    }
+  } catch (const taskrt::WatchdogError& e) {
+    return std::string("watchdog: ") + e.what();
+  } catch (const taskrt::InjectedFault& e) {
+    return std::string("injected fault: ") + e.what();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  if (!result.finite()) {
+    return "non-finite outputs (NaN/Inf guard)";
+  }
+  return {};
+}
+
+void InferenceEngine::serve_group(std::vector<Pending> live,
+                                  Clock::time_point sealed, int depth) {
+  auto& registry = obs::Registry::instance();
   const auto& cfg = net_.config();
   const int real_rows = static_cast<int>(live.size());
-  const int rows = options_.enable_batching
-                       ? bucket_rows(real_rows, options_.max_batch)
-                       : real_rows;
+  const auto level =
+      static_cast<std::size_t>(degrade_level_.load(std::memory_order_relaxed));
+  const bool batching =
+      options_.enable_batching && !ladder_[level].batch_one;
+  const int rows =
+      batching ? bucket_rows(real_rows, options_.max_batch) : real_rows;
   const int steps = live.front().request.steps;
   const int outputs = cfg.many_to_many ? steps : 1;
   bool need_logits = false;
@@ -308,25 +542,29 @@ void InferenceEngine::process_batch(std::vector<Pending> taken,
   }
   const Clock::time_point formed = Clock::now();
 
+  // Bounded retries: fault schedules decorrelate across runtime sessions,
+  // so a re-run of the same batch usually clears transient injected (or
+  // genuine) faults. Deterministic failures fall through to bisection.
   exec::InferResult result;
   std::string error;
-  try {
-    if (options_.rebuild_per_call) {
-      // Benchmark mode: pay graph construction on every batch.
-      exec::BParExecutor fresh(
-          net_, exec::BParOptions{.common = options_.executor,
-                                  .quantized_inference = options_.quantized});
-      result = fresh.infer(batch, {.want_logits = need_logits});
-    } else {
-      result = executor_.infer(batch, {.want_logits = need_logits});
-      if (options_.record_trace) {
-        std::lock_guard<std::mutex> lock(trace_mu_);
-        last_traced_program_ = &executor_.infer_program(steps, rows);
-        last_traced_stats_ = result.stats;
+  for (int attempt = 0; attempt <= options_.max_batch_retries; ++attempt) {
+    if (attempt > 0) {
+      BPAR_SPAN("serve.retry");
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter("serve.retries").add();
+      touch_progress();
+      if (!options_.rebuild_per_call &&
+          active_executor().runtime().poisoned()) {
+        rebuild_executor();
       }
+      error = try_execute(batch, need_logits, steps, rows, result);
+    } else {
+      error = try_execute(batch, need_logits, steps, rows, result);
     }
-  } catch (const std::exception& e) {
-    error = e.what();
+    if (error.empty()) break;
+    BPAR_LOG_WARN << "serve: batch of " << real_rows << " (attempt "
+                  << attempt + 1 << "/" << options_.max_batch_retries + 1
+                  << ") failed: " << error;
   }
   const Clock::time_point done = Clock::now();
 
@@ -342,6 +580,43 @@ void InferenceEngine::process_batch(std::vector<Pending> taken,
   exec_histogram().add(exec_us);
   batch_rows_histogram().add(static_cast<double>(real_rows));
 
+  if (!error.empty()) {
+    note_group_failure();
+    if (real_rows > 1) {
+      // Bisection: split the batch and serve each half independently. A
+      // deterministically poisoned request ends up alone, answers
+      // kInternalError, and its batchmates succeed (per-row results are
+      // bit-identical across row buckets, so they lose nothing).
+      BPAR_SPAN("serve.bisect");
+      bisections_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter("serve.bisections").add();
+      const auto mid =
+          live.begin() + static_cast<std::ptrdiff_t>(live.size() / 2);
+      std::vector<Pending> first(std::make_move_iterator(live.begin()),
+                                 std::make_move_iterator(mid));
+      std::vector<Pending> second(std::make_move_iterator(mid),
+                                  std::make_move_iterator(live.end()));
+      serve_group(std::move(first), sealed, depth + 1);
+      serve_group(std::move(second), sealed, depth + 1);
+      return;
+    }
+    Pending& p = live.front();
+    Response response;
+    response.id = p.id;
+    response.status = Status::kInternalError;
+    response.error = error;
+    response.batch_rows = rows;
+    response.real_rows = real_rows;
+    response.queue_us = us_between(p.enqueued, sealed);
+    response.batch_form_us = form_us;
+    response.exec_us = exec_us;
+    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    registry.counter("serve.internal_errors").add();
+    p.promise.set_value(std::move(response));
+    return;
+  }
+
+  note_group_success();
   for (int r = 0; r < real_rows; ++r) {
     Pending& p = live[static_cast<std::size_t>(r)];
     Response response;
@@ -351,14 +626,6 @@ void InferenceEngine::process_batch(std::vector<Pending> taken,
     response.queue_us = us_between(p.enqueued, sealed);
     response.batch_form_us = form_us;
     response.exec_us = exec_us;
-    if (!error.empty()) {
-      response.status = Status::kFailed;
-      response.error = error;
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      registry.counter("serve.failed").add();
-      p.promise.set_value(std::move(response));
-      continue;
-    }
     response.predictions.resize(static_cast<std::size_t>(outputs));
     for (int t = 0; t < outputs; ++t) {
       response.predictions[static_cast<std::size_t>(t)] =
@@ -389,26 +656,175 @@ void InferenceEngine::process_batch(std::vector<Pending> taken,
     registry.counter("serve.completed").add();
     p.promise.set_value(std::move(response));
   }
+}
 
-  const double elapsed_s =
-      std::chrono::duration<double>(done - started_).count();
-  if (elapsed_s > 0.0) {
-    registry.gauge("serve.throughput_rps")
-        .set(static_cast<double>(completed_.load(std::memory_order_relaxed)) /
-             elapsed_s);
+void InferenceEngine::note_group_success() {
+  consecutive_failures_ = 0;
+  const int level = degrade_level_.load(std::memory_order_relaxed);
+  if (level == 0) {
+    if (!stopping_.load(std::memory_order_relaxed)) {
+      set_health(Health::kHealthy);
+    }
+    return;
+  }
+  // Half-open recovery probe: a long enough run of clean batches at the
+  // degraded level earns one step back up the ladder. A failure at the
+  // restored level trips the breaker again (and the probe run restarts).
+  if (++consecutive_successes_ >= options_.breaker_recovery) {
+    consecutive_successes_ = 0;
+    recovered_steps_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::instance().counter("serve.recovered").add();
+    apply_degrade_level(level - 1);
   }
 }
 
-InferenceEngine::Stats InferenceEngine::stats() const {
-  Stats s;
+void InferenceEngine::note_group_failure() {
+  consecutive_successes_ = 0;
+  if (!stopping_.load(std::memory_order_relaxed)) {
+    set_health(Health::kDegraded);
+  }
+  if (options_.breaker_threshold <= 0) return;
+  const int level = degrade_level_.load(std::memory_order_relaxed);
+  if (++consecutive_failures_ >= options_.breaker_threshold &&
+      level + 1 < static_cast<int>(ladder_.size())) {
+    consecutive_failures_ = 0;
+    degraded_steps_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::instance().counter("serve.degraded").add();
+    apply_degrade_level(level + 1);
+  }
+}
+
+void InferenceEngine::apply_degrade_level(int level) {
+  BPAR_SPAN("serve.degrade");
+  const auto& step = ladder_[static_cast<std::size_t>(level)];
+  const auto& from =
+      ladder_[static_cast<std::size_t>(degrade_level_.load())];
+  BPAR_LOG_WARN << "serve: degradation ladder " << from.name << " -> "
+                << step.name << " (level " << level << ")";
+  if (step.scalar_backend) {
+    (void)kernels::set_backend("scalar");
+  } else if (from.scalar_backend && !native_backend_.empty()) {
+    (void)kernels::set_backend(native_backend_);
+  }
+  degrade_level_.store(level, std::memory_order_relaxed);
+  obs::Registry::instance().gauge("serve.degrade_level").set(
+      static_cast<double>(level));
+  if (!stopping_.load(std::memory_order_relaxed)) {
+    set_health(level > 0 ? Health::kDegraded : Health::kHealthy);
+  }
+}
+
+void InferenceEngine::rebuild_executor() {
+  executor_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::instance().counter("serve.executor_rebuilds").add();
+  BPAR_LOG_ERROR << "serve: runtime poisoned by an unrecovered watchdog "
+                    "failure; rebuilding the executor";
+  {
+    // The traced program pointer aims into the executor being replaced.
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    last_traced_program_ = nullptr;
+  }
+  if (fp32_executor_ != nullptr && fp32_executor_->runtime().poisoned()) {
+    fp32_executor_.reset();
+  }
+  if (executor_->runtime().poisoned()) {
+    executor_ = std::make_unique<exec::BParExecutor>(
+        net_, exec::BParOptions{.common = options_.executor,
+                                .record_trace = options_.record_trace,
+                                .quantized_inference = options_.quantized});
+  }
+}
+
+void InferenceEngine::set_health(Health health) {
+  const int value = static_cast<int>(health);
+  const int previous = health_.exchange(value, std::memory_order_relaxed);
+  if (previous == value) return;
+  auto& registry = obs::Registry::instance();
+  registry.gauge("serve.health").set(static_cast<double>(value));
+  registry.counter("serve.health_transitions").add();
+  BPAR_LOG_INFO << "serve: health "
+                << health_name(static_cast<Health>(previous)) << " -> "
+                << health_name(health);
+}
+
+void InferenceEngine::touch_progress() {
+  last_progress_ns_.store(steady_ns(), std::memory_order_relaxed);
+}
+
+void InferenceEngine::watchdog_loop() {
+  const auto period = std::chrono::milliseconds(
+      std::max<std::uint32_t>(1, options_.watchdog_ms / 4));
+  const auto deadline_ns =
+      static_cast<std::uint64_t>(options_.watchdog_ms) * 1'000'000ULL;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    watchdog_cv_.wait_for(lock, period);
+    if (stopping_.load(std::memory_order_relaxed) &&
+        total_queued_locked() == 0 &&
+        !in_flight_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    const bool busy = in_flight_.load(std::memory_order_relaxed) ||
+                      total_queued_locked() > 0;
+    if (!busy) continue;
+    const std::uint64_t idle =
+        steady_ns() - last_progress_ns_.load(std::memory_order_relaxed);
+    if (idle < deadline_ns) continue;
+
+    // The dispatcher has work but made no progress for a full watchdog
+    // period. The only recoverable cause we can act on from here is an
+    // injected stall the runtime watchdog is not armed to catch: release
+    // it so the blocked infer() completes. Everything else just gets
+    // counted and logged loudly.
+    watchdog_fires_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::instance().counter("serve.watchdog_fires").add();
+    if (!stopping_.load(std::memory_order_relaxed)) {
+      set_health(Health::kDegraded);
+    }
+    BPAR_LOG_ERROR << "serve: engine watchdog fired after "
+                   << options_.watchdog_ms
+                   << " ms without dispatcher progress (queued="
+                   << total_queued_locked() << ", in_flight="
+                   << in_flight_.load(std::memory_order_relaxed)
+                   << "); releasing injected stalls";
+    lock.unlock();
+    if (auto* injector = executor_->runtime().fault_injector()) {
+      injector->release_stalls();
+    }
+    if (fp32_executor_ != nullptr) {
+      if (auto* injector = fp32_executor_->runtime().fault_injector()) {
+        injector->release_stalls();
+      }
+    }
+    touch_progress();  // rate-limit: one fire per silent period
+    lock.lock();
+  }
+}
+
+EngineStats InferenceEngine::stats() const {
+  EngineStats s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.internal_errors = internal_errors_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.padded_rows = padded_rows_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.bisections = bisections_.load(std::memory_order_relaxed);
+  s.degraded_steps = degraded_steps_.load(std::memory_order_relaxed);
+  s.recovered_steps = recovered_steps_.load(std::memory_order_relaxed);
+  s.watchdog_fires = watchdog_fires_.load(std::memory_order_relaxed);
+  s.executor_rebuilds = executor_rebuilds_.load(std::memory_order_relaxed);
+  s.degrade_level = degrade_level_.load(std::memory_order_relaxed);
+  s.health = health();
   return s;
+}
+
+Health InferenceEngine::health() const {
+  return static_cast<Health>(health_.load(std::memory_order_relaxed));
 }
 
 void InferenceEngine::write_unified_trace(const std::string& path) {
@@ -423,7 +839,7 @@ void InferenceEngine::write_unified_trace(const std::string& path) {
 
 std::size_t InferenceEngine::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return total_queued_locked();
 }
 
 }  // namespace bpar::serve

@@ -1,5 +1,6 @@
 // Inference serving engine: concurrent clients, dynamic micro-batching,
-// cached forward-only task graphs (DESIGN.md §5f).
+// cached forward-only task graphs, and a resilience layer (DESIGN.md §5f +
+// §5h).
 //
 // An InferenceEngine owns a trained rnn::Network and a BParExecutor whose
 // per-(seq_length, batch_rows) program cache turns every repeated request
@@ -12,27 +13,52 @@
 // result (argmax, logits, loss — per-request losses are recomputed from the
 // request's own logits, so padding never pollutes them).
 //
-// Backpressure: the request queue is bounded (`max_queue`); submissions
-// beyond it complete immediately with Status::kRejected. Requests may carry
-// a deadline — once expired they are answered with kDeadlineExceeded
-// instead of executing. shutdown() stops intake, drains everything already
-// queued, and joins the dispatcher.
+// Admission control (DESIGN.md §5h): every request carries a Priority
+// class. The bounded queue is per-class FIFO with strict priority across
+// classes (kHigh is always sealed first), per-class quotas cap how much of
+// `max_queue` a class may occupy, and queue-delay load shedding answers
+// overdue kNormal/kBatch requests with kShed when the backlog exceeds one
+// micro-batch — overload lands on the lowest classes while kHigh latency
+// stays flat. Already-expired deadlines are rejected at submit() so dead
+// requests never consume a queue slot.
+//
+// Fault-hardened execution: EngineOptions::executor.faults/watchdog_ms flow
+// into the executor's runtime (the PR-2 fault stack), and infer() is
+// wrapped in a recovery loop: InjectedFault / WatchdogError / non-finite
+// outputs trigger bounded whole-batch retries (fault schedules decorrelate
+// across runtime sessions), then bisection — the batch splits in half until
+// a deterministically poisoned request is isolated and answered
+// kInternalError while its batchmates succeed bit-exactly. A poisoned
+// runtime (watchdog fired and the graph never drained) is replaced by
+// rebuilding the executor.
+//
+// Graceful degradation: a circuit breaker counts consecutive failed
+// batches and steps down a degradation ladder (int8 → fp32 sidecar off,
+// native kernels → scalar, batched → batch-1), then probes half-open
+// recovery after a run of successes. An engine watchdog thread releases
+// injected stalls when the dispatcher stops making progress, and a
+// healthy / degraded / draining health state machine is exposed through
+// EngineStats and the serve.* obs metrics.
 //
 // Observability: per-stage latency histograms (serve.queue_us /
-// serve.batch_form_us / serve.exec_us), request/batch counters, and
-// throughput + queue-depth gauges in the obs registry; BPAR_SPAN tracing on
-// the submit and batch paths, so `bpar_prof analyze` works on serving runs
-// unchanged.
+// serve.batch_form_us / serve.exec_us), request/batch/shed/retry counters,
+// health + degrade-level gauges, and BPAR_SPAN tracing on the submit,
+// batch, retry, and bisect paths, so `bpar_prof analyze` attributes
+// retry/shed time on serving runs unchanged.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -42,17 +68,28 @@
 
 namespace bpar::serve {
 
+/// Request priority classes for admission control. Lower value = served
+/// first. kHigh is never shed; kBatch is shed first under overload.
+enum class Priority : std::uint8_t { kHigh = 0, kNormal = 1, kBatch = 2 };
+inline constexpr int kNumPriorities = 3;
+
+[[nodiscard]] const char* priority_name(Priority priority);
+/// Parses "high" / "normal" / "batch" (throws util::Error otherwise).
+[[nodiscard]] Priority parse_priority(std::string_view name);
+
 struct EngineOptions {
-  /// Workers / replicas / policy for the owned BParExecutor. Replicas are
-  /// clamped to the micro-batch rows per shape, so small batches degrade
-  /// gracefully to one replica.
+  /// Workers / replicas / policy for the owned BParExecutor — including
+  /// `faults` (deterministic fault injection) and `watchdog_ms` (runtime
+  /// no-progress watchdog), which flow into the runtime unchanged: the
+  /// serving engine inherits the PR-2 fault stack through here.
   exec::CommonOptions executor{};
   /// Largest micro-batch the dispatcher coalesces (and the top row bucket).
   int max_batch = 8;
   /// Flush deadline: a formed batch executes as soon as it reaches
   /// max_batch OR the oldest queued request has waited this long.
   std::uint32_t max_delay_us = 500;
-  /// Bounded queue; submissions beyond this reject with kRejected.
+  /// Bounded queue (all classes together); submissions beyond it reject
+  /// with kRejected.
   std::size_t max_queue = 256;
   /// false → every request executes alone (batch-1 latency mode).
   bool enable_batching = true;
@@ -66,17 +103,53 @@ struct EngineOptions {
   /// int8 inference (DESIGN.md §5g): serve with quantized weights.
   /// load_weights() re-quantizes automatically.
   bool quantized = false;
+
+  // ---- resilience (DESIGN.md §5h) ----
+  /// Per-class queue quotas, indexed by Priority: how many of the
+  /// max_queue slots each class may occupy. 0 → no class-specific cap
+  /// (the shared max_queue still applies).
+  std::array<std::size_t, kNumPriorities> class_quota{};
+  /// Queue-delay load shedding: when the backlog exceeds one micro-batch
+  /// (max_batch) AND a kNormal/kBatch request has waited longer than this,
+  /// it is answered kShed instead of executing, lowest class first. kHigh
+  /// is never shed. 0 → 16 * max_delay_us.
+  std::uint32_t shed_wait_us = 0;
+  /// Whole-batch retries after a fault (injected throw, watchdog error,
+  /// non-finite outputs) before bisection isolates the poisoned request.
+  int max_batch_retries = 2;
+  /// Circuit breaker: consecutive failed batches (retries exhausted) that
+  /// trip one step down the degradation ladder. 0 disables the breaker.
+  int breaker_threshold = 3;
+  /// Consecutive successful batches at a degraded level before the
+  /// breaker probes one step back up (half-open recovery).
+  int breaker_recovery = 16;
+  /// Engine watchdog: if the dispatcher makes no progress for this long
+  /// while work is pending, injected stalls are released and the fire is
+  /// counted/logged (the backstop when the runtime watchdog is off).
+  /// 0 → disabled.
+  std::uint32_t watchdog_ms = 0;
 };
 
 enum class Status {
   kOk,
-  kRejected,          // bounded queue full at submit time
+  kRejected,          // bounded queue (or class quota) full at submit time
+  kShed,              // load-shed from the queue under overload
   kDeadlineExceeded,  // request expired before execution
   kShutdown,          // submitted after shutdown() began
-  kFailed,            // invalid request or executor error (see error)
+  kFailed,            // invalid request (validation error; see error)
+  kInternalError,     // execution failed after retries + bisection
 };
+inline constexpr int kNumStatuses = 7;
 
 [[nodiscard]] const char* status_name(Status status);
+
+/// Engine health state machine (DESIGN.md §5h): healthy → degraded when
+/// the circuit breaker has stepped down the ladder (or failures are
+/// accumulating), back to healthy after a successful recovery probe;
+/// draining once shutdown() begins.
+enum class Health { kHealthy, kDegraded, kDraining };
+
+[[nodiscard]] const char* health_name(Health health);
 
 /// One sequence to classify. `features` is row-major by timestep:
 /// features[t * input_size + f]. Labels are optional — empty means no loss
@@ -86,9 +159,14 @@ struct Request {
   int steps = 0;
   std::vector<float> features;
   std::vector<int> labels;
-  /// Optional absolute deadline; default (epoch) = none.
+  /// Optional absolute deadline; default (epoch) = none. Already-expired
+  /// deadlines are answered kDeadlineExceeded at submit() without ever
+  /// occupying a queue slot.
   std::chrono::steady_clock::time_point deadline{};
   bool want_logits = false;
+  /// Admission class: kHigh is sealed first and never shed; kBatch is the
+  /// first to be shed under overload.
+  Priority priority = Priority::kNormal;
 };
 
 struct Response {
@@ -102,8 +180,29 @@ struct Response {
   int real_rows = 0;             // of which were real requests
   double queue_us = 0.0;         // submit → micro-batch sealed
   double batch_form_us = 0.0;    // seal → batch buffers filled
-  double exec_us = 0.0;          // task-graph execution
-  std::string error;             // kFailed diagnostic
+  double exec_us = 0.0;          // task-graph execution (incl. retries)
+  std::string error;             // kFailed / kInternalError diagnostic
+};
+
+/// Counter snapshot + health; the `serve.*` metrics mirror these.
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  // answered kOk
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t failed = 0;           // validation failures
+  std::uint64_t internal_errors = 0;  // answered kInternalError
+  std::uint64_t batches = 0;
+  std::uint64_t padded_rows = 0;
+  std::uint64_t retries = 0;          // whole-batch retry attempts
+  std::uint64_t bisections = 0;       // batch splits isolating a fault
+  std::uint64_t degraded_steps = 0;   // breaker trips down the ladder
+  std::uint64_t recovered_steps = 0;  // successful half-open probes up
+  std::uint64_t watchdog_fires = 0;   // engine-watchdog interventions
+  std::uint64_t executor_rebuilds = 0;  // poisoned-runtime replacements
+  int degrade_level = 0;  // current ladder level (0 = full service)
+  Health health = Health::kHealthy;
 };
 
 class InferenceEngine {
@@ -120,7 +219,7 @@ class InferenceEngine {
   [[nodiscard]] const rnn::NetworkConfig& config() const {
     return net_.config();
   }
-  [[nodiscard]] exec::BParExecutor& executor() { return executor_; }
+  [[nodiscard]] exec::BParExecutor& executor() { return *executor_; }
 
   /// Reads weights saved by Model::save / rnn::Network::save.
   void load_weights(const std::string& path);
@@ -140,17 +239,17 @@ class InferenceEngine {
   /// queued, and joins the dispatcher. Idempotent.
   void shutdown();
 
-  struct Stats {
-    std::uint64_t submitted = 0;
-    std::uint64_t completed = 0;  // answered kOk
-    std::uint64_t rejected = 0;
-    std::uint64_t expired = 0;
-    std::uint64_t failed = 0;
-    std::uint64_t batches = 0;
-    std::uint64_t padded_rows = 0;
-  };
-  [[nodiscard]] Stats stats() const;
+  /// Deprecated spelling kept for callers of stats() from before the
+  /// resilience layer; EngineStats is the real name.
+  using Stats = EngineStats;
+  [[nodiscard]] EngineStats stats() const;
   [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] Health health() const;
+  /// Current degradation-ladder level: 0 = full service; each step disables
+  /// one acceleration (int8, SIMD backend, batching) in order.
+  [[nodiscard]] int degrade_level() const {
+    return degrade_level_.load(std::memory_order_relaxed);
+  }
 
   /// Writes a unified chrome-trace (task slices of the LAST served
   /// micro-batch + every obs span recorded so far) that `bpar_prof
@@ -172,35 +271,96 @@ class InferenceEngine {
     std::uint64_t id = 0;
   };
 
+  /// One rung of the degradation ladder: what is switched OFF at this
+  /// level. Levels are cumulative (level 2 includes level 1's flags).
+  struct DegradeStep {
+    const char* name = "full";
+    bool disable_quantized = false;
+    bool scalar_backend = false;
+    bool batch_one = false;
+  };
+
   void dispatcher_loop();
+  void watchdog_loop();
   /// Serves one sealed micro-batch (dispatcher thread only).
   void process_batch(std::vector<Pending> taken, Clock::time_point sealed);
+  /// Forms + executes a request group with bounded retries; bisects on
+  /// exhaustion. Answers every promise exactly once. Dispatcher thread.
+  void serve_group(std::vector<Pending> live, Clock::time_point sealed,
+                   int depth);
+  /// One execution attempt under the current degradation level; never
+  /// throws. Returns an empty error string on success.
+  std::string try_execute(const rnn::BatchData& batch, bool need_logits,
+                          int steps, int rows, exec::InferResult& result);
+  /// Answers overdue sheddable requests with kShed. Caller holds mu_.
+  void shed_overdue_locked(Clock::time_point now);
+  /// Circuit breaker bookkeeping (dispatcher thread).
+  void note_group_success();
+  void note_group_failure();
+  void apply_degrade_level(int level);
+  /// Replaces a poisoned executor with a fresh one (dispatcher thread).
+  void rebuild_executor();
+  void set_health(Health health);
+  void touch_progress();
   [[nodiscard]] std::string validate(const Request& request) const;
+  [[nodiscard]] std::size_t total_queued_locked() const;
+  [[nodiscard]] std::uint32_t effective_shed_wait_us() const;
+  /// The executor serving at the current degradation level (fp32 sidecar
+  /// when the int8 path has been stepped off). Dispatcher thread.
+  [[nodiscard]] exec::BParExecutor& active_executor();
 
   rnn::Network net_;
   EngineOptions options_;
-  exec::BParExecutor executor_;
+  std::unique_ptr<exec::BParExecutor> executor_;
+  /// fp32 fallback executor, built lazily the first time the ladder steps
+  /// off the int8 path (only ever non-null when options_.quantized).
+  std::unique_ptr<exec::BParExecutor> fp32_executor_;
   Clock::time_point started_;
+  std::string native_backend_;  // kernel backend at construction
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Pending> queue_;  // guarded by mu_
-  bool stopping_ = false;      // guarded by mu_
+  /// Per-class FIFO queues, indexed by Priority; strict priority across
+  /// classes at seal time. All guarded by mu_.
+  std::array<std::deque<Pending>, kNumPriorities> queues_;
+  std::atomic<bool> stopping_{false};  // written under mu_
 
   mutable std::mutex trace_mu_;  // guards the two last-trace fields
   graph::TrainingProgram* last_traced_program_ = nullptr;
   taskrt::RunStats last_traced_stats_;
 
+  // ---- degradation ladder + circuit breaker (dispatcher thread) ----
+  std::vector<DegradeStep> ladder_;  // [0] = full service
+  int consecutive_failures_ = 0;
+  int consecutive_successes_ = 0;
+  std::atomic<int> degrade_level_{0};
+  std::atomic<int> health_{0};  // Health as int, for lock-free reads
+
+  // ---- engine watchdog ----
+  std::atomic<std::uint64_t> last_progress_ns_{0};
+  std::atomic<bool> in_flight_{false};  // dispatcher inside process_batch
+  std::condition_variable watchdog_cv_;  // waits on mu_
+
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> expired_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> internal_errors_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> padded_rows_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> bisections_{0};
+  std::atomic<std::uint64_t> degraded_steps_{0};
+  std::atomic<std::uint64_t> recovered_steps_{0};
+  std::atomic<std::uint64_t> watchdog_fires_{0};
+  std::atomic<std::uint64_t> executor_rebuilds_{0};
 
-  std::thread dispatcher_;  // last member: starts after everything above
+  // Threads last: they start after everything above is initialized.
+  std::thread watchdog_;
+  std::thread dispatcher_;
 };
 
 }  // namespace bpar::serve

@@ -1,13 +1,55 @@
 #include "serve/loadgen.hpp"
 
 #include <chrono>
+#include <cmath>
+#include <deque>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace bpar::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-client tally, merged under one lock at the end of the run.
+struct ClientTally {
+  std::array<std::uint64_t, kNumStatuses> by_status{};
+  std::array<std::vector<double>, kNumStatuses> latency_ms;
+};
+
+void record(ClientTally& tally, Status status, Clock::time_point t0,
+            Clock::time_point t1) {
+  const auto s = static_cast<std::size_t>(status);
+  tally.by_status[s] += 1;
+  tally.latency_ms[s].push_back(
+      std::chrono::duration<double, std::milli>(t1 - t0).count());
+}
+
+struct Outstanding {
+  std::future<Response> future;
+  Clock::time_point t0;
+};
+
+/// Reaps every already-completed future in `pending` without blocking.
+void reap_ready(std::deque<Outstanding>& pending, ClientTally& tally) {
+  for (auto it = pending.begin(); it != pending.end();) {
+    if (it->future.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      const Response response = it->future.get();
+      record(tally, response.status, it->t0, Clock::now());
+      it = pending.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace
 
 Request make_request(const rnn::NetworkConfig& config, int steps,
                      std::uint64_t seed, bool with_labels) {
@@ -34,22 +76,27 @@ LoadgenResult run_load(InferenceEngine& engine,
                        const LoadgenOptions& options) {
   BPAR_CHECK(options.clients >= 1, "need at least one client");
   BPAR_CHECK(!options.seq_lengths.empty(), "need at least one seq length");
-  using Clock = std::chrono::steady_clock;
+  BPAR_CHECK(!options.priorities.empty(), "need at least one priority");
+  BPAR_CHECK(options.rate_rps >= 0.0, "rate_rps must be >= 0");
 
   LoadgenResult result;
-  std::mutex mu;  // guards result aggregation across client threads
+  std::mutex mu;  // guards tally merging across client threads
+  std::array<std::vector<double>, kNumStatuses> all_latency_ms;
+  const double client_rate =
+      options.rate_rps / static_cast<double>(options.clients);
 
   const Clock::time_point start = Clock::now();
   std::vector<std::thread> clients;
   clients.reserve(static_cast<std::size_t>(options.clients));
   for (int c = 0; c < options.clients; ++c) {
     clients.emplace_back([&, c] {
-      std::vector<double> local_ms;
-      local_ms.reserve(static_cast<std::size_t>(options.requests_per_client));
-      std::uint64_t ok = 0;
-      std::uint64_t rejected = 0;
-      std::uint64_t expired = 0;
-      std::uint64_t failed = 0;
+      ClientTally tally;
+      // Independent arrival stream per client, decorrelated from the
+      // feature generator streams.
+      util::Rng arrivals(options.seed ^ 0x9e3779b97f4a7c15ULL);
+      util::Rng stream = arrivals.split(static_cast<std::uint64_t>(c) + 1);
+      std::deque<Outstanding> pending;
+      Clock::time_point next_arrival = Clock::now();
       for (int i = 0; i < options.requests_per_client; ++i) {
         const int steps = options.seq_lengths[static_cast<std::size_t>(i) %
                                               options.seq_lengths.size()];
@@ -58,43 +105,86 @@ LoadgenResult run_load(InferenceEngine& engine,
             options.seed + static_cast<std::uint64_t>(c) * 100003U +
                 static_cast<std::uint64_t>(i),
             options.with_labels);
-        const Clock::time_point t0 = Clock::now();
-        const Response response = engine.infer(std::move(request));
-        const Clock::time_point t1 = Clock::now();
-        switch (response.status) {
-          case Status::kOk:
-            ++ok;
-            local_ms.push_back(
-                std::chrono::duration<double, std::milli>(t1 - t0).count());
-            break;
-          case Status::kRejected:
-            ++rejected;
-            break;
-          case Status::kDeadlineExceeded:
-            ++expired;
-            break;
-          case Status::kShutdown:
-          case Status::kFailed:
-            ++failed;
-            break;
+        request.priority = options.priorities[static_cast<std::size_t>(i) %
+                                              options.priorities.size()];
+        if (options.rate_rps > 0.0) {
+          // Open loop: exponential inter-arrival gap, and while waiting for
+          // the next arrival keep reaping completed responses so latency is
+          // observed within one poll period of delivery.
+          const double gap_s =
+              -std::log(1.0 - stream.uniform()) / client_rate;
+          next_arrival += std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(gap_s));
+          for (;;) {
+            reap_ready(pending, tally);
+            const Clock::time_point now = Clock::now();
+            if (now >= next_arrival) break;
+            std::this_thread::sleep_for(std::min<Clock::duration>(
+                next_arrival - now, std::chrono::microseconds(200)));
+          }
+          if (options.deadline_us > 0) {
+            request.deadline = Clock::now() +
+                               std::chrono::microseconds(options.deadline_us);
+          }
+          const Clock::time_point t0 = Clock::now();
+          pending.push_back(
+              Outstanding{engine.submit(std::move(request)), t0});
+        } else {
+          // Closed loop: block on each response before the next request.
+          if (options.deadline_us > 0) {
+            request.deadline = Clock::now() +
+                               std::chrono::microseconds(options.deadline_us);
+          }
+          const Clock::time_point t0 = Clock::now();
+          const Response response = engine.infer(std::move(request));
+          record(tally, response.status, t0, Clock::now());
+        }
+      }
+      while (!pending.empty()) {
+        reap_ready(pending, tally);
+        if (!pending.empty()) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
         }
       }
       std::lock_guard<std::mutex> lock(mu);
-      result.ok += ok;
-      result.rejected += rejected;
-      result.expired += expired;
-      result.failed += failed;
-      result.latencies_ms.insert(result.latencies_ms.end(), local_ms.begin(),
-                                 local_ms.end());
+      for (int s = 0; s < kNumStatuses; ++s) {
+        const auto idx = static_cast<std::size_t>(s);
+        result.by_status[idx] += tally.by_status[idx];
+        all_latency_ms[idx].insert(all_latency_ms[idx].end(),
+                                   tally.latency_ms[idx].begin(),
+                                   tally.latency_ms[idx].end());
+      }
     });
   }
   for (std::thread& t : clients) t.join();
 
   result.wall_s =
       std::chrono::duration<double>(Clock::now() - start).count();
+  result.ok = result.by_status[static_cast<std::size_t>(Status::kOk)];
+  result.rejected =
+      result.by_status[static_cast<std::size_t>(Status::kRejected)];
+  result.shed = result.by_status[static_cast<std::size_t>(Status::kShed)];
+  result.expired = result.by_status[static_cast<std::size_t>(
+      Status::kDeadlineExceeded)];
+  result.failed =
+      result.by_status[static_cast<std::size_t>(Status::kShutdown)] +
+      result.by_status[static_cast<std::size_t>(Status::kFailed)] +
+      result.by_status[static_cast<std::size_t>(Status::kInternalError)];
+  const std::uint64_t submitted =
+      static_cast<std::uint64_t>(options.clients) *
+      static_cast<std::uint64_t>(options.requests_per_client);
+  result.offered_rps =
+      result.wall_s > 0.0 ? static_cast<double>(submitted) / result.wall_s
+                          : 0.0;
   result.throughput_rps =
       result.wall_s > 0.0 ? static_cast<double>(result.ok) / result.wall_s
                           : 0.0;
+  for (int s = 0; s < kNumStatuses; ++s) {
+    const auto idx = static_cast<std::size_t>(s);
+    result.latency_by_status[idx] = util::percentiles(all_latency_ms[idx]);
+  }
+  result.latencies_ms =
+      std::move(all_latency_ms[static_cast<std::size_t>(Status::kOk)]);
   result.latency_ms = util::percentiles(result.latencies_ms);
   return result;
 }

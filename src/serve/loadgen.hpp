@@ -1,12 +1,27 @@
-// Closed-loop load generator for the inference serving engine.
+// Load generators for the inference serving engine.
 //
-// N client threads each issue requests back-to-back (a new request the
-// moment the previous response lands — the classic closed-loop model), so
-// offered load scales with the client count and the engine's dynamic
-// micro-batcher sees realistic concurrency. Used by tools/bpar_serve, the
-// bench/fig_serving sweep, and the serving tests.
+// Two traffic models (DESIGN.md §5h):
+//
+//   Closed loop (rate_rps == 0): N client threads each issue requests
+//   back-to-back — a new request the moment the previous response lands —
+//   so offered load scales with the client count and self-throttles when
+//   the engine slows down. Good for throughput ceilings, useless for
+//   studying overload (the clients politely back off).
+//
+//   Open loop (rate_rps > 0): each client submits on a Poisson arrival
+//   process at rate_rps/clients and does NOT wait for responses before the
+//   next arrival — outstanding futures are reaped by polling between
+//   arrivals. Offered load is fixed regardless of engine state, which is
+//   the only honest way to exercise load shedding and admission control:
+//   a drowning server keeps receiving requests.
+//
+// Both models record a per-Status latency breakdown (client-observed, from
+// submit to response delivery) so shed/rejected/expired outcomes are
+// visible separately from served ones. Used by tools/bpar_serve, the
+// bench/fig_serving sweeps, and the serving tests.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -16,28 +31,42 @@
 namespace bpar::serve {
 
 struct LoadgenOptions {
-  int clients = 8;               // concurrent closed-loop client threads
+  int clients = 8;               // concurrent client threads
   int requests_per_client = 50;  // requests each client issues
   /// Sequence lengths cycled per client (request i uses
   /// seq_lengths[i % size]); one entry → a single shape bucket.
   std::vector<int> seq_lengths = {20};
   bool with_labels = true;  // attach labels so responses carry losses
   std::uint64_t seed = 1;   // feature/label generator seed
+  /// 0 → closed loop. > 0 → open loop: total offered load in requests/s,
+  /// split evenly across clients as independent Poisson processes.
+  double rate_rps = 0.0;
+  /// Priority classes cycled per request (request i uses
+  /// priorities[i % size]); default all-kNormal.
+  std::vector<Priority> priorities = {Priority::kNormal};
+  /// Per-request relative deadline; 0 → no deadline.
+  std::uint32_t deadline_us = 0;
 };
 
 struct LoadgenResult {
-  util::Percentiles latency_ms;      // per-request client-observed latency
+  util::Percentiles latency_ms;      // kOk client-observed latency
   double wall_s = 0.0;               // whole-run wall time
+  double offered_rps = 0.0;          // submitted / wall_s
   double throughput_rps = 0.0;       // ok_responses / wall_s
   std::uint64_t ok = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
   std::uint64_t expired = 0;
-  std::uint64_t failed = 0;
+  std::uint64_t failed = 0;  // kShutdown + kFailed + kInternalError
+  /// Full per-Status breakdown, indexed by static_cast<int>(Status):
+  /// counts and client-observed latency percentiles per terminal status.
+  std::array<std::uint64_t, kNumStatuses> by_status{};
+  std::array<util::Percentiles, kNumStatuses> latency_by_status{};
   std::vector<double> latencies_ms;  // raw samples (ok responses only)
 };
 
-/// Runs the closed loop against `engine` and gathers latency percentiles.
-/// Thread-safe with respect to the engine; does not shut it down.
+/// Runs the configured traffic model against `engine` and gathers latency
+/// percentiles. Thread-safe w.r.t. the engine; does not shut it down.
 [[nodiscard]] LoadgenResult run_load(InferenceEngine& engine,
                                      const LoadgenOptions& options);
 

@@ -179,6 +179,12 @@ class Runtime {
     return fault_injector_.get();
   }
 
+  /// True once a watchdog failure left the graph undrained (workers may be
+  /// wedged): the next session will BPAR_CHECK-fail. Owners that want to
+  /// keep serving must discard this runtime and build a fresh one — the
+  /// serving engine's rebuild_executor() path. Call between sessions only.
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+
   /// Human-readable scheduler state (deque depths, FIFO cursors, pending
   /// histogram, oldest unfinished task) — what WatchdogError::what()
   /// carries. Callable any time; outside a session it reports that.

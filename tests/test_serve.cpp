@@ -5,14 +5,18 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <future>
+#include <limits>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "exec/sequential.hpp"
 #include "rnn/network.hpp"
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
+#include "taskrt/fault.hpp"
 #include "util/rng.hpp"
 
 namespace bpar {
@@ -42,6 +46,9 @@ EngineOptions quiet_options(int max_batch = 4) {
   options.executor.num_workers = 2;
   options.executor.num_replicas = 2;
   options.max_batch = max_batch;
+  // Sanitizer runs are 10-20x slower than real time; keep the queue-delay
+  // shed valve out of play unless a test dials it in explicitly.
+  options.shed_wait_us = 10'000'000;
   return options;
 }
 
@@ -325,14 +332,242 @@ TEST(ServeConcurrency, ManyClientsNoLostResponses) {
       static_cast<std::uint64_t>(load.clients) *
       static_cast<std::uint64_t>(load.requests_per_client);
   EXPECT_EQ(stats.submitted, total);
-  EXPECT_EQ(result.ok + result.rejected + result.expired + result.failed,
+  EXPECT_EQ(result.ok + result.rejected + result.shed + result.expired +
+                result.failed,
             total);
-  EXPECT_EQ(stats.completed + stats.rejected + stats.expired + stats.failed,
+  EXPECT_EQ(stats.completed + stats.rejected + stats.shed + stats.expired +
+                stats.failed + stats.internal_errors,
             total);
   EXPECT_EQ(result.ok, stats.completed);
   EXPECT_EQ(result.failed, 0U);
   EXPECT_GT(result.ok, 0U);
   EXPECT_EQ(engine.queue_depth(), 0U);
+}
+
+// ---- resilience layer (DESIGN.md §5h) ----
+
+using serve::Priority;
+
+// Satellite regression: an already-expired deadline must be answered at
+// submit() — immediately, and WITHOUT occupying a bounded-queue slot.
+TEST(ServeAdmission, ExpiredDeadlineAnsweredAtSubmitWithoutSlot) {
+  const auto cfg = small_config();
+  EngineOptions options = quiet_options(/*max_batch=*/4);
+  options.max_delay_us = 50000;  // dispatcher sits on the open batch
+  options.max_queue = 1;         // a single slot, taken by the live request
+  InferenceEngine engine(cfg, options);
+
+  Request expired = serve::make_request(cfg, cfg.seq_length, 2, true);
+  expired.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  auto f = engine.submit(std::move(expired));
+  // Answered synchronously — the dispatcher never sees it.
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f.get().status, Status::kDeadlineExceeded);
+  // The single queue slot is still free: a live request submitted right
+  // after is admitted instead of bouncing off a dead occupant.
+  auto live = engine.submit(serve::make_request(cfg, cfg.seq_length, 1, true));
+  engine.shutdown();  // seals the open batch
+  EXPECT_EQ(live.get().status, Status::kOk);
+  EXPECT_EQ(engine.stats().expired, 1U);
+  EXPECT_EQ(engine.stats().rejected, 0U);
+}
+
+TEST(ServeAdmission, ClassQuotaRejectsWithoutFillingSharedQueue) {
+  const auto cfg = small_config();
+  EngineOptions options = quiet_options(/*max_batch=*/8);
+  options.max_delay_us = 10'000'000;  // queued requests stay queued
+  options.max_queue = 8;
+  options.class_quota[static_cast<int>(Priority::kBatch)] = 1;
+  InferenceEngine engine(cfg, options);
+
+  Request b1 = serve::make_request(cfg, cfg.seq_length, 1, true);
+  b1.priority = Priority::kBatch;
+  Request b2 = serve::make_request(cfg, cfg.seq_length, 2, true);
+  b2.priority = Priority::kBatch;
+  auto f1 = engine.submit(std::move(b1));
+  auto f2 = engine.submit(std::move(b2));
+  // Second kBatch submission bounced off the class quota...
+  ASSERT_EQ(f2.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f2.get().status, Status::kRejected);
+  // ...while the shared queue still admits other classes.
+  auto f3 = engine.submit(serve::make_request(cfg, cfg.seq_length, 3, true));
+  engine.shutdown();  // drains the open batch
+  EXPECT_EQ(f1.get().status, Status::kOk);
+  EXPECT_EQ(f3.get().status, Status::kOk);
+  EXPECT_EQ(engine.stats().rejected, 1U);
+}
+
+// Delay-inject every task so one in-flight batch reliably blocks the
+// dispatcher long enough for later submissions to pile up in the queues.
+EngineOptions slow_options(int max_batch) {
+  EngineOptions options = quiet_options(max_batch);
+  options.executor.faults =
+      taskrt::FaultSpec::parse("seed=1,delay=1,delay_us=500");
+  options.max_delay_us = 500;
+  options.shed_wait_us = 10'000'000;  // tests that want shedding dial it in
+  return options;
+}
+
+TEST(ServePriority, HighClassServedBeforeBatchClass) {
+  const auto cfg = small_config();
+  EngineOptions options = slow_options(/*max_batch=*/1);  // no coalescing
+  InferenceEngine engine(cfg, options);
+
+  // Blocker seals alone; kBatch then kHigh queue up behind it.
+  auto blocker =
+      engine.submit(serve::make_request(cfg, cfg.seq_length, 1, true));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  Request low = serve::make_request(cfg, cfg.seq_length, 2, true);
+  low.priority = Priority::kBatch;
+  Request high = serve::make_request(cfg, cfg.seq_length, 3, true);
+  high.priority = Priority::kHigh;
+  auto f_low = engine.submit(std::move(low));
+  auto f_high = engine.submit(std::move(high));
+
+  EXPECT_EQ(f_low.get().status, Status::kOk);
+  // Strict priority: by the time the kBatch request is answered, the
+  // LATER-submitted kHigh one must already have its response.
+  ASSERT_EQ(f_high.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(f_high.get().status, Status::kOk);
+  EXPECT_EQ(blocker.get().status, Status::kOk);
+}
+
+TEST(ServeShedding, OverdueLowClassesShedHighNever) {
+  const auto cfg = small_config();
+  EngineOptions options = slow_options(/*max_batch=*/2);
+  options.shed_wait_us = 1000;  // 1ms — the blocker takes far longer
+  InferenceEngine engine(cfg, options);
+
+  auto blocker =
+      engine.submit(serve::make_request(cfg, cfg.seq_length, 1, true));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  std::vector<std::future<Response>> lows;
+  for (std::uint64_t seed = 2; seed <= 6; ++seed) {
+    Request r = serve::make_request(cfg, cfg.seq_length, seed, true);
+    r.priority = Priority::kBatch;
+    lows.push_back(engine.submit(std::move(r)));
+  }
+  Request high = serve::make_request(cfg, cfg.seq_length, 7, true);
+  high.priority = Priority::kHigh;
+  auto f_high = engine.submit(std::move(high));
+
+  // Backlog at the shed check: 6 > max_batch. Sheds kBatch (oldest first)
+  // until the backlog fits one micro-batch again — 4 shed, and never kHigh.
+  EXPECT_EQ(f_high.get().status, Status::kOk);
+  int shed = 0;
+  int ok = 0;
+  for (auto& f : lows) {
+    const Status s = f.get().status;
+    shed += s == Status::kShed ? 1 : 0;
+    ok += s == Status::kOk ? 1 : 0;
+  }
+  EXPECT_EQ(blocker.get().status, Status::kOk);
+  EXPECT_EQ(shed, 4);
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(engine.stats().shed, 4U);
+}
+
+// A request whose features are NaN poisons its whole micro-batch (the
+// batch-mean loss goes NaN → the finite() guard fails). Retries cannot
+// clear it, so bisection must isolate it: the poisoned request alone is
+// answered kInternalError, and every batchmate succeeds bit-exactly (rows
+// are computed independently, so results do not depend on batch shape).
+TEST(ServeRecovery, BisectionIsolatesPoisonedRequestBitExactly) {
+  const auto cfg = small_config();
+  EngineOptions options = quiet_options(/*max_batch=*/4);
+  options.max_delay_us = 50000;  // let all four coalesce
+  options.max_batch_retries = 1;
+  options.breaker_threshold = 0;  // breaker tested separately
+  InferenceEngine engine(cfg, options);
+
+  std::vector<Request> good;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Request r = serve::make_request(cfg, cfg.seq_length, seed, true);
+    r.want_logits = true;
+    good.push_back(std::move(r));
+  }
+  Request poison = serve::make_request(cfg, cfg.seq_length, 9, true);
+  poison.features[3] = std::numeric_limits<float>::quiet_NaN();
+
+  std::vector<std::future<Response>> futures;
+  for (const Request& r : good) futures.push_back(engine.submit(r));
+  auto f_poison = engine.submit(std::move(poison));
+
+  const Response bad = f_poison.get();
+  EXPECT_EQ(bad.status, Status::kInternalError);
+  EXPECT_FALSE(bad.error.empty());
+  std::vector<Response> served;
+  for (auto& f : futures) {
+    served.push_back(f.get());
+    ASSERT_EQ(served.back().status, Status::kOk);
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.internal_errors, 1U);
+  // 4-row group fails, splits [2|2]; the poisoned pair splits again [1|1].
+  EXPECT_EQ(stats.bisections, 2U);
+  EXPECT_EQ(stats.retries, 3U);  // 1 retry per failing group
+  EXPECT_EQ(engine.degrade_level(), 0);
+
+  // Bit-parity: the survivors' results match a solo re-run exactly.
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    const Response solo = engine.infer(good[i]);
+    ASSERT_EQ(solo.status, Status::kOk);
+    EXPECT_EQ(served[i].predictions, solo.predictions);
+    EXPECT_EQ(served[i].logits, solo.logits);  // float-exact
+    EXPECT_EQ(served[i].loss, solo.loss);
+  }
+}
+
+TEST(ServeBreaker, DegradesAfterFailuresAndProbesBackUp) {
+  const auto cfg = small_config();
+  EngineOptions options = quiet_options(/*max_batch=*/4);
+  options.max_batch_retries = 0;
+  options.breaker_threshold = 2;
+  options.breaker_recovery = 1;
+  InferenceEngine engine(cfg, options);
+
+  const auto poisoned_request = [&](std::uint64_t seed) {
+    Request r = serve::make_request(cfg, cfg.seq_length, seed, true);
+    r.features[0] = std::numeric_limits<float>::quiet_NaN();
+    return r;
+  };
+  // Two consecutive failed singleton batches trip the breaker one rung
+  // down the ladder (this fp32 engine's ladder always ends in batch-1, so
+  // it has at least two rungs on every architecture).
+  EXPECT_EQ(engine.infer(poisoned_request(1)).status, Status::kInternalError);
+  EXPECT_EQ(engine.infer(poisoned_request(2)).status, Status::kInternalError);
+  EXPECT_EQ(engine.degrade_level(), 1);
+  EXPECT_EQ(engine.health(), serve::Health::kDegraded);
+  EXPECT_EQ(engine.stats().degraded_steps, 1U);
+
+  // One clean batch at the degraded level completes the half-open probe
+  // and restores full service.
+  EXPECT_EQ(engine.infer(serve::make_request(cfg, cfg.seq_length, 3, true))
+                .status,
+            Status::kOk);
+  EXPECT_EQ(engine.degrade_level(), 0);
+  EXPECT_EQ(engine.health(), serve::Health::kHealthy);
+  EXPECT_EQ(engine.stats().recovered_steps, 1U);
+}
+
+// Engine watchdog: a pinned injected stall (fires every session) blocks the
+// batch indefinitely with the RUNTIME watchdog off — the engine watchdog
+// must detect the stuck dispatcher, release the stall, and let the request
+// complete normally instead of hanging.
+TEST(ServeWatchdog, ReleasesInjectedStallAndCompletes) {
+  const auto cfg = small_config();
+  EngineOptions options = quiet_options(/*max_batch=*/2);
+  options.executor.faults = taskrt::FaultSpec::parse("stall_tasks=5");
+  options.watchdog_ms = 100;
+  InferenceEngine engine(cfg, options);
+
+  const Response r =
+      engine.infer(serve::make_request(cfg, cfg.seq_length, 1, true));
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_GE(engine.stats().watchdog_fires, 1U);
+  EXPECT_EQ(engine.stats().internal_errors, 0U);
 }
 
 }  // namespace

@@ -1,15 +1,21 @@
-// bpar_serve — multi-threaded closed-loop load generator for the inference
-// serving engine (src/serve). Spins up an InferenceEngine, drives it with N
-// client threads, and reports client-observed latency percentiles,
-// throughput, and the engine's batching/backpressure counters.
+// bpar_serve — load generator for the inference serving engine (src/serve).
+// Spins up an InferenceEngine, drives it with N client threads — closed
+// loop by default, open loop (fixed-rate Poisson arrivals) with --rate —
+// and reports client-observed latency percentiles, throughput, the
+// per-Status outcome breakdown, and the engine's batching/resilience
+// counters.
 //
 //   ./bpar_serve --clients 8 --requests 50 --max-batch 8 --max-delay-us 500
 //   ./bpar_serve --compare            # cached program replay vs rebuild
 //   ./bpar_serve --no-batching        # batch-1 latency mode
+//   ./bpar_serve --rate 2000 --priorities high,normal,batch
+//                --shed-wait-us 4000  # open-loop overload + shedding
+//   ./bpar_serve --faults 'seed=7,throw=0.02,stall=0.002'
+//                --watchdog-ms 200 --rate 500   # chaos serving
 //
 // With --trace/--metrics the run emits obs telemetry that `bpar_prof
 // analyze` consumes unchanged (serve.queue_us / serve.batch_form_us /
-// serve.exec_us histograms, throughput gauges, dispatcher spans).
+// serve.exec_us histograms, shed/retry counters, dispatcher spans).
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -19,37 +25,46 @@
 #include "obs/session.hpp"
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
+#include "taskrt/fault.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-std::vector<int> parse_seq_list(const std::string& text) {
-  std::vector<int> out;
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
   std::size_t pos = 0;
   while (pos < text.size()) {
     const std::size_t comma = text.find(',', pos);
     const std::string item = text.substr(
         pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    if (!item.empty()) out.push_back(std::stoi(item));
+    if (!item.empty()) out.push_back(item);
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
   return out;
 }
 
+std::vector<int> parse_seq_list(const std::string& text) {
+  std::vector<int> out;
+  for (const std::string& item : split_list(text)) {
+    out.push_back(std::stoi(item));
+  }
+  return out;
+}
+
 struct RunOutcome {
   bpar::serve::LoadgenResult load;
-  bpar::serve::InferenceEngine::Stats stats;
+  bpar::serve::EngineStats stats;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bpar::util::ArgParser args("bpar_serve",
-                             "closed-loop serving load generator");
+  bpar::util::ArgParser args("bpar_serve", "serving load generator");
   bpar::obs::add_cli_flags(args);
-  args.add_int("clients", 8, "concurrent closed-loop client threads");
+  args.add_int("clients", 8, "concurrent client threads");
   args.add_int("requests", 50, "requests per client");
   args.add_int("workers", 4, "executor worker threads");
   args.add_int("replicas", 4, "executor replicas (clamped to batch rows)");
@@ -73,6 +88,24 @@ int main(int argc, char** argv) {
                   "(default: auto-detect, or $BPAR_KERNEL_BACKEND)");
   args.add_flag("quantized",
                 "serve with int8 quantized weights (DESIGN.md 5g)");
+  args.add_int("rate", 0,
+               "open-loop offered load in requests/s, Poisson arrivals "
+               "(0 = closed loop)");
+  args.add_string("priorities", "normal",
+                  "comma-separated priority cycle: high|normal|batch");
+  args.add_int("deadline-us", 0, "per-request relative deadline (0 = none)");
+  args.add_string("faults", "",
+                  "deterministic fault injection spec for the executor "
+                  "runtime, e.g. 'seed=7,throw=0.02,stall=0.002'");
+  args.add_int("watchdog-ms", 0,
+               "engine watchdog: release injected stalls after this long "
+               "without dispatcher progress (0 = off)");
+  args.add_int("shed-wait-us", 0,
+               "load-shed queue-delay threshold (0 = 16 * max-delay-us)");
+  args.add_int("max-retries", 2, "whole-batch retries before bisection");
+  args.add_int("breaker", 3,
+               "consecutive failed batches before a degradation step "
+               "(0 = breaker off)");
   if (!args.parse(argc, argv)) return 1;
   bpar::obs::ObsSession session("bpar_serve", args,
                                 bpar::obs::ReportMode::kJson);
@@ -115,6 +148,21 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("queue"));
   engine_options.enable_batching = !args.flag("no-batching");
   engine_options.quantized = args.flag("quantized");
+  engine_options.shed_wait_us =
+      static_cast<std::uint32_t>(args.get_int("shed-wait-us"));
+  engine_options.max_batch_retries =
+      static_cast<int>(args.get_int("max-retries"));
+  engine_options.breaker_threshold =
+      static_cast<int>(args.get_int("breaker"));
+  engine_options.watchdog_ms =
+      static_cast<std::uint32_t>(args.get_int("watchdog-ms"));
+  try {
+    engine_options.executor.faults =
+        bpar::taskrt::FaultSpec::parse(args.get_string("faults"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bpar_serve: bad --faults: %s\n", e.what());
+    return 1;
+  }
 
   bpar::serve::LoadgenOptions load_options;
   load_options.clients = static_cast<int>(args.get_int("clients"));
@@ -123,6 +171,21 @@ int main(int argc, char** argv) {
   load_options.seq_lengths = seq_lengths;
   load_options.with_labels = !args.flag("no-labels");
   load_options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  load_options.rate_rps = static_cast<double>(args.get_int("rate"));
+  load_options.deadline_us =
+      static_cast<std::uint32_t>(args.get_int("deadline-us"));
+  load_options.priorities.clear();
+  try {
+    for (const std::string& name : split_list(args.get_string("priorities"))) {
+      load_options.priorities.push_back(bpar::serve::parse_priority(name));
+    }
+  } catch (const bpar::util::Error& e) {
+    std::fprintf(stderr, "bpar_serve: bad --priorities: %s\n", e.what());
+    return 1;
+  }
+  if (load_options.priorities.empty()) {
+    load_options.priorities = {bpar::serve::Priority::kNormal};
+  }
 
   // With --trace, the cached-mode engine records per-task timing and is
   // kept alive past session.finish() so its unified (task slices + obs
@@ -153,33 +216,76 @@ int main(int argc, char** argv) {
     modes = {{rebuild ? "rebuild" : "cached", rebuild}};
   }
 
-  std::printf("bpar_serve: %d clients x %d requests, max_batch=%d, "
-              "max_delay=%ldus, batching=%s, backend=%s, weights=%s\n\n",
+  const std::string traffic =
+      load_options.rate_rps > 0.0
+          ? "open loop @ " + std::to_string(args.get_int("rate")) + " rps"
+          : std::string("closed loop");
+  std::printf("bpar_serve: %d clients x %d requests (%s), max_batch=%d, "
+              "max_delay=%ldus, batching=%s, backend=%s, weights=%s, "
+              "faults=%s\n\n",
               load_options.clients, load_options.requests_per_client,
+              traffic.c_str(),
               engine_options.max_batch,
               static_cast<long>(engine_options.max_delay_us),
               engine_options.enable_batching ? "on" : "off",
               bpar::kernels::active_backend_name(),
-              engine_options.quantized ? "int8" : "fp32");
+              engine_options.quantized ? "int8" : "fp32",
+              engine_options.executor.faults.enabled() ? "on" : "off");
 
-  bpar::util::Table table({"mode", "throughput rps", "p50 ms", "p95 ms",
-                           "p99 ms", "mean ms", "ok", "rejected", "expired",
-                           "failed", "batches", "padded rows"});
+  bpar::util::Table table({"mode", "offered rps", "throughput rps", "p50 ms",
+                           "p95 ms", "p99 ms", "mean ms", "ok", "rejected",
+                           "shed", "expired", "failed", "batches",
+                           "padded rows"});
+  bpar::util::Table status_table(
+      {"mode", "status", "count", "p50 ms", "p95 ms", "p99 ms"});
+  bpar::util::Table resilience_table(
+      {"mode", "retries", "bisections", "internal errors", "degraded",
+       "recovered", "degrade level", "watchdog fires", "rebuilds",
+       "health"});
   for (const auto& [name, rebuild] : modes) {
     const RunOutcome outcome = run_one(rebuild);
     const auto& p = outcome.load.latency_ms;
-    table.add_row({name, bpar::util::fmt(outcome.load.throughput_rps, 1),
+    table.add_row({name, bpar::util::fmt(outcome.load.offered_rps, 1),
+                   bpar::util::fmt(outcome.load.throughput_rps, 1),
                    bpar::util::fmt(p.p50, 3), bpar::util::fmt(p.p95, 3),
                    bpar::util::fmt(p.p99, 3), bpar::util::fmt(p.mean, 3),
                    std::to_string(outcome.load.ok),
                    std::to_string(outcome.load.rejected),
+                   std::to_string(outcome.load.shed),
                    std::to_string(outcome.load.expired),
                    std::to_string(outcome.load.failed),
                    std::to_string(outcome.stats.batches),
                    std::to_string(outcome.stats.padded_rows)});
+    for (int s = 0; s < bpar::serve::kNumStatuses; ++s) {
+      const auto idx = static_cast<std::size_t>(s);
+      if (outcome.load.by_status[idx] == 0) continue;
+      const auto& sp = outcome.load.latency_by_status[idx];
+      status_table.add_row(
+          {name,
+           bpar::serve::status_name(static_cast<bpar::serve::Status>(s)),
+           std::to_string(outcome.load.by_status[idx]),
+           bpar::util::fmt(sp.p50, 3), bpar::util::fmt(sp.p95, 3),
+           bpar::util::fmt(sp.p99, 3)});
+    }
+    resilience_table.add_row(
+        {name, std::to_string(outcome.stats.retries),
+         std::to_string(outcome.stats.bisections),
+         std::to_string(outcome.stats.internal_errors),
+         std::to_string(outcome.stats.degraded_steps),
+         std::to_string(outcome.stats.recovered_steps),
+         std::to_string(outcome.stats.degrade_level),
+         std::to_string(outcome.stats.watchdog_fires),
+         std::to_string(outcome.stats.executor_rebuilds),
+         bpar::serve::health_name(outcome.stats.health)});
   }
   table.print("serving load test");
+  status_table.print("per-status outcomes");
+  resilience_table.print("resilience counters");
   session.report().add_table("serving", table.header(), table.data());
+  session.report().add_table("serving_status", status_table.header(),
+                             status_table.data());
+  session.report().add_table("serving_resilience", resilience_table.header(),
+                             resilience_table.data());
   session.finish();
   if (traced_engine != nullptr) {
     traced_engine->write_unified_trace(trace_path);
