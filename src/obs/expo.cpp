@@ -1,0 +1,80 @@
+#include "obs/expo.hpp"
+
+#include <cctype>
+
+#include "obs/json.hpp"
+
+namespace bpar::obs {
+
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void append_line(std::string& out, const std::string& name,
+                 std::string_view suffix, std::string_view labels,
+                 double value) {
+  out += name;
+  out += suffix;
+  out += labels;
+  out += ' ';
+  out += json_number(value);
+  out += '\n';
+}
+
+void append_header(std::string& out, const std::string& name,
+                   std::string_view suffix, std::string_view type) {
+  out += "# TYPE ";
+  out += name;
+  out += suffix;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "bpar_";
+  for (const char c : name) {
+    out += valid_name_char(c) ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_text(const Registry::Snapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : snap.counters) {
+    const std::string pname = prometheus_name(name);
+    append_header(out, pname, "_total", "counter");
+    append_line(out, pname, "_total", "", static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string pname = prometheus_name(name);
+    append_header(out, pname, "", "gauge");
+    append_line(out, pname, "", "", value);
+  }
+  for (const auto& [name, histo] : snap.histograms) {
+    if (histo.weights.size() != histo.edges.size() + 1) continue;
+    const std::string pname = prometheus_name(name);
+    append_header(out, pname, "", "histogram");
+    double cumulative = 0.0;
+    // Registry bin i is [edges[i-1], edges[i]), so the cumulative weight
+    // through bin i is exactly the `le = edges[i]` bucket.
+    for (std::size_t i = 0; i < histo.edges.size(); ++i) {
+      cumulative += histo.weights[i];
+      append_line(out, pname, "_bucket",
+                  "{le=\"" + json_number(histo.edges[i]) + "\"}", cumulative);
+    }
+    cumulative += histo.weights.back();
+    append_line(out, pname, "_bucket", "{le=\"+Inf\"}", cumulative);
+    append_line(out, pname, "_sum", "", histo.mean * histo.total);
+    append_line(out, pname, "_count", "", histo.total);
+  }
+  return out;
+}
+
+}  // namespace bpar::obs

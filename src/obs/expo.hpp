@@ -1,0 +1,30 @@
+// Prometheus text exposition of a Registry snapshot (DESIGN.md §5i).
+//
+// Renders counters, gauges, and histograms in the Prometheus text format
+// (version 0.0.4) so a running bpar_serve can be scraped by any standard
+// collector. Series are skipped — they are a pull-the-whole-window shape
+// that Prometheus models poorly; /statz carries them instead.
+//
+// Naming: metric names are sanitized to [a-zA-Z0-9_:] and prefixed with
+// "bpar_" ("serve.queue_us" -> "bpar_serve_queue_us"); counters get the
+// conventional "_total" suffix. Histograms emit cumulative `le` buckets
+// over the cell's inner edges plus "+Inf", with _sum recovered from the
+// tracked mean (mean * count) and _count = total weight.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace bpar::obs {
+
+/// Sanitized exposition name: invalid chars -> '_', "bpar_" prefix, a
+/// leading digit guarded with '_'. Does NOT add the counter "_total"
+/// suffix — prometheus_text() appends that per metric kind.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// The full scrape payload for one snapshot (text/plain; version=0.0.4).
+[[nodiscard]] std::string prometheus_text(const Registry::Snapshot& snap);
+
+}  // namespace bpar::obs

@@ -35,25 +35,34 @@ double Histogram::mean() const {
   return total_ == 0.0 ? 0.0 : weighted_sum_ / total_;
 }
 
-double Histogram::quantile(double q) const {
+double quantile_from_bins(const std::vector<double>& edges,
+                          const std::vector<double>& weights, double q) {
   BPAR_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
-  if (total_ == 0.0) return 0.0;
-  const double target = q * total_;
+  BPAR_CHECK(weights.size() == edges.size() + 1,
+             "bin weights must be edges + 1");
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  if (total == 0.0) return 0.0;
+  const double target = q * total;
   double cumulative = 0.0;
-  for (std::size_t bin = 0; bin < weights_.size(); ++bin) {
-    if (cumulative + weights_[bin] < target) {
-      cumulative += weights_[bin];
+  for (std::size_t bin = 0; bin < weights.size(); ++bin) {
+    if (cumulative + weights[bin] < target) {
+      cumulative += weights[bin];
       continue;
     }
     // Bin bounds: the outer bins are open-ended, clamp to the finite edge.
-    const double lo = bin == 0 ? edges_.front() : edges_[bin - 1];
-    const double hi = bin == weights_.size() - 1 ? edges_.back() : edges_[bin];
-    if (weights_[bin] == 0.0) return lo;
+    const double lo = bin == 0 ? edges.front() : edges[bin - 1];
+    const double hi = bin == weights.size() - 1 ? edges.back() : edges[bin];
+    if (weights[bin] == 0.0) return lo;
     const double frac =
-        std::clamp((target - cumulative) / weights_[bin], 0.0, 1.0);
+        std::clamp((target - cumulative) / weights[bin], 0.0, 1.0);
     return lo + frac * (hi - lo);
   }
-  return edges_.back();
+  return edges.back();
+}
+
+double Histogram::quantile(double q) const {
+  return quantile_from_bins(edges_, weights_, q);
 }
 
 std::string Histogram::bin_label(std::size_t bin, int digits) const {

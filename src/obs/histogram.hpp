@@ -8,6 +8,16 @@
 
 namespace bpar::obs {
 
+/// Estimated q-quantile from binned weights over `edges` (the Histogram
+/// binning convention: bin 0 is (-inf, edges[0]), bin i is
+/// [edges[i-1], edges[i]), the last bin is [edges.back(), inf)), linearly
+/// interpolated within the containing bin with the open-ended outer bins
+/// clamped to their finite edge. Shared by Histogram::quantile and the
+/// MetricsSampler's windowed (delta-weight) rollups.
+[[nodiscard]] double quantile_from_bins(const std::vector<double>& edges,
+                                        const std::vector<double>& weights,
+                                        double q);
+
 class Histogram {
  public:
   /// `edges` are ascending inner bin boundaries; values below edges.front()
@@ -31,6 +41,8 @@ class Histogram {
   [[nodiscard]] double quantile(double q) const;
   /// Human-readable bin label, e.g. "1.5-2.0" or ">=30".
   [[nodiscard]] std::string bin_label(std::size_t bin, int digits = 1) const;
+  /// The inner bin boundaries this histogram was built with.
+  [[nodiscard]] const std::vector<double>& edges() const { return edges_; }
 
  private:
   std::vector<double> edges_;

@@ -7,12 +7,29 @@ namespace bpar::obs {
 void Series::append(double v) {
   const std::lock_guard<std::mutex> lock(mu_);
   ++appends_;
-  if (values_.size() < kMaxValues) values_.push_back(v);
+  if (ring_capacity_ > 0) {
+    // Ring mode: drop the oldest so the window always tracks "now".
+    while (values_.size() >= ring_capacity_) values_.pop_front();
+    values_.push_back(v);
+  } else if (values_.size() < kMaxValues) {
+    values_.push_back(v);
+  }
 }
 
 std::vector<double> Series::values() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return values_;
+  return {values_.begin(), values_.end()};
+}
+
+void Series::set_ring_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = capacity == 0 ? 1 : capacity;
+  while (values_.size() > ring_capacity_) values_.pop_front();
+}
+
+std::size_t Series::ring_capacity() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return ring_capacity_;
 }
 
 std::size_t Series::total_appends() const {
@@ -64,6 +81,12 @@ Series& Registry::series(std::string_view name) {
   return series_.try_emplace(std::string(name)).first->second;
 }
 
+Series& Registry::ring_series(std::string_view name, std::size_t capacity) {
+  Series& s = series(name);
+  s.set_ring_capacity(capacity);
+  return s;
+}
+
 HistogramCell& Registry::histogram(std::string_view name,
                                    std::vector<double> edges) {
   const std::lock_guard<std::mutex> lock(mu_);
@@ -71,17 +94,20 @@ HistogramCell& Registry::histogram(std::string_view name,
       .first->second;
 }
 
-Registry::Snapshot Registry::snapshot() const {
+Registry::Snapshot Registry::snapshot(bool include_series) const {
   const std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
-  for (const auto& [name, s] : series_) snap.series[name] = s.values();
+  if (include_series) {
+    for (const auto& [name, s] : series_) snap.series[name] = s.values();
+  }
   for (const auto& [name, h] : histograms_) {
     const Histogram histo = h.snapshot();
     HistoSnapshot hs;
     hs.mean = histo.mean();
     hs.total = histo.total_weight();
+    hs.edges = histo.edges();
     for (std::size_t b = 0; b < histo.bins(); ++b) {
       hs.labels.push_back(histo.bin_label(b));
       hs.weights.push_back(histo.bin_weight(b));

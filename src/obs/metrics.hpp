@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
@@ -49,9 +50,14 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
-/// Append-only numeric series (per-epoch loss, grad norms). Capped: once
-/// kMaxValues entries exist, further appends are counted but dropped, so an
-/// unbounded training loop cannot grow the registry without limit.
+/// Numeric series (per-epoch loss, grad norms, sampler time series). Two
+/// retention modes:
+///  * append-only (default): once kMaxValues entries exist further appends
+///    are counted but dropped, so an unbounded training loop cannot grow
+///    the registry without limit — the OLDEST values are what you keep;
+///  * ring (set_ring_capacity): a bounded drop-oldest window, so a
+///    long-running sampler always holds the most RECENT values and never
+///    silently stops recording.
 class Series {
  public:
   static constexpr std::size_t kMaxValues = 65536;
@@ -61,10 +67,18 @@ class Series {
   [[nodiscard]] std::size_t total_appends() const;
   void clear();
 
+  /// Switches the series to drop-oldest ring retention with the given
+  /// capacity (>= 1). Existing values beyond the capacity are trimmed from
+  /// the front. Idempotent; a later call may resize the window.
+  void set_ring_capacity(std::size_t capacity);
+  /// 0 = append-only mode.
+  [[nodiscard]] std::size_t ring_capacity() const;
+
  private:
   mutable std::mutex mu_;
-  std::vector<double> values_;
+  std::deque<double> values_;
   std::size_t appends_ = 0;
+  std::size_t ring_capacity_ = 0;  // 0 = append-only (cap kMaxValues)
 };
 
 /// Thread-safe wrapper over the weighted obs::Histogram.
@@ -89,11 +103,15 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Series& series(std::string_view name);
+  /// series() + set_ring_capacity(capacity): a bounded drop-oldest time
+  /// series (what the MetricsSampler publishes rollups into).
+  Series& ring_series(std::string_view name, std::size_t capacity);
   /// `edges` applies on first creation only (later calls reuse the cell).
   HistogramCell& histogram(std::string_view name, std::vector<double> edges);
 
   struct HistoSnapshot {
     std::vector<std::string> labels;
+    std::vector<double> edges;  // inner bin boundaries (bins = edges + 1)
     std::vector<double> weights;
     double mean = 0.0;
     double total = 0.0;
@@ -104,7 +122,9 @@ class Registry {
     std::map<std::string, std::vector<double>> series;
     std::map<std::string, HistoSnapshot> histograms;
   };
-  [[nodiscard]] Snapshot snapshot() const;
+  /// `include_series = false` skips the (potentially large) series values —
+  /// the periodic MetricsSampler and the /metrics endpoint use that form.
+  [[nodiscard]] Snapshot snapshot(bool include_series = true) const;
 
   /// One-line "name=value" rendering of counters and gauges whose names
   /// start with `prefix` — for human-readable state dumps (watchdog).

@@ -1,0 +1,79 @@
+// Minimal embedded HTTP endpoint for live observability (DESIGN.md §5i).
+//
+// A StatsServer is a deliberately tiny blocking HTTP/1.1 GET server: one
+// accept-loop thread, one connection served at a time, Connection: close.
+// That is the right shape for a metrics endpoint — scrapes are rare
+// (seconds apart), payloads are small, and keeping the server off the
+// serving engine's thread pool means a slow scraper can never steal an
+// executor worker. Handlers are registered per path ("/metrics",
+// "/statz", "/healthz"); anything else is 404, non-GET methods are 405,
+// and a throwing handler maps to 500 instead of taking the process down.
+//
+// Port 0 binds an ephemeral port (port() reports the real one), which is
+// what tests and same-host tooling use.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace bpar::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class StatsServer {
+ public:
+  using Handler = std::function<HttpResponse()>;
+
+  StatsServer() = default;
+  ~StatsServer();  // stop()
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Registers `handler` for exact-match GET `path` (query strings are
+  /// stripped before matching). Must be called before start().
+  void handle(std::string path, Handler handler);
+
+  /// Binds 0.0.0.0:`port` (0 = ephemeral) and spawns the accept loop.
+  /// Returns false (with no thread running) when the bind/listen fails,
+  /// e.g. the port is taken — callers degrade to serving without stats.
+  [[nodiscard]] bool start(std::uint16_t port);
+  /// Unblocks accept() and joins the thread (idempotent).
+  void stop();
+
+  /// The bound port after a successful start(), else -1.
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] bool running() const { return listen_fd_ >= 0; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  std::map<std::string, Handler, std::less<>> handlers_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread thread_;
+};
+
+struct HttpResult {
+  bool ok = false;  // transport-level success (status may still be >= 400)
+  int status = 0;
+  std::string body;
+  std::string error;
+};
+
+/// Tiny blocking HTTP/1.1 GET client for same-host polling (bpar_top, the
+/// CI smoke test). `host` is a numeric IPv4 address or "localhost".
+[[nodiscard]] HttpResult http_get(std::string_view host, std::uint16_t port,
+                                  std::string_view path,
+                                  int timeout_ms = 2000);
+
+}  // namespace bpar::obs

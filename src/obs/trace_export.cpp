@@ -84,6 +84,16 @@ void ChromeTraceWriter::instant(std::string_view name, std::uint64_t ts_ns,
       << ", \"pid\": " << pid << ", \"tid\": " << tid << "}";
 }
 
+void ChromeTraceWriter::instant_args(std::string_view name,
+                                     std::uint64_t ts_ns, int pid, int tid,
+                                     std::string_view args_json) {
+  begin_event();
+  os_ << "{\"name\": " << json_quote(name)
+      << ", \"ph\": \"i\", \"s\": \"t\", \"ts\": " << json_number(us(ts_ns))
+      << ", \"pid\": " << pid << ", \"tid\": " << tid << ", \"args\": "
+      << args_json << "}";
+}
+
 void write_thread_events(ChromeTraceWriter& writer, const ThreadTrace& thread,
                          int pid, int tid, std::uint64_t base_ns,
                          bool skip_tasks) {

@@ -40,6 +40,11 @@ class ChromeTraceWriter {
   void counter(std::string_view name, std::uint64_t ts_ns, int pid,
                std::uint64_t value);
   void instant(std::string_view name, std::uint64_t ts_ns, int pid, int tid);
+  /// Instant carrying a pre-rendered JSON args object (complete `{...}`
+  /// literal) — how per-request stage markers publish {req, arg, ...} for
+  /// `bpar_prof request` to re-parse.
+  void instant_args(std::string_view name, std::uint64_t ts_ns, int pid,
+                    int tid, std::string_view args_json);
 
   ChromeTraceWriter(const ChromeTraceWriter&) = delete;
   ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;

@@ -6,8 +6,12 @@
 #include <utility>
 
 #include "kernels/backend.hpp"
+#include "obs/expo.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "taskrt/export.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
@@ -48,6 +52,12 @@ obs::HistogramCell& exec_histogram() {
 obs::HistogramCell& batch_rows_histogram() {
   static obs::HistogramCell& cell = obs::Registry::instance().histogram(
       "serve.batch_rows", {1.5, 2.5, 4.5, 8.5, 16.5, 32.5, 64.5});
+  return cell;
+}
+
+obs::HistogramCell& request_histogram() {
+  static obs::HistogramCell& cell = obs::Registry::instance().histogram(
+      "serve.request_us", latency_edges_us());
   return cell;
 }
 
@@ -114,6 +124,30 @@ Priority parse_priority(std::string_view name) {
                     "' (expected high|normal|batch)");
 }
 
+const char* request_stage_name(RequestStage stage) {
+  switch (stage) {
+    case RequestStage::kSubmitted:
+      return "submitted";
+    case RequestStage::kQueued:
+      return "queued";
+    case RequestStage::kSealed:
+      return "sealed";
+    case RequestStage::kFormed:
+      return "formed";
+    case RequestStage::kExecBegin:
+      return "exec_begin";
+    case RequestStage::kExecEnd:
+      return "exec_end";
+    case RequestStage::kRetry:
+      return "retry";
+    case RequestStage::kBisect:
+      return "bisect";
+    case RequestStage::kResponded:
+      return "responded";
+  }
+  return "unknown";
+}
+
 const char* health_name(Health health) {
   switch (health) {
     case Health::kHealthy:
@@ -143,7 +177,8 @@ InferenceEngine::InferenceEngine(const rnn::NetworkConfig& config,
                             .record_trace = options.record_trace,
                             .quantized_inference = options.quantized})),
       started_(Clock::now()),
-      native_backend_(kernels::active_backend_name()) {
+      native_backend_(kernels::active_backend_name()),
+      slo_(options.slo) {
   BPAR_CHECK(options_.max_batch >= 1, "max_batch must be >= 1");
   BPAR_CHECK(options_.max_queue >= 1, "max_queue must be >= 1");
   BPAR_CHECK(options_.max_batch_retries >= 0,
@@ -169,11 +204,47 @@ InferenceEngine::InferenceEngine(const rnn::NetworkConfig& config,
     ladder_.push_back(step);
   }
 
+  start_observability();
   touch_progress();
   if (options_.watchdog_ms > 0) {
     watchdog_ = std::thread([this] { watchdog_loop(); });
   }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+void InferenceEngine::start_observability() {
+  if (options_.enable_sampler || options_.stats_port >= 0) {
+    obs::SamplerOptions sampler_options;
+    sampler_options.period_ms = options_.sampler_period_ms;
+    sampler_options.rate_series = {"serve.requests", "serve.completed"};
+    sampler_ = std::make_unique<obs::MetricsSampler>(sampler_options);
+    sampler_->start();
+  }
+  if (options_.stats_port >= 0) {
+    stats_server_ = std::make_unique<obs::StatsServer>();
+    stats_server_->handle("/healthz", [] {
+      return obs::HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+    });
+    stats_server_->handle("/metrics", [] {
+      return obs::HttpResponse{
+          200, "text/plain; version=0.0.4; charset=utf-8",
+          obs::prometheus_text(
+              obs::Registry::instance().snapshot(/*include_series=*/false))};
+    });
+    stats_server_->handle("/statz", [this] {
+      return obs::HttpResponse{200, "application/json", statz_json()};
+    });
+    if (stats_server_->start(
+            static_cast<std::uint16_t>(options_.stats_port))) {
+      BPAR_LOG_INFO << "serve: stats endpoint listening on port "
+                    << stats_server_->port()
+                    << " (/metrics /statz /healthz)";
+    } else {
+      BPAR_LOG_WARN << "serve: could not bind stats port "
+                    << options_.stats_port << "; serving without endpoint";
+      stats_server_.reset();
+    }
+  }
 }
 
 InferenceEngine::~InferenceEngine() { shutdown(); }
@@ -237,6 +308,7 @@ std::future<Response> InferenceEngine::submit(Request request) {
       next_id_.fetch_add(1, std::memory_order_relaxed);
   submitted_.fetch_add(1, std::memory_order_relaxed);
   obs::Registry::instance().counter("serve.requests").add();
+  record_request_event(id, RequestStage::kSubmitted);
 
   Response immediate;
   immediate.id = id;
@@ -245,6 +317,8 @@ std::future<Response> InferenceEngine::submit(Request request) {
     obs::Registry::instance().counter("serve.failed").add();
     immediate.status = Status::kFailed;
     immediate.error = std::move(error);
+    record_request_event(id, RequestStage::kResponded,
+                         static_cast<std::int32_t>(Status::kFailed));
     promise.set_value(std::move(immediate));
     return future;
   }
@@ -254,6 +328,10 @@ std::future<Response> InferenceEngine::submit(Request request) {
     expired_.fetch_add(1, std::memory_order_relaxed);
     obs::Registry::instance().counter("serve.deadline_exceeded").add();
     immediate.status = Status::kDeadlineExceeded;
+    record_slo(Status::kDeadlineExceeded, 0.0);
+    record_request_event(
+        id, RequestStage::kResponded,
+        static_cast<std::int32_t>(Status::kDeadlineExceeded));
     promise.set_value(std::move(immediate));
     return future;
   }
@@ -276,8 +354,9 @@ std::future<Response> InferenceEngine::submit(Request request) {
       pending.enqueued = Clock::now();
       pending.id = id;
       queues_[cls].push_back(std::move(pending));
-      obs::Registry::instance().gauge("serve.queue_depth").set(
-          static_cast<double>(total_queued_locked()));
+      publish_queue_depths_locked();
+      record_request_event(id, RequestStage::kQueued,
+                           static_cast<std::int32_t>(cls));
       cv_.notify_all();
       return future;
     }
@@ -286,6 +365,8 @@ std::future<Response> InferenceEngine::submit(Request request) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     obs::Registry::instance().counter("serve.rejected").add();
   }
+  record_request_event(id, RequestStage::kResponded,
+                       static_cast<std::int32_t>(immediate.status));
   promise.set_value(std::move(immediate));
   return future;
 }
@@ -314,6 +395,10 @@ void InferenceEngine::shutdown() {
       !native_backend_.empty()) {
     (void)kernels::set_backend(native_backend_);
   }
+  // Observability plane last: /statz handlers read stats(), so the
+  // listener must not outlive anything it snapshots.
+  if (stats_server_ != nullptr) stats_server_->stop();
+  if (sampler_ != nullptr) sampler_->stop();
 }
 
 void InferenceEngine::shed_overdue_locked(Clock::time_point now) {
@@ -333,6 +418,9 @@ void InferenceEngine::shed_overdue_locked(Clock::time_point now) {
       any = true;
       shed_.fetch_add(1, std::memory_order_relaxed);
       obs::Registry::instance().counter("serve.shed").add();
+      record_slo(Status::kShed, 0.0);
+      record_request_event(victim.id, RequestStage::kResponded,
+                           static_cast<std::int32_t>(Status::kShed));
       Response response;
       response.id = victim.id;
       response.status = Status::kShed;
@@ -342,8 +430,7 @@ void InferenceEngine::shed_overdue_locked(Clock::time_point now) {
   }
   if (any) {
     BPAR_SPAN("serve.shed");
-    obs::Registry::instance().gauge("serve.queue_depth").set(
-        static_cast<double>(total_queued_locked()));
+    publish_queue_depths_locked();
   }
 }
 
@@ -408,8 +495,11 @@ void InferenceEngine::dispatcher_loop() {
       }
       if (taken.size() >= static_cast<std::size_t>(cap)) break;
     }
-    obs::Registry::instance().gauge("serve.queue_depth").set(
-        static_cast<double>(total_queued_locked()));
+    publish_queue_depths_locked();
+    for (const Pending& p : taken) {
+      record_request_event(p.id, RequestStage::kSealed,
+                           static_cast<std::int32_t>(taken.size()));
+    }
 
     lock.unlock();
     in_flight_.store(true, std::memory_order_relaxed);
@@ -431,6 +521,10 @@ void InferenceEngine::process_batch(std::vector<Pending> taken,
     if (p.request.deadline != kNoDeadline && sealed > p.request.deadline) {
       expired_.fetch_add(1, std::memory_order_relaxed);
       registry.counter("serve.deadline_exceeded").add();
+      record_slo(Status::kDeadlineExceeded, 0.0);
+      record_request_event(
+          p.id, RequestStage::kResponded,
+          static_cast<std::int32_t>(Status::kDeadlineExceeded));
       Response response;
       response.id = p.id;
       response.status = Status::kDeadlineExceeded;
@@ -541,17 +635,26 @@ void InferenceEngine::serve_group(std::vector<Pending> live,
     }
   }
   const Clock::time_point formed = Clock::now();
+  for (const Pending& p : live) {
+    record_request_event(p.id, RequestStage::kFormed, rows);
+  }
 
   // Bounded retries: fault schedules decorrelate across runtime sessions,
   // so a re-run of the same batch usually clears transient injected (or
   // genuine) faults. Deterministic failures fall through to bisection.
   exec::InferResult result;
   std::string error;
+  for (const Pending& p : live) {
+    record_request_event(p.id, RequestStage::kExecBegin);
+  }
   for (int attempt = 0; attempt <= options_.max_batch_retries; ++attempt) {
     if (attempt > 0) {
       BPAR_SPAN("serve.retry");
       retries_.fetch_add(1, std::memory_order_relaxed);
       registry.counter("serve.retries").add();
+      for (const Pending& p : live) {
+        record_request_event(p.id, RequestStage::kRetry, attempt);
+      }
       touch_progress();
       if (!options_.rebuild_per_call &&
           active_executor().runtime().poisoned()) {
@@ -567,6 +670,10 @@ void InferenceEngine::serve_group(std::vector<Pending> live,
                   << ") failed: " << error;
   }
   const Clock::time_point done = Clock::now();
+  for (const Pending& p : live) {
+    record_request_event(p.id, RequestStage::kExecEnd,
+                         error.empty() ? 0 : 1);
+  }
 
   const double form_us = us_between(sealed, formed);
   const double exec_us = us_between(formed, done);
@@ -590,6 +697,9 @@ void InferenceEngine::serve_group(std::vector<Pending> live,
       BPAR_SPAN("serve.bisect");
       bisections_.fetch_add(1, std::memory_order_relaxed);
       registry.counter("serve.bisections").add();
+      for (const Pending& p : live) {
+        record_request_event(p.id, RequestStage::kBisect, depth);
+      }
       const auto mid =
           live.begin() + static_cast<std::ptrdiff_t>(live.size() / 2);
       std::vector<Pending> first(std::make_move_iterator(live.begin()),
@@ -612,6 +722,9 @@ void InferenceEngine::serve_group(std::vector<Pending> live,
     response.exec_us = exec_us;
     internal_errors_.fetch_add(1, std::memory_order_relaxed);
     registry.counter("serve.internal_errors").add();
+    record_slo(Status::kInternalError, 0.0);
+    record_request_event(p.id, RequestStage::kResponded,
+                         static_cast<std::int32_t>(Status::kInternalError));
     p.promise.set_value(std::move(response));
     return;
   }
@@ -652,8 +765,13 @@ void InferenceEngine::serve_group(std::vector<Pending> live,
       response.loss = loss / outputs;
     }
     queue_histogram().add(response.queue_us);
+    const double request_us = us_between(p.enqueued, Clock::now());
+    request_histogram().add(request_us);
+    record_slo(Status::kOk, request_us);
     completed_.fetch_add(1, std::memory_order_relaxed);
     registry.counter("serve.completed").add();
+    record_request_event(p.id, RequestStage::kResponded,
+                         static_cast<std::int32_t>(Status::kOk));
     p.promise.set_value(std::move(response));
   }
 }
@@ -801,6 +919,165 @@ void InferenceEngine::watchdog_loop() {
   }
 }
 
+void InferenceEngine::record_request_event(std::uint64_t id,
+                                           RequestStage stage,
+                                           std::int32_t arg) {
+  if (!options_.trace_requests) return;
+  RequestEvent event;
+  event.id = id;
+  event.ts_ns = steady_ns();
+  event.stage = stage;
+  event.arg = arg;
+  const std::lock_guard<std::mutex> lock(req_mu_);
+  while (request_events_.size() >= kMaxRequestEvents) {
+    request_events_.pop_front();
+    ++request_events_dropped_;
+  }
+  request_events_.push_back(event);
+}
+
+void InferenceEngine::record_slo(Status status, double latency_us) {
+  switch (status) {
+    case Status::kOk:
+      slo_.record(true, latency_us);
+      break;
+    case Status::kShed:
+    case Status::kDeadlineExceeded:
+    case Status::kInternalError:
+      slo_.record(false, 0.0);
+      break;
+    case Status::kRejected:
+    case Status::kShutdown:
+    case Status::kFailed:
+      break;  // not SLO-eligible
+  }
+}
+
+void InferenceEngine::publish_queue_depths_locked() {
+  auto& registry = obs::Registry::instance();
+  registry.gauge("serve.queue_depth")
+      .set(static_cast<double>(total_queued_locked()));
+  for (int cls = 0; cls < kNumPriorities; ++cls) {
+    registry
+        .gauge(std::string("serve.queue_depth.") +
+               priority_name(static_cast<Priority>(cls)))
+        .set(static_cast<double>(
+            queues_[static_cast<std::size_t>(cls)].size()));
+  }
+}
+
+std::vector<RequestEvent> InferenceEngine::request_events() const {
+  const std::lock_guard<std::mutex> lock(req_mu_);
+  return {request_events_.begin(), request_events_.end()};
+}
+
+std::uint64_t InferenceEngine::request_events_dropped() const {
+  const std::lock_guard<std::mutex> lock(req_mu_);
+  return request_events_dropped_;
+}
+
+int InferenceEngine::stats_port() const {
+  return stats_server_ != nullptr ? stats_server_->port() : -1;
+}
+
+std::string InferenceEngine::statz_json() const {
+  const EngineStats s = stats();
+  const double uptime_s =
+      std::chrono::duration<double>(Clock::now() - started_).count();
+  std::string out = "{\"type\": \"statz\", \"schema_version\": 1";
+  out += ", \"uptime_s\": " + obs::json_number(uptime_s);
+
+  const auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+  out += ", \"engine\": {";
+  out += "\"submitted\": " + u64(s.submitted);
+  out += ", \"completed\": " + u64(s.completed);
+  out += ", \"rejected\": " + u64(s.rejected);
+  out += ", \"shed\": " + u64(s.shed);
+  out += ", \"expired\": " + u64(s.expired);
+  out += ", \"failed\": " + u64(s.failed);
+  out += ", \"internal_errors\": " + u64(s.internal_errors);
+  out += ", \"batches\": " + u64(s.batches);
+  out += ", \"padded_rows\": " + u64(s.padded_rows);
+  out += ", \"retries\": " + u64(s.retries);
+  out += ", \"bisections\": " + u64(s.bisections);
+  out += ", \"degraded_steps\": " + u64(s.degraded_steps);
+  out += ", \"recovered_steps\": " + u64(s.recovered_steps);
+  out += ", \"watchdog_fires\": " + u64(s.watchdog_fires);
+  out += ", \"executor_rebuilds\": " + u64(s.executor_rebuilds);
+  out += ", \"degrade_level\": " + std::to_string(s.degrade_level);
+  out += ", \"health\": " + obs::json_quote(health_name(s.health));
+  out += ", \"queue_depth\": {\"total\": " + u64(s.queue_depth);
+  for (int cls = 0; cls < kNumPriorities; ++cls) {
+    out += std::string(", \"") +
+           priority_name(static_cast<Priority>(cls)) + "\": " +
+           u64(s.queue_depths[static_cast<std::size_t>(cls)]);
+  }
+  out += "}}";
+
+  out += ", \"slo\": {";
+  out += "\"eligible\": " + u64(s.slo.eligible);
+  out += ", \"errors\": " + u64(s.slo.errors);
+  out += ", \"latency_misses\": " + u64(s.slo.latency_misses);
+  out += ", \"availability\": " + obs::json_number(s.slo.availability);
+  out += ", \"latency_attainment\": " +
+         obs::json_number(s.slo.latency_attainment);
+  out += ", \"budget_consumed\": " + obs::json_number(s.slo.budget_consumed);
+  out += ", \"burn_short\": " + obs::json_number(s.slo.burn_short);
+  out += ", \"burn_long\": " + obs::json_number(s.slo.burn_long);
+  out += std::string(", \"alerting\": ") +
+         (s.slo.alerting ? "true" : "false");
+  out += ", \"availability_objective\": " +
+         obs::json_number(slo_.options().availability_objective);
+  out += ", \"latency_target_us\": " +
+         obs::json_number(slo_.options().latency_target_us);
+  out += "}";
+
+  if (sampler_ != nullptr) {
+    constexpr double kWindowS = 10.0;
+    out += ", \"sampler\": {\"period_ms\": " +
+           std::to_string(sampler_->period_ms());
+    out += ", \"samples\": " + std::to_string(sampler_->samples());
+    out += ", \"ticks\": " + u64(sampler_->ticks());
+    out += ", \"window_s\": " + obs::json_number(kWindowS);
+    out += ", \"windows\": {\"counters\": {";
+    bool first = true;
+    for (const std::string& name : sampler_->counter_names()) {
+      if (name.rfind("serve.", 0) != 0) continue;
+      const auto window = sampler_->counter_window(name, kWindowS);
+      if (!window.valid) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += obs::json_quote(name) + ": {\"rate_per_s\": " +
+             obs::json_number(window.rate_per_s) +
+             ", \"delta\": " + obs::json_number(window.delta) +
+             ", \"seconds\": " + obs::json_number(window.seconds) + "}";
+    }
+    out += "}, \"histograms\": {";
+    first = true;
+    for (const std::string& name : sampler_->histogram_names()) {
+      if (name.rfind("serve.", 0) != 0) continue;
+      const auto window = sampler_->histogram_window(name, kWindowS);
+      if (!window.valid) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += obs::json_quote(name) + ": {\"count\": " +
+             obs::json_number(window.count) +
+             ", \"mean\": " + obs::json_number(window.mean) +
+             ", \"p50\": " + obs::json_number(window.p50) +
+             ", \"p95\": " + obs::json_number(window.p95) +
+             ", \"p99\": " + obs::json_number(window.p99) + "}";
+    }
+    out += "}}}";
+  } else {
+    out += ", \"sampler\": null";
+  }
+
+  out += ", \"metrics\": " +
+         obs::metrics_json(obs::Registry::instance().snapshot());
+  out += "}";
+  return out;
+}
+
 EngineStats InferenceEngine::stats() const {
   EngineStats s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
@@ -820,6 +1097,15 @@ EngineStats InferenceEngine::stats() const {
   s.executor_rebuilds = executor_rebuilds_.load(std::memory_order_relaxed);
   s.degrade_level = degrade_level_.load(std::memory_order_relaxed);
   s.health = health();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int cls = 0; cls < kNumPriorities; ++cls) {
+      s.queue_depths[static_cast<std::size_t>(cls)] =
+          queues_[static_cast<std::size_t>(cls)].size();
+    }
+    s.queue_depth = total_queued_locked();
+  }
+  s.slo = slo_.snapshot();
   return s;
 }
 
@@ -833,8 +1119,35 @@ void InferenceEngine::write_unified_trace(const std::string& path) {
   std::lock_guard<std::mutex> lock(trace_mu_);
   BPAR_CHECK(last_traced_program_ != nullptr,
              "no cached-path micro-batch has been served yet");
+  // Request stage markers ride along as instants on their own row (tid 99,
+  // below the worker rows, beside the obs ring rows at 100+): one
+  // "req.<stage>" marker per event with {req, arg[, status]} args so
+  // `bpar_prof request <id>` can rebuild any request's timeline.
+  const std::vector<RequestEvent> events = request_events();
+  const auto emit_requests = [&events](obs::ChromeTraceWriter& writer,
+                                       std::uint64_t base_ns) {
+    constexpr int kPid = 1;
+    constexpr int kRequestTid = 99;
+    if (events.empty()) return;
+    writer.thread_name(kPid, kRequestTid, "requests");
+    for (const RequestEvent& event : events) {
+      const std::uint64_t ts =
+          event.ts_ns > base_ns ? event.ts_ns - base_ns : 0;
+      std::string args = "{\"req\": " + std::to_string(event.id) +
+                         ", \"arg\": " + std::to_string(event.arg);
+      if (event.stage == RequestStage::kResponded) {
+        args += ", \"status\": " +
+                obs::json_quote(status_name(
+                    static_cast<Status>(event.arg)));
+      }
+      args += "}";
+      writer.instant_args(
+          std::string("req.") + request_stage_name(event.stage), ts, kPid,
+          kRequestTid, args);
+    }
+  };
   taskrt::write_unified_trace_file(last_traced_program_->graph(),
-                                   last_traced_stats_, path);
+                                   last_traced_stats_, path, emit_requests);
 }
 
 std::size_t InferenceEngine::queue_depth() const {

@@ -64,6 +64,9 @@
 
 #include "exec/bpar_executor.hpp"
 #include "exec/common_options.hpp"
+#include "obs/sampler.hpp"
+#include "obs/slo.hpp"
+#include "obs/stats_server.hpp"
 #include "rnn/network.hpp"
 
 namespace bpar::serve {
@@ -128,6 +131,25 @@ struct EngineOptions {
   /// counted/logged (the backstop when the runtime watchdog is off).
   /// 0 → disabled.
   std::uint32_t watchdog_ms = 0;
+
+  // ---- live observability (DESIGN.md §5i) ----
+  /// TCP port for the embedded stats endpoint (/metrics Prometheus text,
+  /// /statz JSON, /healthz). -1 = no listener; 0 = ephemeral port (read it
+  /// back with stats_port()). Enabling the listener also enables the
+  /// sampler — /statz windows need time series behind them.
+  int stats_port = -1;
+  /// Run the background MetricsSampler even without a listener (windowed
+  /// rollups through stats()/statz_json()).
+  bool enable_sampler = false;
+  /// Sampler tick period.
+  std::uint32_t sampler_period_ms = 1000;
+  /// Per-request stage tracing: every request logs admission → queue →
+  /// seal → form → execute → respond markers into a bounded ring that
+  /// write_unified_trace() merges onto the timeline ("requests" row) and
+  /// `bpar_prof request <id>` reconstructs.
+  bool trace_requests = true;
+  /// Availability / latency objectives for the built-in SLO tracker.
+  obs::SloOptions slo{};
 };
 
 enum class Status {
@@ -150,6 +172,34 @@ inline constexpr int kNumStatuses = 7;
 enum class Health { kHealthy, kDegraded, kDraining };
 
 [[nodiscard]] const char* health_name(Health health);
+
+/// Lifecycle stages a request passes through, logged (when
+/// EngineOptions::trace_requests) as timestamped markers keyed by the
+/// request id. `arg` disambiguates within a stage: batch size at kSealed,
+/// padded rows at kFormed, attempt number at kRetry, bisection depth at
+/// kBisect, and the final Status at kResponded.
+enum class RequestStage : std::uint8_t {
+  kSubmitted,  // id assigned, request validated
+  kQueued,     // earned a queue slot
+  kSealed,     // taken into a micro-batch (arg = batch size)
+  kFormed,     // batch buffers filled (arg = padded rows)
+  kExecBegin,  // first execution attempt starts
+  kExecEnd,    // execution attempts finished (ok or not)
+  kRetry,      // whole-batch retry (arg = attempt number)
+  kBisect,     // batch split to isolate a fault (arg = depth)
+  kResponded,  // promise fulfilled (arg = Status)
+};
+inline constexpr int kNumRequestStages = 9;
+
+[[nodiscard]] const char* request_stage_name(RequestStage stage);
+
+/// One entry of the engine's bounded request-event ring.
+struct RequestEvent {
+  std::uint64_t id = 0;
+  std::uint64_t ts_ns = 0;  // absolute steady-clock ns
+  RequestStage stage = RequestStage::kSubmitted;
+  std::int32_t arg = 0;
+};
 
 /// One sequence to classify. `features` is row-major by timestep:
 /// features[t * input_size + f]. Labels are optional — empty means no loss
@@ -203,6 +253,11 @@ struct EngineStats {
   std::uint64_t executor_rebuilds = 0;  // poisoned-runtime replacements
   int degrade_level = 0;  // current ladder level (0 = full service)
   Health health = Health::kHealthy;
+  std::size_t queue_depth = 0;  // all classes together
+  /// Per-class backlog, indexed by Priority.
+  std::array<std::size_t, kNumPriorities> queue_depths{};
+  /// SLO tracker state (availability, latency attainment, budget burn).
+  obs::SloTracker::Snapshot slo{};
 };
 
 class InferenceEngine {
@@ -252,10 +307,28 @@ class InferenceEngine {
   }
 
   /// Writes a unified chrome-trace (task slices of the LAST served
-  /// micro-batch + every obs span recorded so far) that `bpar_prof
-  /// analyze` consumes. Requires EngineOptions::record_trace and at least
-  /// one cached-path batch; call when quiescent (e.g. after shutdown()).
+  /// micro-batch + every obs span recorded so far + per-request stage
+  /// markers on a "requests" row) that `bpar_prof analyze` / `bpar_prof
+  /// request <id>` consume. Requires EngineOptions::record_trace and at
+  /// least one cached-path batch; call when quiescent (after shutdown()).
   void write_unified_trace(const std::string& path);
+
+  /// The bound stats-endpoint port (useful with EngineOptions::stats_port
+  /// = 0), or -1 when no listener is running.
+  [[nodiscard]] int stats_port() const;
+  /// The /statz payload: EngineStats + per-class queue depths + SLO state
+  /// + sampler windows + the full metrics registry, as one JSON object.
+  /// Works with or without a listener (the sampler section degrades to
+  /// whatever has been collected).
+  [[nodiscard]] std::string statz_json() const;
+  /// The background sampler, or nullptr when not enabled.
+  [[nodiscard]] const obs::MetricsSampler* sampler() const {
+    return sampler_.get();
+  }
+  /// Copy of the request-event ring (oldest first) and how many events the
+  /// bounded ring has discarded.
+  [[nodiscard]] std::vector<RequestEvent> request_events() const;
+  [[nodiscard]] std::uint64_t request_events_dropped() const;
 
   /// The row bucket a micro-batch of `rows` requests pads up to: the next
   /// power of two, clamped to `max_batch`.
@@ -302,6 +375,19 @@ class InferenceEngine {
   void rebuild_executor();
   void set_health(Health health);
   void touch_progress();
+  /// Appends to the bounded request-event ring (no-op unless
+  /// EngineOptions::trace_requests). Any thread.
+  void record_request_event(std::uint64_t id, RequestStage stage,
+                            std::int32_t arg = 0);
+  /// SLO bookkeeping for one terminal response (kRejected / kShutdown /
+  /// kFailed are not SLO-eligible — they are client errors or the client's
+  /// own backpressure signal, not service failures).
+  void record_slo(Status status, double latency_us);
+  /// Publishes serve.queue_depth and the per-class
+  /// serve.queue_depth.{high,normal,batch} gauges. Caller holds mu_.
+  void publish_queue_depths_locked();
+  /// Builds + starts the sampler / stats listener per options_ (ctor).
+  void start_observability();
   [[nodiscard]] std::string validate(const Request& request) const;
   [[nodiscard]] std::size_t total_queued_locked() const;
   [[nodiscard]] std::uint32_t effective_shed_wait_us() const;
@@ -328,6 +414,18 @@ class InferenceEngine {
   mutable std::mutex trace_mu_;  // guards the two last-trace fields
   graph::TrainingProgram* last_traced_program_ = nullptr;
   taskrt::RunStats last_traced_stats_;
+
+  // ---- live observability (DESIGN.md §5i) ----
+  obs::SloTracker slo_;
+  std::unique_ptr<obs::MetricsSampler> sampler_;
+  std::unique_ptr<obs::StatsServer> stats_server_;
+  /// Bounded drop-oldest request-event log. Its own mutex: recording
+  /// happens on the submit path and inside serve_group, where mu_ is not
+  /// (or must not be) held.
+  static constexpr std::size_t kMaxRequestEvents = 1U << 16;
+  mutable std::mutex req_mu_;
+  std::deque<RequestEvent> request_events_;
+  std::uint64_t request_events_dropped_ = 0;
 
   // ---- degradation ladder + circuit breaker (dispatcher thread) ----
   std::vector<DegradeStep> ladder_;  // [0] = full service

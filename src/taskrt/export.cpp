@@ -163,6 +163,11 @@ void write_chrome_trace_file(const TaskGraph& graph, const RunStats& stats,
 
 void write_unified_trace(const TaskGraph& graph, const RunStats& stats,
                          std::ostream& os) {
+  write_unified_trace(graph, stats, os, ExtraTraceEmitter{});
+}
+
+void write_unified_trace(const TaskGraph& graph, const RunStats& stats,
+                         std::ostream& os, const ExtraTraceEmitter& extra) {
   BPAR_CHECK(stats.trace.size() == graph.size(),
              "stats have no trace — run with record_trace = true");
   // The RunStats trace is session-relative; obs events are absolute
@@ -212,13 +217,20 @@ void write_unified_trace(const TaskGraph& graph, const RunStats& stats,
     obs::write_thread_events(writer, t, kPid, kRingTidBase + t.ring_id, base,
                              /*skip_tasks=*/true);
   }
+  if (extra) extra(writer, base);
 }
 
 void write_unified_trace_file(const TaskGraph& graph, const RunStats& stats,
                               const std::string& path) {
+  write_unified_trace_file(graph, stats, path, ExtraTraceEmitter{});
+}
+
+void write_unified_trace_file(const TaskGraph& graph, const RunStats& stats,
+                              const std::string& path,
+                              const ExtraTraceEmitter& extra) {
   std::ofstream os(path);
   BPAR_CHECK(os.good(), "cannot open ", path);
-  write_unified_trace(graph, stats, os);
+  write_unified_trace(graph, stats, os, extra);
 }
 
 namespace {

@@ -5,11 +5,13 @@
 //    RunStats trace, one row per worker.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <span>
 #include <string>
 
 #include "obs/analysis.hpp"
+#include "obs/trace_export.hpp"
 #include "taskrt/runtime.hpp"
 #include "taskrt/task_graph.hpp"
 
@@ -49,6 +51,20 @@ void write_unified_trace(const TaskGraph& graph, const RunStats& stats,
                          std::ostream& os);
 void write_unified_trace_file(const TaskGraph& graph, const RunStats& stats,
                               const std::string& path);
+
+/// Hook for callers that hold event sources outside the obs rings (the
+/// serving engine's per-request stage log): invoked after the standard rows
+/// are written, with the writer and the export base so extra events land on
+/// the shared timeline. Absolute steady-clock timestamps minus `base_ns`
+/// line up with everything else.
+using ExtraTraceEmitter =
+    std::function<void(obs::ChromeTraceWriter& writer, std::uint64_t base_ns)>;
+
+void write_unified_trace(const TaskGraph& graph, const RunStats& stats,
+                         std::ostream& os, const ExtraTraceEmitter& extra);
+void write_unified_trace_file(const TaskGraph& graph, const RunStats& stats,
+                              const std::string& path,
+                              const ExtraTraceEmitter& extra);
 
 /// Direct predecessor lists, reconstructed by inverting the graph's
 /// successor edges. Index = TaskId.

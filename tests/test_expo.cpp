@@ -1,0 +1,254 @@
+// Live-observability exposition tests (DESIGN.md §5i): the Prometheus
+// text renderer (golden output), the embedded StatsServer + http_get
+// client (status codes, query strings, non-GET, handler exceptions), and
+// the SLO tracker's burn-rate math against hand-computed fixtures.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/expo.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/stats_server.hpp"
+
+namespace bpar::obs {
+namespace {
+
+TEST(PrometheusName, SanitizesAndPrefixes) {
+  EXPECT_EQ(prometheus_name("serve.queue_us"), "bpar_serve_queue_us");
+  EXPECT_EQ(prometheus_name("a-b c/d"), "bpar_a_b_c_d");
+  EXPECT_EQ(prometheus_name("taskrt.steals"), "bpar_taskrt_steals");
+}
+
+// Golden rendering of one hand-built snapshot: counters first (with the
+// "_total" convention), then gauges, then histograms with cumulative `le`
+// buckets, _sum recovered from the tracked mean, and _count.
+TEST(PrometheusText, GoldenSnapshotRendersExactly) {
+  Registry::Snapshot snap;
+  snap.counters["serve.requests"] = 42;
+  snap.gauges["serve.queue_depth"] = 3.5;
+  Registry::HistoSnapshot histo;
+  histo.edges = {10.0, 20.0};
+  histo.weights = {1.0, 2.0, 3.0};  // bins: (-inf,10) [10,20) [20,inf)
+  histo.mean = 25.0;
+  histo.total = 6.0;
+  snap.histograms["serve.request_us"] = histo;
+
+  const std::string expected =
+      "# TYPE bpar_serve_requests_total counter\n"
+      "bpar_serve_requests_total 42\n"
+      "# TYPE bpar_serve_queue_depth gauge\n"
+      "bpar_serve_queue_depth 3.5\n"
+      "# TYPE bpar_serve_request_us histogram\n"
+      "bpar_serve_request_us_bucket{le=\"10\"} 1\n"
+      "bpar_serve_request_us_bucket{le=\"20\"} 3\n"
+      "bpar_serve_request_us_bucket{le=\"+Inf\"} 6\n"
+      "bpar_serve_request_us_sum 150\n"
+      "bpar_serve_request_us_count 6\n";
+  EXPECT_EQ(prometheus_text(snap), expected);
+}
+
+TEST(PrometheusText, SkipsMalformedHistogramAndSeries) {
+  Registry::Snapshot snap;
+  Registry::HistoSnapshot bad;
+  bad.edges = {10.0, 20.0};
+  bad.weights = {1.0};  // wrong arity: edges changed mid-snapshot
+  snap.histograms["serve.bad"] = bad;
+  snap.series["serve.some_series"] = {1.0, 2.0, 3.0};
+  EXPECT_EQ(prometheus_text(snap), "");
+}
+
+/// Raw one-shot HTTP exchange so the suite can send non-GET methods the
+/// http_get() client deliberately cannot produce. Returns the status code
+/// (0 on transport failure).
+int raw_request_status(int port, const std::string& head) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  (void)!::send(fd, head.data(), head.size(), 0);
+  std::string reply;
+  char buf[512];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+    if (reply.find("\r\n") != std::string::npos) break;
+  }
+  ::close(fd);
+  if (reply.rfind("HTTP/1.1 ", 0) != 0) return 0;
+  return std::atoi(reply.c_str() + 9);
+}
+
+TEST(StatsServer, RoutesStatusCodesAndSurvivesThrowingHandler) {
+  StatsServer server;
+  server.handle("/ping", [] {
+    HttpResponse r;
+    r.body = "pong\n";
+    return r;
+  });
+  server.handle("/boom", []() -> HttpResponse {
+    throw std::runtime_error("handler exploded");
+  });
+  ASSERT_TRUE(server.start(0));  // ephemeral port
+  const int port = server.port();
+  ASSERT_GT(port, 0);
+  EXPECT_TRUE(server.running());
+
+  const auto ping =
+      http_get("127.0.0.1", static_cast<std::uint16_t>(port), "/ping");
+  ASSERT_TRUE(ping.ok) << ping.error;
+  EXPECT_EQ(ping.status, 200);
+  EXPECT_EQ(ping.body, "pong\n");
+
+  // Query strings are stripped before path matching.
+  const auto query = http_get("127.0.0.1", static_cast<std::uint16_t>(port),
+                              "/ping?verbose=1");
+  ASSERT_TRUE(query.ok) << query.error;
+  EXPECT_EQ(query.status, 200);
+
+  const auto missing =
+      http_get("127.0.0.1", static_cast<std::uint16_t>(port), "/nope");
+  ASSERT_TRUE(missing.ok) << missing.error;
+  EXPECT_EQ(missing.status, 404);
+
+  // A throwing handler maps to 500; the accept loop must survive it.
+  const auto boom =
+      http_get("127.0.0.1", static_cast<std::uint16_t>(port), "/boom");
+  ASSERT_TRUE(boom.ok) << boom.error;
+  EXPECT_EQ(boom.status, 500);
+
+  EXPECT_EQ(raw_request_status(
+                port, "POST /ping HTTP/1.1\r\nHost: t\r\n\r\n"),
+            405);
+
+  // Still serving after the error paths.
+  const auto again =
+      http_get("127.0.0.1", static_cast<std::uint16_t>(port), "/ping");
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(again.status, 200);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  const auto after =
+      http_get("127.0.0.1", static_cast<std::uint16_t>(port), "/ping");
+  EXPECT_FALSE(after.ok && after.status == 200);
+}
+
+// Hand-computed fixture: objective 0.99 leaves a 1% budget. 90 ok + 10
+// errors inside both windows is a 10% error ratio = burn 10x, and the 10
+// lifetime errors consume 10x the lifetime budget of 1 request.
+TEST(SloTracker, BurnRateMatchesHandComputedFixture) {
+  SloOptions opts;
+  opts.availability_objective = 0.99;
+  opts.short_window_s = 10;
+  opts.long_window_s = 60;
+  opts.alert_burn_threshold = 5.0;
+  SloTracker slo(opts);
+
+  const std::uint64_t kSecond = 1'000'000'000ULL;
+  const std::uint64_t base = 1000 * kSecond;
+  for (int i = 0; i < 90; ++i) slo.record_at(base, true, 1000.0);
+  for (int i = 0; i < 10; ++i) slo.record_at(base, false, 0.0);
+
+  const auto snap = slo.snapshot_at(base);
+  EXPECT_EQ(snap.eligible, 100U);
+  EXPECT_EQ(snap.errors, 10U);
+  EXPECT_DOUBLE_EQ(snap.availability, 0.9);
+  EXPECT_NEAR(snap.budget_consumed, 10.0, 1e-9);
+  EXPECT_NEAR(snap.burn_short, 10.0, 1e-9);
+  EXPECT_NEAR(snap.burn_long, 10.0, 1e-9);
+  EXPECT_TRUE(snap.alerting);  // both windows over the 5x threshold
+}
+
+// Multi-window guard: an incident that ended 55 seconds ago still burns
+// the long window but not the short one — that must NOT alert (that is
+// the entire point of requiring both windows).
+TEST(SloTracker, StaleIncidentDoesNotAlertOnLongWindowAlone) {
+  SloOptions opts;
+  opts.availability_objective = 0.99;
+  opts.short_window_s = 10;
+  opts.long_window_s = 60;
+  opts.alert_burn_threshold = 4.0;
+  SloTracker slo(opts);
+
+  const std::uint64_t kSecond = 1'000'000'000ULL;
+  for (int i = 0; i < 90; ++i) slo.record_at(1000 * kSecond, true, 1000.0);
+  for (int i = 0; i < 10; ++i) slo.record_at(1000 * kSecond, false, 0.0);
+  for (int i = 0; i < 100; ++i) slo.record_at(1055 * kSecond, true, 1000.0);
+
+  const auto snap = slo.snapshot_at(1055 * kSecond);
+  // Short window [1046..1055]: 100 ok, 0 errors. Long window [996..1055]:
+  // 10 errors over 200 eligible = 5% ratio = burn 5x.
+  EXPECT_DOUBLE_EQ(snap.burn_short, 0.0);
+  EXPECT_NEAR(snap.burn_long, 5.0, 1e-9);
+  EXPECT_FALSE(snap.alerting);
+}
+
+TEST(SloTracker, LatencyAttainmentCountsOnlyOkOverTarget) {
+  SloOptions opts;
+  opts.latency_target_us = 50'000.0;
+  SloTracker slo(opts);
+
+  const std::uint64_t base = 1'000'000'000ULL;
+  for (int i = 0; i < 89; ++i) slo.record_at(base, true, 1'000.0);
+  slo.record_at(base, true, 60'000.0);   // ok but over the target
+  slo.record_at(base, false, 999'999.0); // error latency never counted
+
+  const auto snap = slo.snapshot_at(base);
+  EXPECT_EQ(snap.latency_misses, 1U);
+  EXPECT_DOUBLE_EQ(snap.latency_attainment, 89.0 / 90.0);
+}
+
+TEST(SloTracker, NoTrafficReportsHealthy) {
+  SloTracker slo;
+  const auto snap = slo.snapshot_at(5'000'000'000ULL);
+  EXPECT_EQ(snap.eligible, 0U);
+  EXPECT_DOUBLE_EQ(snap.availability, 1.0);
+  EXPECT_DOUBLE_EQ(snap.latency_attainment, 1.0);
+  EXPECT_DOUBLE_EQ(snap.budget_consumed, 0.0);
+  EXPECT_DOUBLE_EQ(snap.burn_short, 0.0);
+  EXPECT_DOUBLE_EQ(snap.burn_long, 0.0);
+  EXPECT_FALSE(snap.alerting);
+}
+
+// Ring-bucket recycling: a second that maps onto the same slot
+// long_window_s later must evict the stale contents, not add to them.
+TEST(SloTracker, BucketRingRecyclesSlotsAcrossTheLongWindow) {
+  SloOptions opts;
+  opts.availability_objective = 0.99;
+  opts.short_window_s = 5;
+  opts.long_window_s = 10;
+  SloTracker slo(opts);
+
+  const std::uint64_t kSecond = 1'000'000'000ULL;
+  // Second 100 -> slot 0 with errors; second 110 -> the SAME slot.
+  for (int i = 0; i < 10; ++i) slo.record_at(100 * kSecond, false, 0.0);
+  for (int i = 0; i < 10; ++i) slo.record_at(110 * kSecond, true, 1000.0);
+
+  const auto snap = slo.snapshot_at(110 * kSecond);
+  // Window [101..110] holds only the 10 ok observations: the stale errors
+  // were recycled out even though lifetime errors_ still counts them.
+  EXPECT_DOUBLE_EQ(snap.burn_short, 0.0);
+  EXPECT_DOUBLE_EQ(snap.burn_long, 0.0);
+  EXPECT_EQ(snap.errors, 10U);
+}
+
+}  // namespace
+}  // namespace bpar::obs

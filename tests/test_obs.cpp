@@ -14,6 +14,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 #include "util/error.hpp"
@@ -281,6 +282,122 @@ TEST(MetricsRegistry, SeriesCapsAtMaxValues) {
   }
   EXPECT_EQ(s.values().size(), Series::kMaxValues);
   EXPECT_EQ(s.total_appends(), Series::kMaxValues + 10);
+}
+
+TEST(MetricsRegistry, RingSeriesDropsOldestAndKeepsRecording) {
+  Series& s = Registry::instance().ring_series("test.ring_series", 128);
+  EXPECT_EQ(s.ring_capacity(), 128U);
+  for (std::size_t i = 0; i < 20'000; ++i) {
+    s.append(static_cast<double>(i));
+  }
+  // Unlike the append-only mode, a ring never stops recording: the window
+  // always holds the most RECENT values.
+  EXPECT_EQ(s.total_appends(), 20'000U);
+  const std::vector<double> values = s.values();
+  ASSERT_EQ(values.size(), 128U);
+  EXPECT_EQ(values.front(), 20'000.0 - 128.0);
+  EXPECT_EQ(values.back(), 19'999.0);
+  // ring_series() is lookup-or-create: a second call resolves to the same
+  // cell and can resize the window.
+  Series& again = Registry::instance().ring_series("test.ring_series", 64);
+  EXPECT_EQ(&again, &s);
+  EXPECT_EQ(again.ring_capacity(), 64U);
+  EXPECT_EQ(again.values().size(), 64U);
+}
+
+TEST(MetricsSampler, WindowRollupsFromDeterministicTicks) {
+  Counter& reqs = Registry::instance().counter("test.sampler_reqs");
+  SamplerOptions opts;
+  opts.rate_series = {"test.sampler_reqs"};
+  MetricsSampler sampler(opts);  // never started: driven via sample_at()
+
+  sampler.sample_at(1'000'000'000ULL);
+  reqs.add(100);
+  sampler.sample_at(2'000'000'000ULL);
+  reqs.add(200);
+  // Born AFTER the sampler's first tick: the missing-metric baseline must
+  // be zero, not "no window".
+  Registry::instance().counter("test.sampler_born_late").add(50);
+  HistogramCell& lat =
+      Registry::instance().histogram("test.sampler_lat", {10.0, 20.0, 50.0});
+  for (int i = 0; i < 4; ++i) lat.add(15.0);
+  sampler.sample_at(3'000'000'000ULL);
+  EXPECT_EQ(sampler.samples(), 3U);
+  EXPECT_EQ(sampler.ticks(), 3U);
+
+  const auto two = sampler.counter_window("test.sampler_reqs", 2.0);
+  ASSERT_TRUE(two.valid);
+  EXPECT_DOUBLE_EQ(two.seconds, 2.0);
+  EXPECT_DOUBLE_EQ(two.delta, 300.0);
+  EXPECT_DOUBLE_EQ(two.rate_per_s, 150.0);
+  const auto one = sampler.counter_window("test.sampler_reqs", 1.0);
+  ASSERT_TRUE(one.valid);
+  EXPECT_DOUBLE_EQ(one.seconds, 1.0);
+  EXPECT_DOUBLE_EQ(one.rate_per_s, 200.0);
+
+  const auto late = sampler.counter_window("test.sampler_born_late", 2.0);
+  ASSERT_TRUE(late.valid);
+  EXPECT_DOUBLE_EQ(late.delta, 50.0);
+
+  // 4 adds of 15 between ticks 2 and 3 land in bin [10, 20): the delta
+  // quantile interpolates to exactly 15 and the delta mean is exact.
+  const auto h = sampler.histogram_window("test.sampler_lat", 1.0);
+  ASSERT_TRUE(h.valid);
+  EXPECT_DOUBLE_EQ(h.count, 4.0);
+  EXPECT_DOUBLE_EQ(h.mean, 15.0);
+  EXPECT_DOUBLE_EQ(h.p50, 15.0);
+
+  // Per-tick rates were published into the "<name>.rate" ring series.
+  const std::vector<double> rates =
+      Registry::instance().series("test.sampler_reqs.rate").values();
+  ASSERT_EQ(rates.size(), 2U);
+  EXPECT_DOUBLE_EQ(rates[0], 100.0);
+  EXPECT_DOUBLE_EQ(rates[1], 200.0);
+}
+
+// TSan target: 8 writer threads hammer every metric kind while the sampler
+// thread snapshots at its fastest cadence. The invariant is exactness —
+// no mutation may be lost or torn by a concurrent snapshot.
+TEST(MetricsSampler, ConcurrentSnapshotVsWriters) {
+  SamplerOptions opts;
+  opts.period_ms = 1;
+  opts.capacity = 64;
+  opts.rate_series = {"test.race_count"};
+  MetricsSampler sampler(opts);
+  sampler.start();
+
+  constexpr int kThreads = 8;
+  constexpr int kOps = 20'000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([] {
+      Registry& reg = Registry::instance();
+      Counter& c = reg.counter("test.race_count");
+      Gauge& g = reg.gauge("test.race_gauge");
+      HistogramCell& h = reg.histogram("test.race_lat", {1.0, 10.0, 100.0});
+      Series& s = reg.ring_series("test.race_series", 256);
+      for (int i = 0; i < kOps; ++i) {
+        c.add();
+        g.set(static_cast<double>(i));
+        h.add(static_cast<double>(i % 128));
+        s.append(static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  sampler.stop();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kOps;
+  const auto snap = Registry::instance().snapshot();
+  EXPECT_EQ(snap.counters.at("test.race_count"), kTotal);
+  EXPECT_EQ(snap.histograms.at("test.race_lat").total,
+            static_cast<double>(kTotal));
+  EXPECT_EQ(Registry::instance().series("test.race_series").total_appends(),
+            kTotal);
+  EXPECT_GE(sampler.ticks(), 1U);
+  EXPECT_LE(sampler.samples(), 64U);
 }
 
 TEST(RunReportJson, RoundTripsThroughParser) {

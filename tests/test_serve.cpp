@@ -8,11 +8,15 @@
 #include <cmath>
 #include <future>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "exec/sequential.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats_server.hpp"
 #include "rnn/network.hpp"
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
@@ -568,6 +572,174 @@ TEST(ServeWatchdog, ReleasesInjectedStallAndCompletes) {
   EXPECT_EQ(r.status, Status::kOk);
   EXPECT_GE(engine.stats().watchdog_fires, 1U);
   EXPECT_EQ(engine.stats().internal_errors, 0U);
+}
+
+// Queue-depth gauges: while requests of each class sit in the queue
+// (underfull batch, long flush deadline) the per-class gauges and the
+// stats() per-class depths must agree with what was enqueued.
+TEST(ServeObservability, PerClassQueueDepthGaugesPublished) {
+  const auto cfg = small_config();
+  EngineOptions options = quiet_options(/*max_batch=*/8);
+  options.max_delay_us = 500'000;  // hold underfull batches half a second
+  InferenceEngine engine(cfg, options);
+
+  std::vector<std::future<Response>> futures;
+  const auto submit_with = [&](serve::Priority priority, int n) {
+    for (int i = 0; i < n; ++i) {
+      Request r = serve::make_request(cfg, cfg.seq_length,
+                                      static_cast<std::uint64_t>(i + 1),
+                                      /*with_labels=*/false);
+      r.priority = priority;
+      futures.push_back(engine.submit(std::move(r)));
+    }
+  };
+  submit_with(serve::Priority::kHigh, 1);
+  submit_with(serve::Priority::kNormal, 2);
+  submit_with(serve::Priority::kBatch, 3);
+
+  // All six are queued (6 < max_batch) until the flush deadline; the
+  // dispatcher may seal them at any time after that, so read immediately.
+  const auto stats = engine.stats();
+  const auto snap = obs::Registry::instance().snapshot(false);
+  if (stats.queue_depth == 6) {  // not yet sealed: depths must match
+    EXPECT_EQ(stats.queue_depths[0], 1U);
+    EXPECT_EQ(stats.queue_depths[1], 2U);
+    EXPECT_EQ(stats.queue_depths[2], 3U);
+    EXPECT_EQ(snap.gauges.at("serve.queue_depth"), 6.0);
+    EXPECT_EQ(snap.gauges.at("serve.queue_depth.high"), 1.0);
+    EXPECT_EQ(snap.gauges.at("serve.queue_depth.normal"), 2.0);
+    EXPECT_EQ(snap.gauges.at("serve.queue_depth.batch"), 3.0);
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().status, Status::kOk);
+  engine.shutdown();
+  // Everything drained: the gauges must have been republished to zero.
+  const auto drained = obs::Registry::instance().snapshot(false);
+  EXPECT_EQ(drained.gauges.at("serve.queue_depth"), 0.0);
+  EXPECT_EQ(drained.gauges.at("serve.queue_depth.high"), 0.0);
+  EXPECT_EQ(drained.gauges.at("serve.queue_depth.normal"), 0.0);
+  EXPECT_EQ(drained.gauges.at("serve.queue_depth.batch"), 0.0);
+}
+
+// Request-scoped tracing through the ugliest path the engine has: a
+// poisoned batch that retries, bisects twice, and answers one request
+// kInternalError. Ids must be unique, every id must respond exactly once,
+// and each id's event timestamps must be monotone.
+TEST(ServeObservability, RequestIdsUniqueAndTracedThroughRetryBisect) {
+  const auto cfg = small_config();
+  EngineOptions options = quiet_options(/*max_batch=*/4);
+  options.max_delay_us = 50'000;  // let all four coalesce
+  options.max_batch_retries = 1;
+  options.breaker_threshold = 0;
+  InferenceEngine engine(cfg, options);
+
+  std::vector<std::future<Response>> futures;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    futures.push_back(
+        engine.submit(serve::make_request(cfg, cfg.seq_length, seed, true)));
+  }
+  Request poison = serve::make_request(cfg, cfg.seq_length, 9, true);
+  poison.features[3] = std::numeric_limits<float>::quiet_NaN();
+  futures.push_back(engine.submit(std::move(poison)));
+  for (auto& f : futures) (void)f.get();
+
+  std::map<std::uint64_t, std::vector<serve::RequestEvent>> by_id;
+  for (const serve::RequestEvent& ev : engine.request_events()) {
+    by_id[ev.id].push_back(ev);
+  }
+  EXPECT_EQ(engine.request_events_dropped(), 0U);
+  ASSERT_EQ(by_id.size(), 4U);  // one unique id per submitted request
+
+  int internal_errors = 0;
+  int ok = 0;
+  for (const auto& [id, events] : by_id) {
+    int submitted = 0;
+    int responded = 0;
+    int retries = 0;
+    int bisects = 0;
+    std::int32_t final_status = -1;
+    std::uint64_t prev_ts = 0;
+    for (const serve::RequestEvent& ev : events) {
+      EXPECT_GE(ev.ts_ns, prev_ts) << "id " << id << " went backwards";
+      prev_ts = ev.ts_ns;
+      switch (ev.stage) {
+        case serve::RequestStage::kSubmitted: ++submitted; break;
+        case serve::RequestStage::kResponded:
+          ++responded;
+          final_status = ev.arg;
+          break;
+        case serve::RequestStage::kRetry: ++retries; break;
+        case serve::RequestStage::kBisect: ++bisects; break;
+        default: break;
+      }
+    }
+    EXPECT_EQ(submitted, 1) << "id " << id;
+    EXPECT_EQ(responded, 1) << "id " << id;
+    // Every member of the poisoned 4-row batch saw the retry and at least
+    // the first bisection before the fault was isolated.
+    EXPECT_GE(retries, 1) << "id " << id;
+    EXPECT_GE(bisects, 1) << "id " << id;
+    if (final_status == static_cast<std::int32_t>(Status::kInternalError)) {
+      ++internal_errors;
+    } else if (final_status == static_cast<std::int32_t>(Status::kOk)) {
+      ++ok;
+    }
+  }
+  EXPECT_EQ(internal_errors, 1);
+  EXPECT_EQ(ok, 3);
+}
+
+// End-to-end stats endpoint on a live engine: /healthz, /statz (parse +
+// schema spot-checks), and /metrics exposition.
+TEST(ServeObservability, StatzJsonParsesWithSchema) {
+  const auto cfg = small_config();
+  EngineOptions options = quiet_options();
+  options.stats_port = 0;  // ephemeral listener (also enables the sampler)
+  InferenceEngine engine(cfg, options);
+  const int port = engine.stats_port();
+  ASSERT_GT(port, 0);
+
+  ASSERT_EQ(engine.infer(serve::make_request(cfg, cfg.seq_length, 1, true))
+                .status,
+            Status::kOk);
+
+  const auto health = obs::http_get(
+      "127.0.0.1", static_cast<std::uint16_t>(port), "/healthz");
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  const auto statz = obs::http_get(
+      "127.0.0.1", static_cast<std::uint16_t>(port), "/statz");
+  ASSERT_TRUE(statz.ok) << statz.error;
+  ASSERT_EQ(statz.status, 200);
+  const obs::JsonValue doc = obs::json_parse(statz.body);
+  EXPECT_EQ(doc.at("type").str, "statz");
+  EXPECT_EQ(doc.at("schema_version").number, 1.0);
+  EXPECT_GE(doc.at("uptime_s").number, 0.0);
+  EXPECT_EQ(doc.at("engine").at("completed").number, 1.0);
+  EXPECT_EQ(doc.at("engine").at("queue_depth").at("total").number, 0.0);
+  ASSERT_NE(doc.find("slo"), nullptr);
+  EXPECT_GE(doc.at("slo").at("availability").number, 0.0);
+  EXPECT_GT(doc.at("slo").at("latency_target_us").number, 0.0);
+  ASSERT_NE(doc.find("sampler"), nullptr);
+  EXPECT_GE(doc.at("sampler").at("ticks").number, 1.0);
+  ASSERT_NE(doc.find("metrics"), nullptr);
+  EXPECT_NE(doc.at("metrics").find("counters"), nullptr);
+
+  const auto metrics = obs::http_get(
+      "127.0.0.1", static_cast<std::uint16_t>(port), "/metrics");
+  ASSERT_TRUE(metrics.ok) << metrics.error;
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("# TYPE bpar_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("bpar_serve_request_us_bucket"),
+            std::string::npos);
+
+  engine.shutdown();
+  // The listener dies with the engine.
+  const auto after = obs::http_get(
+      "127.0.0.1", static_cast<std::uint16_t>(port), "/healthz");
+  EXPECT_FALSE(after.ok && after.status == 200);
 }
 
 }  // namespace

@@ -15,6 +15,14 @@
 //       Seeds or (with --merge) updates a min-of-N baseline from run
 //       reports / google-benchmark JSON. See EXPERIMENTS.md for the
 //       refresh procedure.
+//
+//   bpar_prof request <id> <trace.json>
+//       One request's stage-by-stage timeline (submit → queue → seal →
+//       form → execute → respond, retries/bisections included) from the
+//       per-request markers a serving trace carries (bpar_serve --trace,
+//       EngineOptions::trace_requests).
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -140,11 +148,161 @@ int cmd_baseline(int argc, const char* const* argv) {
   return 0;
 }
 
+/// One per-request stage marker recovered from a serving trace. Times are
+/// chrome-trace microseconds (trace-relative).
+struct RequestMark {
+  double ts_us = 0.0;
+  std::string stage;   // "submitted", "queued", ... (name minus "req.")
+  double arg = 0.0;
+  std::string status;  // only on "responded"
+};
+
+int cmd_request(int argc, const char* const* argv) {
+  bpar::util::ArgParser args("bpar_prof request",
+                             "Reconstruct one request's stage timeline");
+  if (!args.parse(argc, argv)) return 2;
+  if (args.positional().size() != 2) {
+    std::cerr << "usage: bpar_prof request <id> <trace.json>\n";
+    return 2;
+  }
+  const std::uint64_t want_id = std::stoull(args.positional()[0]);
+  const JsonValue doc = load_json(args.positional()[1]);
+  if (!doc.is_array()) {
+    std::cerr << "bpar_prof request: " << args.positional()[1]
+              << " is not a chrome-trace event array\n";
+    return 2;
+  }
+
+  std::vector<RequestMark> marks;
+  std::size_t total_request_events = 0;
+  std::vector<std::uint64_t> seen_ids;
+  for (const JsonValue& ev : doc.array) {
+    if (!ev.is_object()) continue;
+    const JsonValue* ph = ev.find("ph");
+    const JsonValue* name = ev.find("name");
+    if (ph == nullptr || name == nullptr || ph->str != "i" ||
+        name->str.rfind("req.", 0) != 0) {
+      continue;
+    }
+    const JsonValue* ev_args = ev.find("args");
+    if (ev_args == nullptr || !ev_args->is_object()) continue;
+    const JsonValue* req = ev_args->find("req");
+    if (req == nullptr || !req->is_number()) continue;
+    ++total_request_events;
+    const auto id = static_cast<std::uint64_t>(req->number);
+    if (std::find(seen_ids.begin(), seen_ids.end(), id) == seen_ids.end()) {
+      seen_ids.push_back(id);
+    }
+    if (id != want_id) continue;
+    RequestMark mark;
+    const JsonValue* ts = ev.find("ts");
+    mark.ts_us = ts != nullptr ? ts->number : 0.0;
+    mark.stage = name->str.substr(4);
+    if (const JsonValue* arg = ev_args->find("arg"); arg != nullptr) {
+      mark.arg = arg->number;
+    }
+    if (const JsonValue* status = ev_args->find("status");
+        status != nullptr) {
+      mark.status = status->str;
+    }
+    marks.push_back(std::move(mark));
+  }
+
+  if (marks.empty()) {
+    std::cerr << "bpar_prof request: no events for request " << want_id
+              << " (trace holds " << total_request_events
+              << " request event(s) across " << seen_ids.size()
+              << " id(s)";
+    if (!seen_ids.empty()) {
+      std::sort(seen_ids.begin(), seen_ids.end());
+      std::cerr << ", ids " << seen_ids.front() << ".." << seen_ids.back();
+    }
+    std::cerr << ")\n";
+    return 1;
+  }
+  std::stable_sort(marks.begin(), marks.end(),
+                   [](const RequestMark& a, const RequestMark& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  // Named stage timestamps for the summary (first occurrence wins, except
+  // exec_end / responded where the last one is the real finish).
+  const auto first_ts = [&](const std::string& stage) -> const RequestMark* {
+    for (const RequestMark& m : marks) {
+      if (m.stage == stage) return &m;
+    }
+    return nullptr;
+  };
+  const auto last_ts = [&](const std::string& stage) -> const RequestMark* {
+    const RequestMark* hit = nullptr;
+    for (const RequestMark& m : marks) {
+      if (m.stage == stage) hit = &m;
+    }
+    return hit;
+  };
+
+  std::printf("request %llu: %zu event(s)\n\n",
+              static_cast<unsigned long long>(want_id), marks.size());
+  std::printf("  %12s  %12s  %-10s  %s\n", "t (us)", "+delta (us)", "stage",
+              "detail");
+  double prev = marks.front().ts_us;
+  for (const RequestMark& m : marks) {
+    std::string detail;
+    if (m.stage == "sealed") {
+      detail = "batch size " + std::to_string(static_cast<int>(m.arg));
+    } else if (m.stage == "formed") {
+      detail = "padded rows " + std::to_string(static_cast<int>(m.arg));
+    } else if (m.stage == "retry") {
+      detail = "attempt " + std::to_string(static_cast<int>(m.arg));
+    } else if (m.stage == "bisect") {
+      detail = "depth " + std::to_string(static_cast<int>(m.arg));
+    } else if (m.stage == "queued") {
+      detail = "class " + std::to_string(static_cast<int>(m.arg));
+    } else if (m.stage == "responded") {
+      detail = "status " + m.status;
+    } else if (m.stage == "exec_end") {
+      detail = m.arg != 0.0 ? "failed" : "ok";
+    }
+    std::printf("  %12.1f  %12.1f  %-10s  %s\n", m.ts_us, m.ts_us - prev,
+                m.stage.c_str(), detail.c_str());
+    prev = m.ts_us;
+  }
+
+  const RequestMark* submitted = first_ts("submitted");
+  const RequestMark* queued = first_ts("queued");
+  const RequestMark* sealed = first_ts("sealed");
+  const RequestMark* formed = first_ts("formed");
+  const RequestMark* exec_begin = first_ts("exec_begin");
+  const RequestMark* exec_end = last_ts("exec_end");
+  const RequestMark* responded = last_ts("responded");
+  std::printf("\nsummary:\n");
+  if (queued != nullptr && sealed != nullptr) {
+    std::printf("  queue wait   %10.1f us\n", sealed->ts_us - queued->ts_us);
+  }
+  if (sealed != nullptr && formed != nullptr) {
+    std::printf("  batch form   %10.1f us\n", formed->ts_us - sealed->ts_us);
+  }
+  if (exec_begin != nullptr && exec_end != nullptr) {
+    std::printf("  execute      %10.1f us\n",
+                exec_end->ts_us - exec_begin->ts_us);
+  }
+  if (submitted != nullptr && responded != nullptr) {
+    std::printf("  total        %10.1f us  (%s)\n",
+                responded->ts_us - submitted->ts_us,
+                responded->status.c_str());
+  } else if (responded == nullptr) {
+    std::printf("  (no responded marker — request still in flight when the "
+                "trace was written?)\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: bpar_prof <analyze|diff|baseline> [args...]\n"
+    std::cerr << "usage: bpar_prof <analyze|diff|baseline|request> "
+                 "[args...]\n"
                  "run 'bpar_prof <command> --help' for details\n";
     return 2;
   }
@@ -153,11 +311,12 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(argc - 1, argv + 1);
     if (command == "diff") return cmd_diff(argc - 1, argv + 1);
     if (command == "baseline") return cmd_baseline(argc - 1, argv + 1);
+    if (command == "request") return cmd_request(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::cerr << "bpar_prof " << command << ": " << e.what() << "\n";
     return 2;
   }
   std::cerr << "bpar_prof: unknown command '" << command
-            << "' (expected analyze, diff, or baseline)\n";
+            << "' (expected analyze, diff, baseline, or request)\n";
   return 2;
 }

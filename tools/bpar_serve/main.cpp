@@ -106,6 +106,15 @@ int main(int argc, char** argv) {
   args.add_int("breaker", 3,
                "consecutive failed batches before a degradation step "
                "(0 = breaker off)");
+  args.add_int("stats-port", -1,
+               "live stats endpoint port: /metrics /statz /healthz "
+               "(-1 = off, 0 = ephemeral)");
+  args.add_int("sampler-period-ms", 1000,
+               "metrics sampler tick period for windowed rollups");
+  args.add_flag("no-request-trace",
+                "disable per-request stage tracing (bpar_prof request)");
+  args.add_int("slo-target-ms", 50,
+               "latency SLO target for the built-in SLO tracker");
   if (!args.parse(argc, argv)) return 1;
   bpar::obs::ObsSession session("bpar_serve", args,
                                 bpar::obs::ReportMode::kJson);
@@ -156,6 +165,12 @@ int main(int argc, char** argv) {
       static_cast<int>(args.get_int("breaker"));
   engine_options.watchdog_ms =
       static_cast<std::uint32_t>(args.get_int("watchdog-ms"));
+  engine_options.stats_port = static_cast<int>(args.get_int("stats-port"));
+  engine_options.sampler_period_ms =
+      static_cast<std::uint32_t>(args.get_int("sampler-period-ms"));
+  engine_options.trace_requests = !args.flag("no-request-trace");
+  engine_options.slo.latency_target_us =
+      static_cast<double>(args.get_int("slo-target-ms")) * 1000.0;
   try {
     engine_options.executor.faults =
         bpar::taskrt::FaultSpec::parse(args.get_string("faults"));
@@ -199,6 +214,12 @@ int main(int argc, char** argv) {
     options.record_trace = !trace_path.empty() && !rebuild;
     auto engine =
         std::make_unique<bpar::serve::InferenceEngine>(cfg, options);
+    if (engine->stats_port() >= 0) {
+      std::printf("stats endpoint: http://127.0.0.1:%d  "
+                  "(/metrics /statz /healthz)\n",
+                  engine->stats_port());
+      std::fflush(stdout);
+    }
     engine->warmup(seq_lengths);
     RunOutcome outcome;
     outcome.load = bpar::serve::run_load(*engine, load_options);
