@@ -128,31 +128,41 @@ int main(int argc, char** argv) {
       peak_rps);
   bench::emit_csv(args, open_table, "fig_serving_openloop");
 
-  // Observability overhead (DESIGN.md §5i): the same closed-loop 8-client
-  // batched configuration with the full observability plane off vs on
-  // (request-stage tracing + 1 s sampler + live stats listener). The
-  // budget is <= ~2% on p50 — the plane is sampling + bounded rings, not
-  // per-request heavy lifting, and this row keeps it honest.
+  // Observability overhead (DESIGN.md §5i/§5j): the same closed-loop
+  // 8-client batched configuration with the observability plane off, on
+  // (request-stage tracing + 1 s sampler + live stats listener), and on
+  // plus the continuous span-stack profiler. The budget is <= ~2% on p50
+  // for either enabled row — the plane is sampling + bounded rings (and
+  // the profiler a few relaxed stores per span), not per-request heavy
+  // lifting, and these rows keep it honest.
   bpar::util::Table obs_table({"config", "throughput(rps)", "p50(ms)",
                                "p99(ms)"});
-  for (const bool obs_on : {false, true}) {
+  struct ObsConfig {
+    const char* name;
+    bool obs_on;
+    bool profiler_on;
+  };
+  for (const auto& mode : {ObsConfig{"obs-off", false, false},
+                           ObsConfig{"obs-on", true, false},
+                           ObsConfig{"prof-on", true, true}}) {
     bpar::serve::EngineOptions options = base;
     options.enable_batching = true;
-    options.trace_requests = obs_on;
-    options.enable_sampler = obs_on;
+    options.trace_requests = mode.obs_on;
+    options.enable_sampler = mode.obs_on;
     options.sampler_period_ms = 1000;
-    options.stats_port = obs_on ? 0 : -1;  // ephemeral listener when on
+    options.stats_port = mode.obs_on ? 0 : -1;  // ephemeral listener when on
+    options.enable_profiler = mode.profiler_on;
     bpar::serve::InferenceEngine engine(cfg, options);
     engine.warmup(seq_lengths);
     load.clients = 8;
     const auto result = bpar::serve::run_load(engine, load);
     engine.shutdown();
-    obs_table.add_row({obs_on ? "obs-on" : "obs-off",
+    obs_table.add_row({mode.name,
                        bpar::util::fmt(result.throughput_rps, 1),
                        bpar::util::fmt(result.latency_ms.p50, 3),
                        bpar::util::fmt(result.latency_ms.p99, 3)});
   }
-  obs_table.print("observability overhead (off vs on)");
+  obs_table.print("observability overhead (off vs on vs on+profiler)");
   bench::emit_csv(args, obs_table, "fig_serving_obs");
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "exec/reference_pass.hpp"
+#include "obs/memory.hpp"
 #include "obs/trace.hpp"
 #include "perf/timer.hpp"
 #include "util/check.hpp"
@@ -10,6 +11,16 @@
 namespace bpar::exec {
 
 namespace {
+
+// Graph-structure estimate for the program-cache memory tracker. The
+// tensors a program owns (weights views, activations, workspaces) are
+// already accounted under mem.tensor by Matrix itself; this covers the
+// task/edge skeleton that the cache keeps alive per shape bucket.
+std::uint64_t program_graph_bytes(const graph::TrainingProgram& program) {
+  return static_cast<std::uint64_t>(program.graph().size()) *
+         sizeof(taskrt::Task);
+}
+
 taskrt::RuntimeOptions runtime_options(const BParOptions& options) {
   taskrt::RuntimeOptions ro;
   ro.num_workers = options.common.num_workers;
@@ -25,6 +36,14 @@ taskrt::RuntimeOptions runtime_options(const BParOptions& options) {
 
 BParExecutor::BParExecutor(rnn::Network& net, BParOptions options)
     : net_(net), options_(options), runtime_(runtime_options(options)) {}
+
+BParExecutor::~BParExecutor() {
+  for (const auto* cache : {&train_programs_, &infer_programs_}) {
+    for (const auto& [key, program] : *cache) {
+      obs::program_cache_memory().on_free(program_graph_bytes(*program));
+    }
+  }
+}
 
 graph::TrainingProgram& BParExecutor::program(bool training, int seq_length,
                                               int batch_rows) {
@@ -53,6 +72,7 @@ graph::TrainingProgram& BParExecutor::program(bool training, int seq_length,
              .emplace(ShapeKey{steps, rows},
                       std::make_unique<graph::TrainingProgram>(net_, rows, bo))
              .first;
+    obs::program_cache_memory().on_alloc(program_graph_bytes(*it->second));
   }
   return *it->second;
 }

@@ -40,6 +40,7 @@ struct BParOptions {
 class BParExecutor final : public Executor {
  public:
   BParExecutor(rnn::Network& net, BParOptions options);
+  ~BParExecutor() override;  // releases program-cache memory accounting
 
   StepResult train_batch(const rnn::BatchData& batch) override;
   using Executor::infer;

@@ -57,6 +57,14 @@ std::string prometheus_text(const Registry::Snapshot& snap) {
     append_header(out, pname, "", "gauge");
     append_line(out, pname, "", "", value);
   }
+  // Ring-mode series (the sampler's ".rate" sparkline feeds) are windows,
+  // not scalars, so they never fit the counter/gauge forms above — export
+  // the newest value as a gauge so scrapes see the live rate.
+  for (const auto& [name, value] : snap.ring_last) {
+    const std::string pname = prometheus_name(name);
+    append_header(out, pname, "", "gauge");
+    append_line(out, pname, "", "", value);
+  }
   for (const auto& [name, histo] : snap.histograms) {
     if (histo.weights.size() != histo.edges.size() + 1) continue;
     const std::string pname = prometheus_name(name);

@@ -1,0 +1,362 @@
+#include "obs/flight_recorder.hpp"
+
+#include <csignal>
+#include <ctime>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <system_error>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace bpar::obs {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string sanitize_reason(std::string_view reason) {
+  std::string out;
+  for (const char c : reason) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      out += c;
+    } else if (c >= 'A' && c <= 'Z') {
+      out += static_cast<char>(c - 'A' + 'a');
+    } else if (!out.empty() && out.back() != '-') {
+      out += '-';
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  if (out.empty()) out = "manual";
+  if (out.size() > 40) out.resize(40);
+  return out;
+}
+
+std::string seq_string(std::uint64_t seq) {
+  std::string s = std::to_string(seq);
+  while (s.size() < 6) s.insert(s.begin(), '0');
+  return s;
+}
+
+constexpr const char* kTraceSuffix = ".trace.json";
+constexpr const char* kReportSuffix = ".report.json";
+
+/// "<stem>-NNNNNN-<reason>" from a bundle file name, or "" if not one.
+std::string bundle_base(const std::string& filename, const std::string& stem) {
+  const std::string prefix = stem + "-";
+  if (filename.rfind(prefix, 0) != 0) return {};
+  for (const char* suffix : {kTraceSuffix, kReportSuffix}) {
+    const std::size_t len = std::string(suffix).size();
+    if (filename.size() > len &&
+        filename.compare(filename.size() - len, len, suffix) == 0) {
+      return filename.substr(0, filename.size() - len);
+    }
+  }
+  return {};
+}
+
+// The one recorder allowed to own the fatal-signal handlers.
+std::atomic<FlightRecorder*> g_fatal_recorder{nullptr};
+constexpr int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGABRT};
+struct sigaction g_prev_actions[4];
+
+void fatal_signal_handler(int sig) {
+  FlightRecorder* rec = g_fatal_recorder.load(std::memory_order_relaxed);
+  if (rec != nullptr) rec->write_fatal_record(sig);
+  // SA_RESETHAND already restored the default disposition; re-raising
+  // terminates with the original signal (correct exit status + core).
+  ::raise(sig);
+}
+
+// Async-signal-safe unsigned decimal append; returns chars written.
+std::size_t format_u64(char* buf, std::uint64_t v) {
+  char tmp[24];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(std::move(options)) {
+  if (options_.max_bundles == 0) options_.max_bundles = 1;
+  // Continue the sequence across restarts so rotation order stays
+  // filename-sortable.
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    const std::string base =
+        bundle_base(entry.path().filename().string(), options_.stem);
+    if (base.empty()) continue;
+    const std::size_t at = options_.stem.size() + 1;
+    const std::uint64_t seq = std::strtoull(base.c_str() + at, nullptr, 10);
+    if (seq + 1 > seq_) seq_ = seq + 1;
+  }
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (handler_installed_) {
+    FlightRecorder* expected = this;
+    if (g_fatal_recorder.compare_exchange_strong(expected, nullptr)) {
+      for (std::size_t i = 0; i < std::size(kFatalSignals); ++i) {
+        ::sigaction(kFatalSignals[i], &g_prev_actions[i], nullptr);
+      }
+    }
+  }
+  if (fatal_fd_ >= 0) ::close(fatal_fd_);
+}
+
+void FlightRecorder::set_trace_writer(TraceWriter fn) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  trace_writer_ = std::move(fn);
+}
+
+void FlightRecorder::set_state_json(TextFn fn) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  state_json_ = std::move(fn);
+}
+
+void FlightRecorder::set_profile_text(TextFn fn) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  profile_text_ = std::move(fn);
+}
+
+DumpResult FlightRecorder::trigger(std::string_view reason) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  DumpResult out;
+  out.reason = sanitize_reason(reason);
+  const std::uint64_t now = now_ns();
+  if (last_dump_ns_ != 0 &&
+      now - last_dump_ns_ <
+          static_cast<std::uint64_t>(options_.debounce_ms) * 1'000'000ULL) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    out.skipped = "debounced";
+    return out;
+  }
+  out = write_bundle_locked(out.reason);
+  if (out.written) {
+    last_dump_ns_ = now;
+    dumps_.fetch_add(1, std::memory_order_relaxed);
+    Registry::instance().counter("flight.dumps").add();
+  }
+  return out;
+}
+
+DumpResult FlightRecorder::write_bundle_locked(std::string_view reason) {
+  DumpResult out;
+  out.reason = std::string(reason);
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    out.skipped = "mkdir failed: " + ec.message();
+    return out;
+  }
+  const std::string base =
+      options_.stem + "-" + seq_string(seq_) + "-" + out.reason;
+  ++seq_;
+  const fs::path dir(options_.dir);
+  const std::string trace_path = (dir / (base + kTraceSuffix)).string();
+  const std::string report_path = (dir / (base + kReportSuffix)).string();
+
+  // Trace first: it is the bulky part, and the report records whether it
+  // landed. A throwing provider degrades to a report-only bundle instead
+  // of losing the incident entirely.
+  bool have_trace = false;
+  std::string trace_error;
+  if (trace_writer_) {
+    try {
+      std::ofstream os(trace_path, std::ios::binary | std::ios::trunc);
+      have_trace = os.good() && trace_writer_(os);
+    } catch (const std::exception& e) {
+      trace_error = e.what();
+    } catch (...) {
+      trace_error = "unknown trace writer failure";
+    }
+    if (!have_trace) fs::remove(trace_path, ec);
+  }
+
+  std::string state;
+  if (state_json_) {
+    try {
+      state = state_json_();
+    } catch (...) {
+      state.clear();
+    }
+  }
+  std::string profile;
+  if (profile_text_) {
+    try {
+      profile = profile_text_();
+    } catch (...) {
+      profile.clear();
+    }
+  }
+
+  std::string report;
+  report.reserve(4096);
+  report += "{\n  \"type\": \"flight_dump\",\n  \"schema_version\": 1,\n";
+  report += "  \"reason\": " + json_quote(out.reason) + ",\n";
+  report += "  \"seq\": " + std::to_string(seq_ - 1) + ",\n";
+  report += "  \"steady_ns\": " + std::to_string(now_ns()) + ",\n";
+  report += "  \"wall_unix_s\": " +
+            std::to_string(static_cast<long long>(std::time(nullptr))) +
+            ",\n";
+  report += "  \"trace_file\": ";
+  report += have_trace ? json_quote(base + kTraceSuffix) : "null";
+  report += ",\n";
+  if (!trace_error.empty()) {
+    report += "  \"trace_error\": " + json_quote(trace_error) + ",\n";
+  }
+  report += "  \"state\": ";
+  report += state.empty() ? "null" : state;
+  report += ",\n";
+  report += "  \"profile_folded\": " + json_quote(profile) + ",\n";
+  report += "  \"metrics\": " +
+            metrics_json(Registry::instance().snapshot(
+                /*include_series=*/false)) +
+            "\n}\n";
+  {
+    std::ofstream os(report_path, std::ios::binary | std::ios::trunc);
+    if (!os.good()) {
+      out.skipped = "report open failed: " + report_path;
+      fs::remove(trace_path, ec);
+      return out;
+    }
+    os << report;
+  }
+
+  out.written = true;
+  if (have_trace) out.trace_path = trace_path;
+  out.report_path = report_path;
+  rotate_locked(base);
+  return out;
+}
+
+void FlightRecorder::rotate_locked(const std::string& keep_base) {
+  std::error_code ec;
+  std::map<std::string, std::uint64_t> bundle_bytes;  // base -> total bytes
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    const std::string base =
+        bundle_base(entry.path().filename().string(), options_.stem);
+    if (base.empty()) continue;
+    const std::uint64_t size = fs::file_size(entry.path(), ec);
+    bundle_bytes[base] += ec ? 0 : size;
+  }
+  std::uint64_t total = 0;
+  for (const auto& [base, bytes] : bundle_bytes) total += bytes;
+  // Map iteration is name order == sequence order: prune oldest first,
+  // never the bundle just written.
+  for (auto it = bundle_bytes.begin();
+       it != bundle_bytes.end() &&
+       (bundle_bytes.size() > options_.max_bundles ||
+        total > options_.max_total_bytes);) {
+    if (it->first == keep_base) {
+      ++it;
+      continue;
+    }
+    const fs::path dir(options_.dir);
+    fs::remove(dir / (it->first + kTraceSuffix), ec);
+    fs::remove(dir / (it->first + kReportSuffix), ec);
+    total -= it->second;
+    it = bundle_bytes.erase(it);
+  }
+}
+
+// Lock-free: the engine's statz_json reads these both from arbitrary
+// threads and from *inside* trigger() (as the state provider, mu_ held).
+std::uint64_t FlightRecorder::dumps() const {
+  return dumps_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FlightRecorder::suppressed() const {
+  return suppressed_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> FlightRecorder::bundle_reports() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const std::size_t len = std::string(kReportSuffix).size();
+    if (!bundle_base(name, options_.stem).empty() && name.size() > len &&
+        name.compare(name.size() - len, len, kReportSuffix) == 0) {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool FlightRecorder::install_fatal_handler() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (handler_installed_) return true;
+  FlightRecorder* expected = nullptr;
+  if (!g_fatal_recorder.compare_exchange_strong(expected, this)) {
+    return false;  // another recorder owns the handlers
+  }
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  fatal_path_ =
+      (fs::path(options_.dir) / (options_.stem + "-fatal.txt")).string();
+  fatal_fd_ = ::open(fatal_path_.c_str(),
+                     O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fatal_fd_ < 0) {
+    g_fatal_recorder.store(nullptr);
+    fatal_path_.clear();
+    return false;
+  }
+  // Everything the handler emits besides the signal number is serialized
+  // now, while allocation is still legal.
+  fatal_header_ = "{\"type\": \"flight_fatal\", \"schema_version\": 1, "
+                  "\"pid\": " +
+                  std::to_string(::getpid()) +
+                  ", \"dumps_dir\": " + json_quote(options_.dir) + "}\n";
+  struct sigaction sa {};
+  sa.sa_handler = &fatal_signal_handler;
+  ::sigemptyset(&sa.sa_mask);
+  // SA_RESETHAND: the disposition is back to default before the handler
+  // runs, so the re-raise cannot recurse.
+  sa.sa_flags = SA_RESETHAND;
+  for (std::size_t i = 0; i < std::size(kFatalSignals); ++i) {
+    ::sigaction(kFatalSignals[i], &sa, &g_prev_actions[i]);
+  }
+  handler_installed_ = true;
+  return true;
+}
+
+std::string FlightRecorder::fatal_path() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return fatal_path_;
+}
+
+void FlightRecorder::write_fatal_record(int sig) {
+  // Async-signal-safe: write()/fsync() only, no locks, no allocation.
+  if (fatal_fd_ < 0) return;
+  ssize_t rc = ::write(fatal_fd_, fatal_header_.data(), fatal_header_.size());
+  char line[48];
+  std::size_t n = 0;
+  const char prefix[] = "signal ";
+  for (const char c : prefix) {
+    if (c != '\0') line[n++] = c;
+  }
+  n += format_u64(line + n, static_cast<std::uint64_t>(sig));
+  line[n++] = '\n';
+  rc = ::write(fatal_fd_, line, n);
+  (void)rc;
+  ::fsync(fatal_fd_);
+}
+
+}  // namespace bpar::obs

@@ -1,0 +1,106 @@
+#include "obs/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+#include "obs/metrics.hpp"
+
+namespace bpar::obs {
+
+namespace {
+
+#if defined(__linux__)
+// Reads a small /proc file into `buf`; returns bytes read (0 on failure).
+std::size_t slurp(const char* path, char* buf, std::size_t cap) {
+  std::FILE* f = std::fopen(path, "re");
+  if (f == nullptr) return 0;
+  const std::size_t n = std::fread(buf, 1, cap - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  return n;
+}
+#endif
+
+}  // namespace
+
+ProcSelfStats read_proc_self() {
+  ProcSelfStats out;
+#if defined(__linux__)
+  char buf[4096];
+  const double page = static_cast<double>(::sysconf(_SC_PAGESIZE));
+  if (slurp("/proc/self/statm", buf, sizeof buf) > 0) {
+    unsigned long long vm_pages = 0;
+    unsigned long long rss_pages = 0;
+    if (std::sscanf(buf, "%llu %llu", &vm_pages, &rss_pages) == 2) {
+      out.vm_bytes = static_cast<double>(vm_pages) * page;
+      out.rss_bytes = static_cast<double>(rss_pages) * page;
+      out.valid = true;
+    }
+  }
+  if (slurp("/proc/self/stat", buf, sizeof buf) > 0) {
+    // Field 2 (comm) may contain spaces; everything after the closing ')'
+    // is space-separated: state is field 3, minflt 10, majflt 12,
+    // num_threads 20.
+    const char* p = std::strrchr(buf, ')');
+    if (p != nullptr) {
+      unsigned long long minflt = 0;
+      unsigned long long majflt = 0;
+      long long threads = 0;
+      // Skips: state(3) ppid pgrp session tty tpgid flags -> minflt(10),
+      // cminflt -> majflt(12), then cmajflt utime stime cutime cstime
+      // priority nice -> num_threads(20).
+      if (std::sscanf(p + 1,
+                      " %*c %*d %*d %*d %*d %*d %*u %llu %*u %llu %*u %*u "
+                      "%*u %*d %*d %*d %*d %lld",
+                      &minflt, &majflt, &threads) == 3) {
+        out.minor_faults = static_cast<double>(minflt);
+        out.major_faults = static_cast<double>(majflt);
+        out.threads = static_cast<double>(threads);
+      }
+    }
+  }
+  if (slurp("/proc/self/status", buf, sizeof buf) > 0) {
+    const auto field = [&](const char* key) -> double {
+      const char* hit = std::strstr(buf, key);
+      if (hit == nullptr) return 0.0;
+      unsigned long long v = 0;
+      if (std::sscanf(hit + std::strlen(key), " %llu", &v) != 1) return 0.0;
+      return static_cast<double>(v);
+    };
+    out.ctx_voluntary = field("voluntary_ctxt_switches:");
+    out.ctx_involuntary = field("nonvoluntary_ctxt_switches:");
+  }
+#endif
+  return out;
+}
+
+void publish_memory_metrics() {
+  Registry& reg = Registry::instance();
+  const auto publish = [&](const char* sub, const MemTracker& t) {
+    const std::string base = std::string("mem.") + sub;
+    reg.gauge(base + ".bytes").set(static_cast<double>(t.current_bytes()));
+    reg.gauge(base + ".peak_bytes").set(static_cast<double>(t.peak_bytes()));
+    reg.gauge(base + ".allocs").set(static_cast<double>(t.allocs()));
+  };
+  publish("tensor", tensor_memory());
+  publish("program_cache", program_cache_memory());
+  publish("serve_queue", serve_queue_memory());
+
+  const ProcSelfStats proc = read_proc_self();
+  if (proc.valid) {
+    reg.gauge("proc.rss_bytes").set(proc.rss_bytes);
+    reg.gauge("proc.vm_bytes").set(proc.vm_bytes);
+    reg.gauge("proc.minor_faults").set(proc.minor_faults);
+    reg.gauge("proc.major_faults").set(proc.major_faults);
+    reg.gauge("proc.threads").set(proc.threads);
+    reg.gauge("proc.ctx_voluntary").set(proc.ctx_voluntary);
+    reg.gauge("proc.ctx_involuntary").set(proc.ctx_involuntary);
+  }
+}
+
+}  // namespace bpar::obs

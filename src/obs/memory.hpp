@@ -1,0 +1,110 @@
+// Memory observability (DESIGN.md §5j): subsystem-tagged allocation
+// accounting plus /proc/self process-level sampling.
+//
+// MemTracker is a handful of relaxed atomics — cheap enough to sit on the
+// tensor allocation path. Each subsystem that owns significant memory
+// funnels its alloc/free sizes through a process-wide tracker:
+//
+//   tensor_memory()         every Matrix backing store (src/tensor)
+//   program_cache_memory()  cached task-graph programs (src/exec)
+//   serve_queue_memory()    queued request payloads (src/serve)
+//
+// publish_memory_metrics() mirrors every tracker plus a /proc/self sample
+// into the Registry as `mem.*` / `proc.*` gauges; the MetricsSampler calls
+// it each tick so the values land in windowed rollups, /statz, /metrics,
+// and the flight-recorder dump for free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace bpar::obs {
+
+/// Lock-free current/peak/total byte accounting for one subsystem.
+class MemTracker {
+ public:
+  void on_alloc(std::uint64_t bytes) noexcept {
+    allocs_.fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(bytes, std::memory_order_relaxed);
+    const std::uint64_t cur =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (peak < cur && !peak_.compare_exchange_weak(
+                             peak, cur, std::memory_order_relaxed)) {
+    }
+  }
+  void on_free(std::uint64_t bytes) noexcept {
+    frees_.fetch_add(1, std::memory_order_relaxed);
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t current_bytes() const noexcept {
+    return current_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of current_bytes() since process start (or reset()).
+  [[nodiscard]] std::uint64_t peak_bytes() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative bytes ever allocated (never decremented).
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t allocs() const noexcept {
+    return allocs_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t frees() const noexcept {
+    return frees_.load(std::memory_order_relaxed);
+  }
+
+  /// Tests only: production trackers are process-lifetime monotonic.
+  void reset() noexcept {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+    total_.store(0, std::memory_order_relaxed);
+    allocs_.store(0, std::memory_order_relaxed);
+    frees_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> current_{0};
+  std::atomic<std::uint64_t> peak_{0};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::uint64_t> frees_{0};
+};
+
+// Process-wide subsystem trackers. Inline function-local statics: usable
+// from any layer (header-only — src/tensor does not link obs), one
+// instance per process.
+[[nodiscard]] inline MemTracker& tensor_memory() {
+  static MemTracker tracker;
+  return tracker;
+}
+[[nodiscard]] inline MemTracker& program_cache_memory() {
+  static MemTracker tracker;
+  return tracker;
+}
+[[nodiscard]] inline MemTracker& serve_queue_memory() {
+  static MemTracker tracker;
+  return tracker;
+}
+
+/// One /proc/self sample (Linux; `valid` false elsewhere or on parse
+/// failure — all fields 0 then).
+struct ProcSelfStats {
+  bool valid = false;
+  double rss_bytes = 0.0;       // statm resident pages * page size
+  double vm_bytes = 0.0;        // statm total program size
+  double minor_faults = 0.0;    // stat minflt (cumulative)
+  double major_faults = 0.0;    // stat majflt (cumulative)
+  double threads = 0.0;         // stat num_threads
+  double ctx_voluntary = 0.0;   // status voluntary_ctxt_switches
+  double ctx_involuntary = 0.0; // status nonvoluntary_ctxt_switches
+};
+[[nodiscard]] ProcSelfStats read_proc_self();
+
+/// Mirrors every subsystem tracker (`mem.<sub>.bytes/.peak_bytes/.allocs`)
+/// and a fresh /proc sample (`proc.*`) into Registry gauges.
+void publish_memory_metrics();
+
+}  // namespace bpar::obs

@@ -32,6 +32,13 @@ std::size_t Series::ring_capacity() const {
   return ring_capacity_;
 }
 
+bool Series::last(double* out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (values_.empty()) return false;
+  *out = values_.back();
+  return true;
+}
+
 std::size_t Series::total_appends() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return appends_;
@@ -101,6 +108,10 @@ Registry::Snapshot Registry::snapshot(bool include_series) const {
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
   if (include_series) {
     for (const auto& [name, s] : series_) snap.series[name] = s.values();
+  }
+  for (const auto& [name, s] : series_) {
+    double v = 0.0;
+    if (s.ring_capacity() > 0 && s.last(&v)) snap.ring_last[name] = v;
   }
   for (const auto& [name, h] : histograms_) {
     const Histogram histo = h.snapshot();

@@ -73,6 +73,8 @@ class Series {
   void set_ring_capacity(std::size_t capacity);
   /// 0 = append-only mode.
   [[nodiscard]] std::size_t ring_capacity() const;
+  /// Newest value, or false when the series is empty.
+  [[nodiscard]] bool last(double* out) const;
 
  private:
   mutable std::mutex mu_;
@@ -120,6 +122,10 @@ class Registry {
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, std::vector<double>> series;
+    /// Newest value of every non-empty ring-mode series — captured even
+    /// when include_series is false, so cheap snapshots (the sampler, the
+    /// /metrics endpoint) still expose the sparkline feeds' current value.
+    std::map<std::string, double> ring_last;
     std::map<std::string, HistoSnapshot> histograms;
   };
   /// `include_series = false` skips the (potentially large) series values —

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/histogram.hpp"
+#include "obs/memory.hpp"
 
 namespace bpar::obs {
 
@@ -65,6 +66,9 @@ void MetricsSampler::sample_now() { sample_at(steady_now_ns()); }
 
 void MetricsSampler::sample_at(std::uint64_t ts_ns) {
   Registry::instance().counter("obs.sampler.ticks").add();
+  // Refresh memory/proc gauges before snapshotting so they are part of
+  // this tick, not one tick stale.
+  if (options_.sample_proc) publish_memory_metrics();
   Sample sample;
   sample.ts_ns = ts_ns;
   sample.snap = Registry::instance().snapshot(/*include_series=*/false);

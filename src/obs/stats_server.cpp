@@ -1,6 +1,7 @@
 #include "obs/stats_server.hpp"
 
 #include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -146,7 +147,9 @@ void StatsServer::serve_connection(int fd) {
   }
   const std::string method = head.substr(0, sp1);
   std::string path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string query;
   if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    query = path.substr(q + 1);
     path.resize(q);
   }
   if (method != "GET") {
@@ -162,7 +165,7 @@ void StatsServer::serve_connection(int fd) {
   }
   HttpResponse resp;
   try {
-    resp = it->second();
+    resp = it->second(query);
   } catch (const std::exception& e) {
     resp = {500, "text/plain; charset=utf-8",
             std::string("handler error: ") + e.what() + "\n"};
@@ -178,11 +181,23 @@ HttpResult http_get(std::string_view host, std::uint16_t port,
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  const std::string host_str(host == "localhost" ? "127.0.0.1" : host);
+  const std::string host_str(host);
   if (::inet_pton(AF_INET, host_str.c_str(), &addr.sin_addr) != 1) {
-    out.error = "unsupported host (numeric IPv4 or localhost only): " +
-                host_str;
-    return out;
+    // Not a numeric IPv4 literal: resolve the name (getaddrinfo also
+    // covers "localhost" without /etc/hosts assumptions).
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const int rc = ::getaddrinfo(host_str.c_str(), nullptr, &hints, &res);
+    if (rc != 0 || res == nullptr) {
+      out.error = "resolve " + host_str + ": " + ::gai_strerror(rc);
+      if (res != nullptr) ::freeaddrinfo(res);
+      return out;
+    }
+    addr.sin_addr =
+        reinterpret_cast<const sockaddr_in*>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {

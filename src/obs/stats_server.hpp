@@ -30,7 +30,10 @@ struct HttpResponse {
 
 class StatsServer {
  public:
-  using Handler = std::function<HttpResponse()>;
+  /// Receives the raw query string (text after '?', "" when absent) —
+  /// /profilez?seconds=N style parameters. Handlers that take none can
+  /// ignore the argument.
+  using Handler = std::function<HttpResponse(std::string_view query)>;
 
   StatsServer() = default;
   ~StatsServer();  // stop()
@@ -38,8 +41,9 @@ class StatsServer {
   StatsServer(const StatsServer&) = delete;
   StatsServer& operator=(const StatsServer&) = delete;
 
-  /// Registers `handler` for exact-match GET `path` (query strings are
-  /// stripped before matching). Must be called before start().
+  /// Registers `handler` for exact-match GET `path` (the query string is
+  /// stripped before matching and passed to the handler). Must be called
+  /// before start().
   void handle(std::string path, Handler handler);
 
   /// Binds 0.0.0.0:`port` (0 = ephemeral) and spawns the accept loop.
@@ -71,7 +75,8 @@ struct HttpResult {
 };
 
 /// Tiny blocking HTTP/1.1 GET client for same-host polling (bpar_top, the
-/// CI smoke test). `host` is a numeric IPv4 address or "localhost".
+/// CI smoke test). `host` is a numeric IPv4 address or any DNS name
+/// (resolved with getaddrinfo; IPv4 results are used).
 [[nodiscard]] HttpResult http_get(std::string_view host, std::uint16_t port,
                                   std::string_view path,
                                   int timeout_ms = 2000);

@@ -64,6 +64,32 @@ extern std::atomic<bool> g_tracing_enabled;
 void set_tracing_enabled(bool on);
 #endif
 
+// ---- span-stack maintenance (profiler support) ----
+//
+// When a SpanProfiler (obs/profiler.hpp) is running, every live Span also
+// pushes its interned name onto a per-thread seqlock-guarded stack so the
+// profiler's sampling thread can read "what is this thread doing right
+// now" without stopping it. The gate is one relaxed load, the same cost
+// model as tracing_enabled(); with BPAR_NO_TRACING both compile away.
+
+#if defined(BPAR_NO_TRACING)
+constexpr bool profiling_active() { return false; }
+inline void span_stack_push(std::uint16_t) {}
+inline void span_stack_pop() {}
+#else
+namespace detail {
+extern std::atomic<int> g_profiling_active;  // live SpanProfiler count
+}  // namespace detail
+[[nodiscard]] inline bool profiling_active() {
+  return detail::g_profiling_active.load(std::memory_order_relaxed) > 0;
+}
+/// Pushes/pops `name` on the calling thread's span stack (profiler.cpp).
+/// Span calls these; push only while profiling_active(), pop always pairs
+/// with a successful push so enable/disable mid-span stays balanced.
+void span_stack_push(std::uint16_t name);
+void span_stack_pop();
+#endif
+
 // ---- name interning ----
 
 /// Returns a stable 16-bit id for `name`; repeated calls with the same
@@ -112,12 +138,20 @@ void clear();
 [[nodiscard]] std::size_t ring_capacity();
 void set_ring_capacity(std::size_t events);
 
-/// RAII span: stamps start at construction, records on destruction.
+/// RAII span: stamps start at construction, records on destruction. While
+/// a profiler is sampling it also maintains the thread's live span stack
+/// (the `pushed_` flag keeps push/pop balanced across enable/disable).
 class Span {
  public:
   explicit Span(std::uint16_t name)
-      : name_(name), start_(tracing_enabled() ? now_ns() : 0) {}
+      : name_(name), start_(tracing_enabled() ? now_ns() : 0) {
+    if (profiling_active()) {
+      span_stack_push(name);
+      pushed_ = true;
+    }
+  }
   ~Span() {
+    if (pushed_) span_stack_pop();
     if (start_ != 0) record_span(name_, start_, now_ns());
   }
   Span(const Span&) = delete;
@@ -126,6 +160,7 @@ class Span {
  private:
   std::uint16_t name_;
   std::uint64_t start_;
+  bool pushed_ = false;
 };
 
 }  // namespace bpar::obs

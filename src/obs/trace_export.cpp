@@ -137,6 +137,10 @@ std::uint64_t earliest_ts(const std::vector<ThreadTrace>& threads) {
 }
 
 void write_trace_json(std::ostream& os) {
+  write_trace_json(os, ExtraEventEmitter{});
+}
+
+void write_trace_json(std::ostream& os, const ExtraEventEmitter& extra) {
   const std::vector<ThreadTrace> threads = collect();
   const std::uint64_t base = earliest_ts(threads);
   constexpr int kPid = 1;
@@ -153,6 +157,7 @@ void write_trace_json(std::ostream& os) {
   for (const ThreadTrace& t : threads) {
     write_thread_events(writer, t, kPid, t.ring_id, base);
   }
+  if (extra) extra(writer, base);
 }
 
 void write_trace_json_file(const std::string& path) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -62,8 +63,17 @@ void write_thread_events(ChromeTraceWriter& writer, const ThreadTrace& thread,
                          int pid, int tid, std::uint64_t base_ns,
                          bool skip_tasks = false);
 
+/// Extra events appended to a span-ring export: called with the open
+/// writer and the timestamp base so callers (e.g. the serving engine's
+/// request-stage markers in a flight-recorder dump) land on the same
+/// timeline. Same signature as taskrt::ExtraTraceEmitter, defined here so
+/// obs-level consumers need no taskrt dependency.
+using ExtraEventEmitter =
+    std::function<void(ChromeTraceWriter&, std::uint64_t base_ns)>;
+
 /// The whole-process timeline: collect() rendered as one chrome-trace JSON.
 void write_trace_json(std::ostream& os);
+void write_trace_json(std::ostream& os, const ExtraEventEmitter& extra);
 void write_trace_json_file(const std::string& path);
 
 /// Smallest timestamp across `threads` (0 when empty) — the export base so

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <utility>
 
 #include "kernels/backend.hpp"
 #include "obs/expo.hpp"
 #include "obs/json.hpp"
+#include "obs/memory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -71,6 +73,22 @@ std::uint64_t steady_ns() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Value of `key=value` inside an HTTP query string ("" when absent).
+std::string query_param(std::string_view query, std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view pair = query.substr(pos, end - pos);
+    if (pair.size() > key.size() + 1 &&
+        pair.substr(0, key.size()) == key && pair[key.size()] == '=') {
+      return std::string(pair.substr(key.size() + 1));
+    }
+    pos = end + 1;
+  }
+  return {};
 }
 
 /// Numerically stable log(sum(exp(logits))).
@@ -204,12 +222,40 @@ InferenceEngine::InferenceEngine(const rnn::NetworkConfig& config,
     ladder_.push_back(step);
   }
 
+  start_flight_recorder();
   start_observability();
   touch_progress();
   if (options_.watchdog_ms > 0) {
     watchdog_ = std::thread([this] { watchdog_loop(); });
   }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+void InferenceEngine::start_flight_recorder() {
+  if (options_.enable_profiler) {
+    profiler_ = std::make_unique<obs::SpanProfiler>(
+        obs::ProfilerOptions{.period_us = options_.profiler_period_us});
+    profiler_->start();
+  }
+  if (options_.dump_dir.empty()) return;
+  obs::FlightRecorderOptions fo;
+  fo.dir = options_.dump_dir;
+  fo.max_bundles = options_.dump_max_bundles;
+  fo.max_total_bytes = options_.dump_max_total_bytes;
+  fo.debounce_ms = options_.dump_debounce_ms;
+  flight_ = std::make_unique<obs::FlightRecorder>(fo);
+  flight_->set_trace_writer(
+      [this](std::ostream& os) { return write_flight_trace(os); });
+  flight_->set_state_json([this] { return statz_json(); });
+  flight_->set_profile_text([this] {
+    return profiler_ != nullptr ? profiler_->folded_text() : std::string();
+  });
+  if (!flight_->install_fatal_handler()) {
+    BPAR_LOG_WARN << "serve: fatal-signal dump marker unavailable "
+                     "(another recorder owns the handlers?)";
+  }
+  BPAR_LOG_INFO << "serve: flight recorder armed, dumping to "
+                << options_.dump_dir;
 }
 
 void InferenceEngine::start_observability() {
@@ -222,23 +268,56 @@ void InferenceEngine::start_observability() {
   }
   if (options_.stats_port >= 0) {
     stats_server_ = std::make_unique<obs::StatsServer>();
-    stats_server_->handle("/healthz", [] {
+    stats_server_->handle("/healthz", [](std::string_view) {
       return obs::HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
     });
-    stats_server_->handle("/metrics", [] {
+    stats_server_->handle("/metrics", [](std::string_view) {
       return obs::HttpResponse{
           200, "text/plain; version=0.0.4; charset=utf-8",
           obs::prometheus_text(
               obs::Registry::instance().snapshot(/*include_series=*/false))};
     });
-    stats_server_->handle("/statz", [this] {
+    stats_server_->handle("/statz", [this](std::string_view) {
       return obs::HttpResponse{200, "application/json", statz_json()};
+    });
+    // Manual flight dump: GET /debug/dump[?reason=<slug>]. Debounced like
+    // every other trigger so a curl loop cannot flood the directory.
+    stats_server_->handle("/debug/dump", [this](std::string_view query) {
+      std::string reason = query_param(query, "reason");
+      if (reason.empty()) reason = "manual";
+      const obs::DumpResult result = trigger_dump(reason);
+      std::string body = "{\"written\": ";
+      body += result.written ? "true" : "false";
+      body += ", \"reason\": " + obs::json_quote(result.reason);
+      if (!result.skipped.empty()) {
+        body += ", \"skipped\": " + obs::json_quote(result.skipped);
+      }
+      if (result.written) {
+        body += ", \"trace\": " + obs::json_quote(result.trace_path);
+        body += ", \"report\": " + obs::json_quote(result.report_path);
+      }
+      body += "}\n";
+      return obs::HttpResponse{result.written ? 200 : 503,
+                               "application/json", body};
+    });
+    // Live profile window: GET /profilez?seconds=N returns collapsed
+    // flamegraph text. Blocks the (single-connection) stats thread for the
+    // window, which is exactly what a "profile the next N seconds" call
+    // means.
+    stats_server_->handle("/profilez", [this](std::string_view query) {
+      double seconds = 2.0;
+      if (const std::string v = query_param(query, "seconds"); !v.empty()) {
+        seconds = std::strtod(v.c_str(), nullptr);
+      }
+      seconds = std::clamp(seconds, 0.1, 30.0);
+      return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                               profile_folded(seconds)};
     });
     if (stats_server_->start(
             static_cast<std::uint16_t>(options_.stats_port))) {
       BPAR_LOG_INFO << "serve: stats endpoint listening on port "
                     << stats_server_->port()
-                    << " (/metrics /statz /healthz)";
+                    << " (/metrics /statz /healthz /profilez /debug/dump)";
     } else {
       BPAR_LOG_WARN << "serve: could not bind stats port "
                     << options_.stats_port << "; serving without endpoint";
@@ -353,6 +432,7 @@ std::future<Response> InferenceEngine::submit(Request request) {
       pending.promise = std::move(promise);
       pending.enqueued = Clock::now();
       pending.id = id;
+      obs::serve_queue_memory().on_alloc(pending_bytes(pending));
       queues_[cls].push_back(std::move(pending));
       publish_queue_depths_locked();
       record_request_event(id, RequestStage::kQueued,
@@ -399,6 +479,7 @@ void InferenceEngine::shutdown() {
   // listener must not outlive anything it snapshots.
   if (stats_server_ != nullptr) stats_server_->stop();
   if (sampler_ != nullptr) sampler_->stop();
+  if (profiler_ != nullptr) profiler_->stop();
 }
 
 void InferenceEngine::shed_overdue_locked(Clock::time_point now) {
@@ -415,6 +496,7 @@ void InferenceEngine::shed_overdue_locked(Clock::time_point now) {
                static_cast<double>(limit_us)) {
       Pending victim = std::move(queue.front());
       queue.pop_front();
+      obs::serve_queue_memory().on_free(pending_bytes(victim));
       any = true;
       shed_.fetch_add(1, std::memory_order_relaxed);
       obs::Registry::instance().counter("serve.shed").add();
@@ -488,6 +570,7 @@ void InferenceEngine::dispatcher_loop() {
            taken.size() < static_cast<std::size_t>(cap);) {
         if (it->request.steps == steps) {
           taken.push_back(std::move(*it));
+          obs::serve_queue_memory().on_free(pending_bytes(taken.back()));
           it = queue.erase(it);
         } else {
           ++it;
@@ -537,6 +620,7 @@ void InferenceEngine::process_batch(std::vector<Pending> taken,
   if (live.empty()) return;
 
   serve_group(std::move(live), sealed, /*depth=*/0);
+  check_slo_alert();
 
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - started_).count();
@@ -689,6 +773,11 @@ void InferenceEngine::serve_group(std::vector<Pending> live,
 
   if (!error.empty()) {
     note_group_failure();
+    // A watchdog error means the runtime itself stalled mid-graph — the
+    // most valuable moment to capture, and one retries often erase.
+    if (error.rfind("watchdog: ", 0) == 0) {
+      (void)trigger_dump("watchdog-error");
+    }
     if (real_rows > 1) {
       // Bisection: split the batch and serve each half independently. A
       // deterministically poisoned request ends up alone, answers
@@ -809,6 +898,10 @@ void InferenceEngine::note_group_failure() {
     degraded_steps_.fetch_add(1, std::memory_order_relaxed);
     obs::Registry::instance().counter("serve.degraded").add();
     apply_degrade_level(level + 1);
+    // The breaker just tripped: snapshot the evidence (last spans, task
+    // rows, request events, metrics) while it is still in the rings.
+    // Dispatcher thread, mu_ not held.
+    (void)trigger_dump("breaker-trip");
   }
 }
 
@@ -914,6 +1007,9 @@ void InferenceEngine::watchdog_loop() {
         injector->release_stalls();
       }
     }
+    // mu_ is released here, so the dump's statz snapshot cannot deadlock
+    // against the stalled dispatcher.
+    (void)trigger_dump("engine-watchdog");
     touch_progress();  // rate-limit: one fire per silent period
     lock.lock();
   }
@@ -1032,6 +1128,56 @@ std::string InferenceEngine::statz_json() const {
          obs::json_number(slo_.options().latency_target_us);
   out += "}";
 
+  // Memory observability (DESIGN.md §5j): subsystem trackers + a fresh
+  // /proc/self sample, so bpar_top and dump bundles see where the heap is.
+  const auto tracker_json = [&u64](const char* name,
+                                   const obs::MemTracker& t) {
+    std::string block = std::string("\"") + name + "\": {";
+    block += "\"bytes\": " + u64(t.current_bytes());
+    block += ", \"peak_bytes\": " + u64(t.peak_bytes());
+    block += ", \"total_bytes\": " + u64(t.total_bytes());
+    block += ", \"allocs\": " + u64(t.allocs());
+    block += ", \"frees\": " + u64(t.frees());
+    block += "}";
+    return block;
+  };
+  out += ", \"memory\": {";
+  out += tracker_json("tensor", obs::tensor_memory());
+  out += ", " + tracker_json("program_cache", obs::program_cache_memory());
+  out += ", " + tracker_json("serve_queue", obs::serve_queue_memory());
+  if (const obs::ProcSelfStats proc = obs::read_proc_self(); proc.valid) {
+    out += ", \"proc\": {\"rss_bytes\": " + obs::json_number(proc.rss_bytes);
+    out += ", \"vm_bytes\": " + obs::json_number(proc.vm_bytes);
+    out += ", \"minor_faults\": " + obs::json_number(proc.minor_faults);
+    out += ", \"major_faults\": " + obs::json_number(proc.major_faults);
+    out += ", \"threads\": " + obs::json_number(proc.threads);
+    out += ", \"ctx_voluntary\": " + obs::json_number(proc.ctx_voluntary);
+    out += ", \"ctx_involuntary\": " +
+           obs::json_number(proc.ctx_involuntary);
+    out += "}";
+  } else {
+    out += ", \"proc\": null";
+  }
+  out += "}";
+
+  if (flight_ != nullptr) {
+    out += ", \"flight\": {\"dumps\": " + u64(flight_->dumps());
+    out += ", \"suppressed\": " + u64(flight_->suppressed());
+    out += ", \"dir\": " + obs::json_quote(flight_->options().dir);
+    out += "}";
+  } else {
+    out += ", \"flight\": null";
+  }
+  if (profiler_ != nullptr) {
+    out += ", \"profiler\": {\"samples\": " + u64(profiler_->samples());
+    out += ", \"sweeps\": " + u64(profiler_->sweeps());
+    out += ", \"torn\": " + u64(profiler_->torn());
+    out += ", \"truncations\": " + u64(obs::span_stack_truncations());
+    out += "}";
+  } else {
+    out += ", \"profiler\": null";
+  }
+
   if (sampler_ != nullptr) {
     constexpr double kWindowS = 10.0;
     out += ", \"sampler\": {\"period_ms\": " +
@@ -1113,19 +1259,14 @@ Health InferenceEngine::health() const {
   return static_cast<Health>(health_.load(std::memory_order_relaxed));
 }
 
-void InferenceEngine::write_unified_trace(const std::string& path) {
-  BPAR_CHECK(options_.record_trace,
-             "write_unified_trace requires EngineOptions::record_trace");
-  std::lock_guard<std::mutex> lock(trace_mu_);
-  BPAR_CHECK(last_traced_program_ != nullptr,
-             "no cached-path micro-batch has been served yet");
+obs::ExtraEventEmitter InferenceEngine::request_marker_emitter() const {
   // Request stage markers ride along as instants on their own row (tid 99,
   // below the worker rows, beside the obs ring rows at 100+): one
   // "req.<stage>" marker per event with {req, arg[, status]} args so
-  // `bpar_prof request <id>` can rebuild any request's timeline.
-  const std::vector<RequestEvent> events = request_events();
-  const auto emit_requests = [&events](obs::ChromeTraceWriter& writer,
-                                       std::uint64_t base_ns) {
+  // `bpar_prof request <id>` can rebuild any request's timeline. Events
+  // are captured by value: the emitter must stay valid after this returns.
+  return [events = request_events()](obs::ChromeTraceWriter& writer,
+                                     std::uint64_t base_ns) {
     constexpr int kPid = 1;
     constexpr int kRequestTid = 99;
     if (events.empty()) return;
@@ -1146,8 +1287,78 @@ void InferenceEngine::write_unified_trace(const std::string& path) {
           kRequestTid, args);
     }
   };
+}
+
+void InferenceEngine::write_unified_trace(const std::string& path) {
+  BPAR_CHECK(options_.record_trace,
+             "write_unified_trace requires EngineOptions::record_trace");
+  const obs::ExtraEventEmitter emit_requests = request_marker_emitter();
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  BPAR_CHECK(last_traced_program_ != nullptr,
+             "no cached-path micro-batch has been served yet");
   taskrt::write_unified_trace_file(last_traced_program_->graph(),
                                    last_traced_stats_, path, emit_requests);
+}
+
+bool InferenceEngine::write_flight_trace(std::ostream& os) {
+  const obs::ExtraEventEmitter emit_requests = request_marker_emitter();
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  if (last_traced_program_ != nullptr) {
+    // Full bundle: the last traced micro-batch's task slices (the rows
+    // `bpar_prof analyze` needs) + spans + request markers.
+    taskrt::write_unified_trace(last_traced_program_->graph(),
+                                last_traced_stats_, os, emit_requests);
+  } else {
+    // No traced batch (record_trace off, or nothing served yet): spans and
+    // request markers still make a timeline Perfetto opens.
+    obs::write_trace_json(os, emit_requests);
+  }
+  return true;
+}
+
+obs::DumpResult InferenceEngine::trigger_dump(std::string_view reason) {
+  if (flight_ == nullptr) {
+    obs::DumpResult result;
+    result.reason = std::string(reason);
+    result.skipped = "no flight recorder (EngineOptions::dump_dir empty)";
+    return result;
+  }
+  return flight_->trigger(reason);
+}
+
+void InferenceEngine::check_slo_alert() {
+  if (flight_ == nullptr) return;
+  // Rising edge only: a sustained alert is one incident, not one dump per
+  // batch (the debounce would eat most of them anyway, but edge detection
+  // keeps suppressed() meaningful).
+  const bool alerting = slo_.snapshot().alerting;
+  if (alerting && !slo_alerting_prev_) (void)trigger_dump("slo-alert");
+  slo_alerting_prev_ = alerting;
+}
+
+std::string InferenceEngine::profile_folded(double seconds) {
+  const auto window = std::chrono::duration<double>(seconds);
+  if (profiler_ != nullptr) {
+    // Continuous profiler: a windowed delta of its running aggregates.
+    const std::vector<obs::SpanProfiler::Fold> before = profiler_->folded();
+    std::this_thread::sleep_for(window);
+    return obs::folded_to_text(obs::fold_delta(before, profiler_->folded()));
+  }
+  // No continuous profiler: spin one up just for the window.
+  obs::ProfilerOptions po;
+  po.period_us =
+      options_.profiler_period_us != 0 ? options_.profiler_period_us : 2000;
+  obs::SpanProfiler ephemeral(po);
+  ephemeral.start();
+  std::this_thread::sleep_for(window);
+  ephemeral.stop();
+  return ephemeral.folded_text();
+}
+
+std::uint64_t InferenceEngine::pending_bytes(const Pending& pending) {
+  return static_cast<std::uint64_t>(sizeof(Pending)) +
+         pending.request.features.size() * sizeof(float) +
+         pending.request.labels.size() * sizeof(int);
 }
 
 std::size_t InferenceEngine::queue_depth() const {

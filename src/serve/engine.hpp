@@ -64,9 +64,12 @@
 
 #include "exec/bpar_executor.hpp"
 #include "exec/common_options.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/profiler.hpp"
 #include "obs/sampler.hpp"
 #include "obs/slo.hpp"
 #include "obs/stats_server.hpp"
+#include "obs/trace_export.hpp"
 #include "rnn/network.hpp"
 
 namespace bpar::serve {
@@ -150,6 +153,29 @@ struct EngineOptions {
   bool trace_requests = true;
   /// Availability / latency objectives for the built-in SLO tracker.
   obs::SloOptions slo{};
+
+  // ---- flight recorder + profiler (DESIGN.md §5j) ----
+  /// Directory for flight-recorder dump bundles. Non-empty arms the
+  /// recorder: the circuit breaker, the engine watchdog, runtime watchdog
+  /// errors, and SLO both-window alerting each snapshot the last N seconds
+  /// of spans / task rows / request events / metrics into a rotated,
+  /// size-bounded bundle here, and `GET /debug/dump` forces one manually.
+  /// Fatal signals leave an async-signal-safe marker file in the same
+  /// directory. Empty = no recorder.
+  std::string dump_dir;
+  /// Minimum spacing between automatic dumps (a flapping breaker writes
+  /// one bundle, not hundreds).
+  std::uint32_t dump_debounce_ms = 5000;
+  /// Rotation bounds for the dump directory.
+  std::size_t dump_max_bundles = 8;
+  std::uint64_t dump_max_total_bytes = 64ULL << 20;
+  /// Run the continuous span-stack profiler for the engine's lifetime, so
+  /// `GET /profilez` serves windowed deltas and every dump bundle carries
+  /// a folded profile. Off by default: sampling costs ~4 relaxed stores
+  /// per span push/pop on every instrumented thread.
+  bool enable_profiler = false;
+  /// Profiler sampling period (see obs::ProfilerOptions).
+  std::uint32_t profiler_period_us = 2000;
 };
 
 enum class Status {
@@ -330,6 +356,25 @@ class InferenceEngine {
   [[nodiscard]] std::vector<RequestEvent> request_events() const;
   [[nodiscard]] std::uint64_t request_events_dropped() const;
 
+  /// Forces a flight-recorder dump (same path the automatic triggers use,
+  /// including the debounce). Thread-safe. Returns written=false with a
+  /// `skipped` reason when no recorder is armed or the trigger debounced.
+  obs::DumpResult trigger_dump(std::string_view reason);
+  /// The armed flight recorder, or nullptr when dump_dir is empty.
+  [[nodiscard]] const obs::FlightRecorder* flight_recorder() const {
+    return flight_.get();
+  }
+  /// The continuous span-stack profiler, or nullptr unless
+  /// EngineOptions::enable_profiler.
+  [[nodiscard]] const obs::SpanProfiler* profiler() const {
+    return profiler_.get();
+  }
+  /// Collapsed-flamegraph text for roughly the next `seconds` of serving
+  /// (what `GET /profilez?seconds=N` returns): a windowed delta of the
+  /// continuous profiler when one is running, otherwise an ephemeral
+  /// profiler spun up just for the window. Blocks for the window.
+  [[nodiscard]] std::string profile_folded(double seconds);
+
   /// The row bucket a micro-batch of `rows` requests pads up to: the next
   /// power of two, clamped to `max_batch`.
   [[nodiscard]] static int bucket_rows(int rows, int max_batch);
@@ -388,6 +433,22 @@ class InferenceEngine {
   void publish_queue_depths_locked();
   /// Builds + starts the sampler / stats listener per options_ (ctor).
   void start_observability();
+  /// Builds + arms the flight recorder / profiler per options_ (ctor,
+  /// before start_observability so handlers can reference them).
+  void start_flight_recorder();
+  /// The request-stage instant markers as a trace-export hook, shared by
+  /// write_unified_trace() and flight dumps.
+  [[nodiscard]] obs::ExtraEventEmitter request_marker_emitter() const;
+  /// FlightRecorder trace provider: the last traced batch's unified trace
+  /// when one exists, else a spans-only trace — request markers ride along
+  /// either way. Takes trace_mu_.
+  bool write_flight_trace(std::ostream& os);
+  /// Edge-detects SLO both-window alerting and fires a dump on the rising
+  /// edge. Dispatcher thread, mu_ not held.
+  void check_slo_alert();
+  /// Serve-queue memory accounting (mem.serve_queue): the payload bytes a
+  /// queued request pins.
+  static std::uint64_t pending_bytes(const Pending& pending);
   [[nodiscard]] std::string validate(const Request& request) const;
   [[nodiscard]] std::size_t total_queued_locked() const;
   [[nodiscard]] std::uint32_t effective_shed_wait_us() const;
@@ -419,6 +480,10 @@ class InferenceEngine {
   obs::SloTracker slo_;
   std::unique_ptr<obs::MetricsSampler> sampler_;
   std::unique_ptr<obs::StatsServer> stats_server_;
+  // ---- flight recorder + profiler (DESIGN.md §5j) ----
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::SpanProfiler> profiler_;
+  bool slo_alerting_prev_ = false;  // dispatcher thread only
   /// Bounded drop-oldest request-event log. Its own mutex: recording
   /// happens on the submit path and inside serve_group, where mu_ is not
   /// (or must not be) held.

@@ -550,6 +550,14 @@ void Runtime::execute_task(TaskId id, int worker_id) {
   }
   perf::CounterReading pmu_begin;
   if (self.pmu) pmu_begin = self.pmu->read();
+  // While a span-stack profiler samples, the task body runs under the
+  // task-kind name so worker samples fold as "task.<kind>;kernels.<op>"
+  // instead of orphaned kernel leaves.
+  const bool prof = obs::profiling_active();
+  if (prof) {
+    obs::span_stack_push(
+        obs_kind_ids_[static_cast<std::size_t>(st.task->spec.kind)]);
+  }
   const std::uint64_t start = now_ns();
   try {
     if (!fault_thrown) st.task->fn();
@@ -557,6 +565,7 @@ void Runtime::execute_task(TaskId id, int worker_id) {
     const std::lock_guard<std::mutex> guard(mu_);
     if (!first_error_) first_error_ = std::current_exception();
   }
+  if (prof) obs::span_stack_pop();
   // Sample the finish time before any scheduler bookkeeping: durations and
   // busy time cover the task body only, so parallel_efficiency() does not
   // absorb scheduler overhead or (formerly) mutex wait.

@@ -2,11 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <istream>
 #include <ostream>
 
+#include "obs/memory.hpp"
+
 namespace bpar::tensor {
+
+namespace {
+
+// Matrix backing stores are where virtually all of the library's heap
+// lives (weights, activations, workspaces), so this is the one funnel the
+// tensor-arena memory accounting needs.
+std::uint64_t matrix_bytes(std::size_t count) {
+  return static_cast<std::uint64_t>(count) * sizeof(float);
+}
+
+}  // namespace
 
 Matrix::Matrix(int rows, int cols) { resize(rows, cols); }
 
@@ -21,11 +35,36 @@ Matrix& Matrix::operator=(const Matrix& other) {
   return *this;
 }
 
+Matrix::Matrix(Matrix&& other) noexcept
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      storage_(std::move(other.storage_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+}
+
+Matrix& Matrix::operator=(Matrix&& other) noexcept {
+  if (this == &other) return *this;
+  if (count() != 0) obs::tensor_memory().on_free(matrix_bytes(count()));
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  storage_ = std::move(other.storage_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  return *this;
+}
+
+Matrix::~Matrix() {
+  if (count() != 0) obs::tensor_memory().on_free(matrix_bytes(count()));
+}
+
 void Matrix::resize(int rows, int cols) {
   BPAR_CHECK(rows >= 0 && cols >= 0, "bad shape ", rows, "x", cols);
+  if (count() != 0) obs::tensor_memory().on_free(matrix_bytes(count()));
   rows_ = rows;
   cols_ = cols;
   storage_ = allocate_floats(count());
+  if (count() != 0) obs::tensor_memory().on_alloc(matrix_bytes(count()));
   zero();
 }
 

@@ -78,8 +78,11 @@ class Matrix {
 
   Matrix(const Matrix& other);
   Matrix& operator=(const Matrix& other);
-  Matrix(Matrix&&) noexcept = default;
-  Matrix& operator=(Matrix&&) noexcept = default;
+  // Moves hand the accounted bytes over with the storage, so the source
+  // must forget its shape (obs::tensor_memory accounting, DESIGN.md §5j).
+  Matrix(Matrix&& other) noexcept;
+  Matrix& operator=(Matrix&& other) noexcept;
+  ~Matrix();
 
   void resize(int rows, int cols);
   void zero();

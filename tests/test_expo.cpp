@@ -68,6 +68,30 @@ TEST(PrometheusText, SkipsMalformedHistogramAndSeries) {
   EXPECT_EQ(prometheus_text(snap), "");
 }
 
+// Ring-mode series are windows, not scalars, so the full series never
+// exports — but the newest value is a perfectly good gauge (a sampled
+// .rate series' latest rate IS the live rate).
+TEST(PrometheusText, RingSeriesExportLatestValueAsGauge) {
+  Registry::Snapshot snap;
+  snap.ring_last["serve.requests.rate"] = 12.5;
+  const std::string expected =
+      "# TYPE bpar_serve_requests_rate gauge\n"
+      "bpar_serve_requests_rate 12.5\n";
+  EXPECT_EQ(prometheus_text(snap), expected);
+}
+
+TEST(Registry, SnapshotCapturesRingLastWithoutFullSeries) {
+  auto& registry = Registry::instance();
+  auto& series = registry.ring_series("test_expo.ring_last", /*capacity=*/4);
+  series.append(1.0);
+  series.append(7.25);
+  const auto snap = registry.snapshot(/*include_series=*/false);
+  ASSERT_TRUE(snap.series.empty());
+  const auto it = snap.ring_last.find("test_expo.ring_last");
+  ASSERT_NE(it, snap.ring_last.end());
+  EXPECT_DOUBLE_EQ(it->second, 7.25);
+}
+
 /// Raw one-shot HTTP exchange so the suite can send non-GET methods the
 /// http_get() client deliberately cannot produce. Returns the status code
 /// (0 on transport failure).
@@ -98,12 +122,12 @@ int raw_request_status(int port, const std::string& head) {
 
 TEST(StatsServer, RoutesStatusCodesAndSurvivesThrowingHandler) {
   StatsServer server;
-  server.handle("/ping", [] {
+  server.handle("/ping", [](std::string_view) {
     HttpResponse r;
     r.body = "pong\n";
     return r;
   });
-  server.handle("/boom", []() -> HttpResponse {
+  server.handle("/boom", [](std::string_view) -> HttpResponse {
     throw std::runtime_error("handler exploded");
   });
   ASSERT_TRUE(server.start(0));  // ephemeral port
@@ -149,6 +173,55 @@ TEST(StatsServer, RoutesStatusCodesAndSurvivesThrowingHandler) {
   const auto after =
       http_get("127.0.0.1", static_cast<std::uint16_t>(port), "/ping");
   EXPECT_FALSE(after.ok && after.status == 200);
+}
+
+// Handlers receive the query string (path-only matching still applies),
+// which is what /profilez?seconds=N and /debug/dump?reason=x are built on.
+TEST(StatsServer, HandlerReceivesQueryString) {
+  StatsServer server;
+  server.handle("/echo", [](std::string_view query) {
+    HttpResponse r;
+    r.body = std::string(query);
+    return r;
+  });
+  ASSERT_TRUE(server.start(0));
+  const int port = server.port();
+
+  const auto bare =
+      http_get("127.0.0.1", static_cast<std::uint16_t>(port), "/echo");
+  ASSERT_TRUE(bare.ok) << bare.error;
+  EXPECT_EQ(bare.body, "");
+
+  const auto with_query = http_get(
+      "127.0.0.1", static_cast<std::uint16_t>(port), "/echo?a=1&b=two");
+  ASSERT_TRUE(with_query.ok) << with_query.error;
+  EXPECT_EQ(with_query.status, 200);
+  EXPECT_EQ(with_query.body, "a=1&b=two");
+  server.stop();
+}
+
+// http_get resolves hostnames through getaddrinfo, not just dotted quads —
+// `bpar_top --host somebox` must work with DNS names. "localhost" is the
+// one name every test environment can resolve.
+TEST(StatsServer, HttpGetResolvesHostnames) {
+  StatsServer server;
+  server.handle("/ping", [](std::string_view) {
+    HttpResponse r;
+    r.body = "pong\n";
+    return r;
+  });
+  ASSERT_TRUE(server.start(0));
+  const auto reply = http_get("localhost",
+                              static_cast<std::uint16_t>(server.port()),
+                              "/ping");
+  ASSERT_TRUE(reply.ok) << reply.error;
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_EQ(reply.body, "pong\n");
+
+  const auto bogus = http_get("no-such-host.invalid", 1, "/");
+  EXPECT_FALSE(bogus.ok);
+  EXPECT_NE(bogus.error.find("resolve"), std::string::npos) << bogus.error;
+  server.stop();
 }
 
 // Hand-computed fixture: objective 0.99 leaves a 1% budget. 90 ok + 10

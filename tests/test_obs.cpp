@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/memory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/sampler.hpp"
@@ -462,6 +463,41 @@ TEST(LogLevelParse, AcceptsSpellingsAndRejectsGarbage) {
   EXPECT_EQ(parse_log_level(""), std::nullopt);
   EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
   EXPECT_EQ(parse_log_level("4"), std::nullopt);
+}
+
+TEST(Memory, TrackerAccountsAllocsFreesAndPeak) {
+  MemTracker t;
+  t.on_alloc(100);
+  t.on_alloc(50);
+  EXPECT_EQ(t.current_bytes(), 150U);
+  EXPECT_EQ(t.peak_bytes(), 150U);
+  t.on_free(100);
+  EXPECT_EQ(t.current_bytes(), 50U);
+  EXPECT_EQ(t.peak_bytes(), 150U);  // high-water sticks
+  t.on_alloc(25);
+  EXPECT_EQ(t.current_bytes(), 75U);
+  EXPECT_EQ(t.peak_bytes(), 150U);
+  EXPECT_EQ(t.total_bytes(), 175U);
+  EXPECT_EQ(t.allocs(), 3U);
+  EXPECT_EQ(t.frees(), 1U);
+  t.reset();
+  EXPECT_EQ(t.current_bytes(), 0U);
+  EXPECT_EQ(t.peak_bytes(), 0U);
+}
+
+TEST(Memory, ProcSelfStatsReadsThisProcess) {
+  const ProcSelfStats proc = read_proc_self();
+#if defined(__linux__)
+  ASSERT_TRUE(proc.valid);
+  EXPECT_GT(proc.rss_bytes, 0.0);
+  EXPECT_GE(proc.vm_bytes, proc.rss_bytes);
+  // num_threads comes from /proc/self/stat field 20; a skip-count bug
+  // there reads `nice` (0) instead — this process always has >= 1.
+  EXPECT_GE(proc.threads, 1.0);
+  EXPECT_GT(proc.minor_faults, 0.0);
+#else
+  EXPECT_FALSE(proc.valid);
+#endif
 }
 
 }  // namespace

@@ -21,13 +21,25 @@
 //       form → execute → respond, retries/bisections included) from the
 //       per-request markers a serving trace carries (bpar_serve --trace,
 //       EngineOptions::trace_requests).
+//
+//   bpar_prof flame <profile.folded> [--out <path>] [--min-percent P]
+//   bpar_prof flame --host <h> --port <p> [--seconds N] [--out <path>]
+//       Top-down hot-path tree from collapsed-flamegraph text — either a
+//       .folded file (SpanProfiler output, a flight-dump profile) or a
+//       live /profilez capture from a serving engine's stats endpoint.
+//       --out re-emits the folded text for flamegraph.pl / speedscope.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "obs/stats_server.hpp"
 
 #include "obs/analysis.hpp"
 #include "obs/diff.hpp"
@@ -297,11 +309,162 @@ int cmd_request(int argc, const char* const* argv) {
   return 0;
 }
 
+/// One node of the top-down flame tree built from folded stacks.
+struct FlameNode {
+  std::uint64_t total = 0;  // samples in this frame or below
+  std::uint64_t self = 0;   // samples with this frame as the leaf
+  std::map<std::string, std::unique_ptr<FlameNode>> children;
+};
+
+/// Parses collapsed-flamegraph text ("a;b;c count" lines) into (stack,
+/// count) rows. Malformed lines are skipped.
+std::vector<std::pair<std::vector<std::string>, std::uint64_t>> parse_folded(
+    const std::string& text) {
+  std::vector<std::pair<std::vector<std::string>, std::uint64_t>> rows;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) continue;
+    const std::string count_str = line.substr(space + 1);
+    char* end = nullptr;
+    const std::uint64_t count = std::strtoull(count_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || count == 0) continue;
+    std::vector<std::string> frames;
+    std::size_t pos = 0;
+    const std::string stack = line.substr(0, space);
+    while (pos <= stack.size()) {
+      std::size_t semi = stack.find(';', pos);
+      if (semi == std::string::npos) semi = stack.size();
+      if (semi > pos) frames.push_back(stack.substr(pos, semi - pos));
+      pos = semi + 1;
+    }
+    if (!frames.empty()) rows.emplace_back(std::move(frames), count);
+  }
+  return rows;
+}
+
+void print_flame(const FlameNode& node, const std::string& name, int depth,
+                 std::uint64_t root_total, double min_percent) {
+  const double percent =
+      root_total != 0
+          ? 100.0 * static_cast<double>(node.total) / static_cast<double>(root_total)
+          : 0.0;
+  if (percent < min_percent) return;
+  if (depth >= 0) {
+    std::printf("  %6.2f%%  %10llu  %*s%s", percent,
+                static_cast<unsigned long long>(node.total), 2 * depth, "",
+                name.c_str());
+    if (node.self != 0 && !node.children.empty()) {
+      std::printf("  (self %llu)",
+                  static_cast<unsigned long long>(node.self));
+    }
+    std::printf("\n");
+  }
+  // Hottest subtree first.
+  std::vector<const std::pair<const std::string,
+                              std::unique_ptr<FlameNode>>*> kids;
+  for (const auto& kv : node.children) kids.push_back(&kv);
+  std::stable_sort(kids.begin(), kids.end(), [](const auto* a, const auto* b) {
+    return a->second->total > b->second->total;
+  });
+  for (const auto* kv : kids) {
+    print_flame(*kv->second, kv->first, depth + 1, root_total, min_percent);
+  }
+}
+
+int cmd_flame(int argc, const char* const* argv) {
+  bpar::util::ArgParser args("bpar_prof flame",
+                             "Render a top-down hot-path tree from folded "
+                             "stacks (file or live /profilez)");
+  args.add_string("host", "", "fetch live from this stats host");
+  args.add_int("port", 0, "stats port for --host");
+  args.add_int("seconds", 2, "live capture window (--host mode)");
+  args.add_string("out", "", "re-emit the folded text to this path");
+  args.add_double("min-percent", 0.0,
+                  "hide tree rows below this share of samples");
+  if (!args.parse(argc, argv)) return 2;
+
+  std::string folded;
+  std::string source;
+  if (!args.get_string("host").empty()) {
+    if (args.get_int("port") <= 0) {
+      std::cerr << "bpar_prof flame: --host requires --port\n";
+      return 2;
+    }
+    const std::string path =
+        "/profilez?seconds=" + std::to_string(args.get_int("seconds"));
+    const auto reply = bpar::obs::http_get(
+        args.get_string("host"),
+        static_cast<std::uint16_t>(args.get_int("port")), path);
+    if (!reply.ok || reply.status != 200) {
+      std::cerr << "bpar_prof flame: GET " << path << " failed: "
+                << (reply.ok ? "HTTP " + std::to_string(reply.status)
+                             : reply.error)
+                << "\n";
+      return 1;
+    }
+    folded = reply.body;
+    source = args.get_string("host") + path;
+  } else if (args.positional().size() == 1) {
+    std::ifstream is(args.positional()[0]);
+    if (!is.good()) {
+      std::cerr << "bpar_prof flame: cannot open " << args.positional()[0]
+                << "\n";
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    folded = ss.str();
+    source = args.positional()[0];
+  } else {
+    std::cerr << "usage: bpar_prof flame <profile.folded> [--out <path>]\n"
+                 "       bpar_prof flame --host <h> --port <p> "
+                 "[--seconds N] [--out <path>]\n";
+    return 2;
+  }
+
+  const auto rows = parse_folded(folded);
+  if (rows.empty()) {
+    std::cerr << "bpar_prof flame: no folded stacks in " << source
+              << " (profiler not running, or nothing instrumented ran in "
+                 "the window)\n";
+    return 1;
+  }
+
+  FlameNode root;
+  for (const auto& [frames, count] : rows) {
+    root.total += count;
+    FlameNode* node = &root;
+    for (const std::string& frame : frames) {
+      auto& child = node->children[frame];
+      if (child == nullptr) child = std::make_unique<FlameNode>();
+      child->total += count;
+      node = child.get();
+    }
+    node->self += count;
+  }
+
+  std::printf("%llu sample(s), %zu unique stack(s) from %s\n\n",
+              static_cast<unsigned long long>(root.total), rows.size(),
+              source.c_str());
+  std::printf("  %7s  %10s  %s\n", "share", "samples", "span path");
+  print_flame(root, "", -1, root.total, args.get_double("min-percent"));
+
+  if (!args.get_string("out").empty()) {
+    std::ofstream os = bpar::obs::open_output_file(args.get_string("out"));
+    os << folded;
+    std::cout << "\nwrote folded stacks to " << args.get_string("out")
+              << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: bpar_prof <analyze|diff|baseline|request> "
+    std::cerr << "usage: bpar_prof <analyze|diff|baseline|request|flame> "
                  "[args...]\n"
                  "run 'bpar_prof <command> --help' for details\n";
     return 2;
@@ -312,11 +475,12 @@ int main(int argc, char** argv) {
     if (command == "diff") return cmd_diff(argc - 1, argv + 1);
     if (command == "baseline") return cmd_baseline(argc - 1, argv + 1);
     if (command == "request") return cmd_request(argc - 1, argv + 1);
+    if (command == "flame") return cmd_flame(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::cerr << "bpar_prof " << command << ": " << e.what() << "\n";
     return 2;
   }
   std::cerr << "bpar_prof: unknown command '" << command
-            << "' (expected analyze, diff, baseline, or request)\n";
+            << "' (expected analyze, diff, baseline, request, or flame)\n";
   return 2;
 }

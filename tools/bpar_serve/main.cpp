@@ -115,6 +115,16 @@ int main(int argc, char** argv) {
                 "disable per-request stage tracing (bpar_prof request)");
   args.add_int("slo-target-ms", 50,
                "latency SLO target for the built-in SLO tracker");
+  args.add_string("dump-dir", "",
+                  "arm the flight recorder: breaker trips, watchdog fires, "
+                  "SLO alerts, and GET /debug/dump write trace+report "
+                  "bundles here (empty = off)");
+  args.add_int("dump-debounce-ms", 5000,
+               "minimum spacing between flight-recorder dumps");
+  args.add_flag("profile",
+                "run the continuous span-stack profiler (GET /profilez "
+                "windows; dump bundles carry a folded profile)");
+  args.add_int("profiler-period-us", 2000, "profiler sampling period");
   if (!args.parse(argc, argv)) return 1;
   bpar::obs::ObsSession session("bpar_serve", args,
                                 bpar::obs::ReportMode::kJson);
@@ -171,6 +181,12 @@ int main(int argc, char** argv) {
   engine_options.trace_requests = !args.flag("no-request-trace");
   engine_options.slo.latency_target_us =
       static_cast<double>(args.get_int("slo-target-ms")) * 1000.0;
+  engine_options.dump_dir = args.get_string("dump-dir");
+  engine_options.dump_debounce_ms =
+      static_cast<std::uint32_t>(args.get_int("dump-debounce-ms"));
+  engine_options.enable_profiler = args.flag("profile");
+  engine_options.profiler_period_us =
+      static_cast<std::uint32_t>(args.get_int("profiler-period-us"));
   try {
     engine_options.executor.faults =
         bpar::taskrt::FaultSpec::parse(args.get_string("faults"));
@@ -211,12 +227,16 @@ int main(int argc, char** argv) {
   const auto run_one = [&](bool rebuild) -> RunOutcome {
     bpar::serve::EngineOptions options = engine_options;
     options.rebuild_per_call = rebuild;
-    options.record_trace = !trace_path.empty() && !rebuild;
+    // An armed flight recorder also wants per-task timing: a dump whose
+    // trace carries task slices is analyzable (`bpar_prof analyze`), one
+    // without is just spans. Rebuild mode has no cached program to trace.
+    options.record_trace =
+        (!trace_path.empty() || !options.dump_dir.empty()) && !rebuild;
     auto engine =
         std::make_unique<bpar::serve::InferenceEngine>(cfg, options);
     if (engine->stats_port() >= 0) {
       std::printf("stats endpoint: http://127.0.0.1:%d  "
-                  "(/metrics /statz /healthz)\n",
+                  "(/metrics /statz /healthz /profilez /debug/dump)\n",
                   engine->stats_port());
       std::fflush(stdout);
     }
@@ -225,7 +245,16 @@ int main(int argc, char** argv) {
     outcome.load = bpar::serve::run_load(*engine, load_options);
     engine->shutdown();
     outcome.stats = engine->stats();
-    if (options.record_trace) traced_engine = std::move(engine);
+    if (const auto* flight = engine->flight_recorder()) {
+      std::printf("flight recorder: %llu dump(s) in %s  (%llu suppressed)\n",
+                  static_cast<unsigned long long>(flight->dumps()),
+                  flight->options().dir.c_str(),
+                  static_cast<unsigned long long>(flight->suppressed()));
+      std::fflush(stdout);
+    }
+    if (options.record_trace && !trace_path.empty()) {
+      traced_engine = std::move(engine);
+    }
     return outcome;
   };
 

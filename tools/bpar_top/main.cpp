@@ -59,6 +59,32 @@ std::string sparkline(const std::vector<double>& values, std::size_t width) {
   return out;
 }
 
+/// "" when the payload looks like a /statz document this bpar_top can
+/// render; otherwise a one-line description of what is wrong (exits 1).
+/// Guards against pointing --port at some other HTTP server, or at a
+/// bpar_serve from an incompatible schema generation.
+std::string validate_statz(const JsonValue& statz) {
+  if (!statz.is_object()) return "payload is not a JSON object";
+  const JsonValue* type = statz.find("type");
+  if (type == nullptr || !type->is_string() || type->str != "statz") {
+    return "missing or wrong \"type\" (want \"statz\" — is this a "
+           "bpar_serve stats endpoint?)";
+  }
+  const JsonValue* version = statz.find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    return "missing \"schema_version\"";
+  }
+  if (version->number != 1.0) {
+    return "unsupported schema_version " +
+           std::to_string(static_cast<int>(version->number)) + " (want 1)";
+  }
+  const JsonValue* engine = statz.find("engine");
+  if (engine == nullptr || !engine->is_object()) {
+    return "missing \"engine\" section";
+  }
+  return {};
+}
+
 /// The sampler publishes counter rates as registry ring series; /statz
 /// carries them under metrics.series.
 std::vector<double> rate_series(const JsonValue& statz,
@@ -170,6 +196,55 @@ void print_frame(const JsonValue& statz, const std::string& endpoint) {
         alerting ? "** ALERTING **" : "");
   }
 
+  // Memory panel (DESIGN.md §5j): subsystem trackers + /proc/self.
+  const JsonValue* memory = statz.find("memory");
+  if (memory != nullptr && memory->is_object()) {
+    constexpr double kMiB = 1024.0 * 1024.0;
+    const auto tracker_mb = [&](const char* sub, const char* field) {
+      const JsonValue* t = memory->find(sub);
+      return t != nullptr ? num(t->find(field)) / kMiB : 0.0;
+    };
+    std::printf(
+        "mem: tensor %.1f MiB (peak %.1f)   programs %.2f MiB   queue "
+        "%.2f MiB\n",
+        tracker_mb("tensor", "bytes"), tracker_mb("tensor", "peak_bytes"),
+        tracker_mb("program_cache", "bytes"),
+        tracker_mb("serve_queue", "bytes"));
+    const JsonValue* proc = memory->find("proc");
+    if (proc != nullptr && proc->is_object()) {
+      std::printf(
+          "proc: rss %.1f MiB   threads %d   faults %llu minor / %llu "
+          "major   ctx %llu vol / %llu invol\n",
+          num(proc->find("rss_bytes")) / kMiB,
+          static_cast<int>(num(proc->find("threads"))),
+          static_cast<unsigned long long>(num(proc->find("minor_faults"))),
+          static_cast<unsigned long long>(num(proc->find("major_faults"))),
+          static_cast<unsigned long long>(num(proc->find("ctx_voluntary"))),
+          static_cast<unsigned long long>(
+              num(proc->find("ctx_involuntary"))));
+    }
+  }
+  const JsonValue* flight = statz.find("flight");
+  const JsonValue* profiler = statz.find("profiler");
+  if ((flight != nullptr && flight->is_object()) ||
+      (profiler != nullptr && profiler->is_object())) {
+    std::printf("obs:");
+    if (flight != nullptr && flight->is_object()) {
+      std::printf(" dumps %llu (suppressed %llu) -> %s  ",
+                  static_cast<unsigned long long>(num(flight->find("dumps"))),
+                  static_cast<unsigned long long>(
+                      num(flight->find("suppressed"))),
+                  str(flight->find("dir"), "dumps").c_str());
+    }
+    if (profiler != nullptr && profiler->is_object()) {
+      std::printf(" profiler %llu sample(s), %llu torn",
+                  static_cast<unsigned long long>(
+                      num(profiler->find("samples"))),
+                  static_cast<unsigned long long>(num(profiler->find("torn"))));
+    }
+    std::printf("\n");
+  }
+
   const std::vector<double> rates = rate_series(statz,
                                                 "serve.completed.rate");
   std::printf("throughput %s\n", sparkline(rates, 60).c_str());
@@ -216,6 +291,12 @@ int main(int argc, char** argv) {
         statz = bpar::obs::json_parse(result.body);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "bpar_top: bad /statz payload: %s\n", e.what());
+        return 1;
+      }
+      if (const std::string problem = validate_statz(statz);
+          !problem.empty()) {
+        std::fprintf(stderr, "bpar_top: %s/statz: %s\n", endpoint.c_str(),
+                     problem.c_str());
         return 1;
       }
       if (!once) std::printf("\x1b[2J\x1b[H");  // clear + home
