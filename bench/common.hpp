@@ -47,13 +47,21 @@ struct SimSetup {
 };
 
 /// Simulated per-batch time (ms) of B-Par with `replicas` mini-batches.
-/// Optionally returns the full simulator result.
+/// Optionally returns the full simulator result. `schedule_profile` picks
+/// an ablation schedule ("fused_merge", "layer_barriers", "sequential",
+/// "framework"); `passes` runs the graph-optimizer pipeline ("" = off, the
+/// faithful paper graph).
 [[nodiscard]] double simulate_bpar(bpar::rnn::Network& net,
                                    const SimSetup& setup, int replicas,
                                    bpar::sim::SimResult* result = nullptr,
-                                   bool fuse_merge = false,
-                                   bool per_layer_barriers = false,
-                                   bool sequential_directions = false);
+                                   const std::string& schedule_profile = "",
+                                   const std::string& passes = "");
+
+/// Resolves the --passes flag: "" → off (bench default), "list" prints the
+/// registry and exits, anything else resolves through
+/// graph::passes::effective_pass_spec (so "default" and BPAR_GRAPH_PASSES
+/// work like they do in the executors).
+[[nodiscard]] std::string resolve_passes(const bpar::util::ArgParser& args);
 
 /// Simulated per-batch time (ms) of B-Seq (data parallelism only).
 [[nodiscard]] double simulate_bseq(const bpar::rnn::NetworkConfig& cfg,

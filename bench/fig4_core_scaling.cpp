@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
 
   bench::SimSetup setup;
   setup.calibration = bench::resolve_calibration(args);
+  const std::string passes = bench::resolve_passes(args);
   const int replicas = static_cast<int>(args.get_int("replicas"));
   const auto cfg = bench::table_network(
       bpar::rnn::CellType::kLstm, 256,
@@ -40,7 +41,8 @@ int main(int argc, char** argv) {
     const double pytorch =
         bench::simulate_framework(net, s, bpar::exec::pytorch_cpu_profile());
     const double bseq = bench::simulate_bseq(cfg, s, replicas);
-    const double bpar_ms = bench::simulate_bpar(net, s, replicas);
+    const double bpar_ms =
+        bench::simulate_bpar(net, s, replicas, nullptr, "", passes);
     table.add_row({std::to_string(cores), bpar::util::fmt_ms(keras),
                    bpar::util::fmt_ms(bseq), bpar::util::fmt_ms(pytorch),
                    bpar::util::fmt_ms(bpar_ms)});

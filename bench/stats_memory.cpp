@@ -27,9 +27,8 @@ int main(int argc, char** argv) {
   bpar::sim::SimResult barrier_free;
   bpar::sim::SimResult barriered;
   const double free_ms = bench::simulate_bpar(net, setup, 6, &barrier_free);
-  const double barrier_ms = bench::simulate_bpar(
-      net, setup, 6, &barriered, /*fuse_merge=*/false,
-      /*per_layer_barriers=*/true, /*sequential_directions=*/true);
+  const double barrier_ms =
+      bench::simulate_bpar(net, setup, 6, &barriered, "framework");
 
   const double mb = 1024.0 * 1024.0;
   bpar::util::Table table(

@@ -8,6 +8,7 @@
 
 #include "core/bpar.hpp"
 #include "graph/brnn_graph.hpp"
+#include "graph/passes/registry.hpp"
 #include "taskrt/export.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -23,8 +24,22 @@ int main(int argc, char** argv) {
   args.add_string("dot", "bpar_graph.dot", "DOT output path (empty = skip)");
   args.add_string("trace", "bpar_trace.json",
                   "Chrome-tracing output path (empty = skip)");
-  args.add_flag("barriers", "emulate per-layer barriers");
+  args.add_flag("barriers",
+                "emulate per-layer barriers (schedule profile 'framework')");
+  args.add_string("passes", "default",
+                  "graph-optimizer pass pipeline: comma-separated list, "
+                  "'default', 'none', or 'list' to print the registry");
   if (!args.parse(argc, argv)) return 1;
+
+  if (args.get_string("passes") == "list") {
+    std::printf("registered graph passes:\n");
+    for (const std::string& name : bpar::graph::passes::known_passes()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    std::printf("default pipeline: %s\n",
+                std::string(bpar::graph::passes::kDefaultPassSpec).c_str());
+    return 0;
+  }
 
   bpar::rnn::NetworkConfig cfg;
   cfg.cell = bpar::rnn::CellType::kLstm;
@@ -37,14 +52,17 @@ int main(int argc, char** argv) {
   bpar::rnn::Network net(cfg);
 
   bpar::graph::BuildOptions bo;
-  bo.per_layer_barriers = args.flag("barriers");
-  bo.sequential_directions = args.flag("barriers");
+  if (args.flag("barriers")) bo.schedule_profile = "framework";
+  bo.passes = args.get_string("passes");
   bpar::graph::TrainingProgram program(net, cfg.batch_size, bo);
   const auto& graph = program.graph();
 
   std::printf("graph: %zu tasks, %zu edges, critical path %zu\n",
               graph.size(), graph.edge_count(),
               graph.critical_path_length());
+  if (!program.pass_signature().empty()) {
+    std::printf("graph passes: %s\n", program.pass_signature().c_str());
+  }
   std::size_t counts[16] = {};
   for (bpar::taskrt::TaskId id = 0; id < graph.size(); ++id) {
     ++counts[static_cast<std::size_t>(graph.task(id).spec.kind)];

@@ -1,8 +1,12 @@
 #include "graph/brnn_graph.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
+#include "graph/passes/registry.hpp"
 #include "kernels/elementwise.hpp"
 #include "kernels/gemm.hpp"
 #include "obs/trace.hpp"
@@ -149,13 +153,65 @@ struct TrainingProgram::ReplicaCtx {
   }
 };
 
+// Sequence-wide input projection of layer 0 for one (replica, direction):
+// a packed copy of this replica's input rows and its x·W_x^T image, built
+// in time chunks by the input_precompute pass's ops.
+struct TrainingProgram::PrecompBuf {
+  tensor::Matrix xpack;  // (T*rb) x in_width
+  tensor::Matrix proj;   // (T*rb) x gates*hidden
+  std::vector<const void*> chunk_addrs;  // dependency address per chunk
+  std::vector<int> chunk_begin;          // timestep begin per chunk + T
+  int rb = 0;
+  int cols = 0;  // gates * hidden
+};
+
+TrainingProgram::~TrainingProgram() = default;
+
+void TrainingProgram::resolve_schedule() {
+  const std::string& p = opts_.schedule_profile;
+  if (p.empty() || p == "bpar") {
+    // free-running B-Par schedule
+  } else if (p == "fused_merge") {
+    sched_.fuse_merge = true;
+  } else if (p == "layer_barriers") {
+    sched_.per_layer_barriers = true;
+  } else if (p == "sequential") {
+    sched_.sequential_directions = true;
+  } else if (p == "framework") {
+    sched_.per_layer_barriers = true;
+    sched_.sequential_directions = true;
+  } else {
+    std::fprintf(stderr,
+                 "[bpar] warning: unknown schedule_profile \"%s\"; "
+                 "using \"bpar\"\n",
+                 p.c_str());
+  }
+  if (opts_.per_layer_barriers || opts_.sequential_directions ||
+      opts_.fuse_merge) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(
+          stderr,
+          "[bpar] warning: BuildOptions::{fuse_merge, per_layer_barriers, "
+          "sequential_directions} are deprecated and will be removed; use "
+          "schedule_profile = \"fused_merge\" / \"layer_barriers\" / "
+          "\"sequential\" / \"framework\"\n");
+    }
+    sched_.per_layer_barriers |= opts_.per_layer_barriers;
+    sched_.sequential_directions |= opts_.sequential_directions;
+    sched_.fuse_merge |= opts_.fuse_merge;
+  }
+}
+
 TrainingProgram::TrainingProgram(rnn::Network& net, int total_batch,
                                  BuildOptions opts)
-    : net_(net), cfg_(net.config()), opts_(opts), total_batch_(total_batch) {
+    : net_(net), cfg_(net.config()), opts_(std::move(opts)),
+      total_batch_(total_batch) {
   BPAR_SPAN("graph.build");
   if (opts_.seq_length_override > 0) {
     cfg_.seq_length = opts_.seq_length_override;
   }
+  resolve_schedule();
   const NetworkConfig& cfg = cfg_;
   BPAR_CHECK(total_batch_ > 0, "total batch must be positive");
   BPAR_CHECK(opts_.num_replicas >= 1, "need >= 1 replica");
@@ -197,6 +253,8 @@ TrainingProgram::TrainingProgram(rnn::Network& net, int total_batch,
   }
 
   build();
+  run_passes();
+  lower();
   graph_.seal();
 }
 
@@ -224,14 +282,107 @@ void TrainingProgram::prepare() {
   if (opts_.training) master_grads_.zero();
 }
 
-TaskId TrainingProgram::add_task(std::function<void()> fn,
-                                 std::vector<Access> accesses, TaskSpec spec,
-                                 bool chunkable) {
+void TrainingProgram::add_op(std::function<void()> fn,
+                             std::vector<Access> accesses, TaskSpec spec,
+                             bool chunkable, int gemms) {
+  passes::Op op;
+  op.fn = std::move(fn);
+  op.accesses = std::move(accesses);
+  op.spec = std::move(spec);
+  op.chunkable = chunkable;
+  op.gemms = gemms;
+  ops_.push_back(std::move(op));
+}
+
+void TrainingProgram::add_cell_op(std::vector<Access> accesses, TaskSpec spec,
+                                  passes::CellInfo cell) {
+  passes::Op op;
+  op.accesses = std::move(accesses);
+  op.spec = std::move(spec);
+  op.chunkable = true;
+  op.gemms = passes::cell_forward_gemms(cell.lstm, false, false);
+  op.cell = std::move(cell);
+  ops_.push_back(std::move(op));
+}
+
+std::function<void()> TrainingProgram::make_cell_fn(passes::CellInfo ci) {
+  return [this, ci] {
+    const NetworkConfig& c = cfg_;
+    rnn::Workspace* ws = ci.ws;
+    ConstMatrixView x{};
+    if (!ci.precomputed) {
+      x = ci.layer == 0
+              ? x_[static_cast<std::size_t>(ci.ti)].cview().block(
+                    ci.r0, 0, ci.rb, c.input_size)
+              : ws->merged(ci.layer - 1, ci.ti).cview();
+    }
+    ConstMatrixView h_prev =
+        ci.step == 0 ? ws->zero_state.cview()
+                     : ws->tape(ci.dir, ci.layer, ci.step - 1).h.cview();
+    ConstMatrixView c_prev;
+    if (ci.lstm) {
+      c_prev = ci.step == 0
+                   ? ws->zero_state.cview()
+                   : ws->tape(ci.dir, ci.layer, ci.step - 1).c.cview();
+    }
+    rnn::CellForwardOpts fo;
+    fo.fuse_gates = ci.fuse_gates;
+    if (ci.precomputed) {
+      fo.precomp = ConstMatrixView{ci.precomp_row0, ci.rb, ci.precomp_cols,
+                                   ci.precomp_cols};
+    }
+    rnn::cell_forward_ex(*ci.params, ci.qw, x, h_prev, c_prev,
+                         ws->tape(ci.dir, ci.layer, ci.step).views(), fo);
+    if (ci.fused_merge) {
+      rnn::merge_forward(
+          c.merge, ws->tape(0, ci.layer, ci.step).h.cview(),
+          ws->tape(1, ci.layer, ci.steps - 1 - ci.step).h.cview(),
+          ws->merged(ci.layer, ci.step).view());
+    }
+  };
+}
+
+void TrainingProgram::run_passes() {
+  pass_report_ = {};
+  const passes::PassPipeline pipe = passes::make_pipeline(opts_.passes);
+  pass_report_.signature = pipe.signature();
+  if (pipe.empty()) return;
+  BPAR_SPAN("graph.passes");
+  passes::PassContext ctx{
+      *this,
+      opts_.executable,
+      opts_.training,
+      opts_.executable && !opts_.training && opts_.quantized != nullptr,
+      opts_.dispatch_ns == 0 ? 300 : opts_.dispatch_ns,
+      &pass_report_,
+      {}};
+  pipe.run(ops_, ctx);
+}
+
+void TrainingProgram::lower() {
+  BPAR_SPAN("graph.lower");
+  for (passes::Op& op : ops_) {
+    if (op.dead) continue;
+    gemm_launches_ += static_cast<std::size_t>(op.gemms);
+    std::function<void()> fn = std::move(op.fn);
+    if (op.cell.has_value() && opts_.executable) {
+      fn = make_cell_fn(*op.cell);
+    }
+    lower_one(std::move(fn), op.accesses, std::move(op.spec), op.chunkable);
+  }
+  ops_.clear();
+  ops_.shrink_to_fit();
+}
+
+void TrainingProgram::lower_one(std::function<void()> fn,
+                                std::vector<Access>& accesses, TaskSpec spec,
+                                bool chunkable) {
   if (!opts_.executable && !fn) fn = [] {};
   if (!chunkable || opts_.intra_op_chunks <= 1 || opts_.executable) {
-    return graph_.add(std::move(fn),
-                      std::span<const Access>(accesses.data(), accesses.size()),
-                      std::move(spec));
+    graph_.add(std::move(fn),
+               std::span<const Access>(accesses.data(), accesses.size()),
+               std::move(spec));
+    return;
   }
   // Shape-only intra-op emulation: N chunk tasks reading the cell's inputs,
   // then a join task carrying the cell's writes. Models a framework that
@@ -243,7 +394,7 @@ TaskId TrainingProgram::add_task(std::function<void()> fn,
     if (a.mode == taskrt::AccessMode::kIn) chunk_in.push_back(a);
     join_acc.push_back(a);
   }
-  std::vector<const void*> tokens;
+  std::vector<const void*> chunk_tokens;
   for (int i = 0; i < n; ++i) {
     TaskSpec chunk_spec = spec;
     chunk_spec.kind = TaskKind::kGemmChunk;
@@ -251,7 +402,7 @@ TaskId TrainingProgram::add_task(std::function<void()> fn,
     chunk_spec.working_set_bytes = spec.working_set_bytes / n;
     std::vector<Access> acc = chunk_in;
     const void* token = fresh_token();
-    tokens.push_back(token);
+    chunk_tokens.push_back(token);
     acc.push_back(out(token));
     graph_.add([] {}, std::span<const Access>(acc.data(), acc.size()),
                std::move(chunk_spec));
@@ -260,11 +411,142 @@ TaskId TrainingProgram::add_task(std::function<void()> fn,
   join_spec.flops = 0.0;
   join_spec.working_set_bytes = 0;
   join_spec.cost_hint_ns = 500;
-  for (const void* token : tokens) join_acc.push_back(in(token));
-  return graph_.add([] {},
-                    std::span<const Access>(join_acc.data(), join_acc.size()),
-                    std::move(join_spec));
+  for (const void* token : chunk_tokens) join_acc.push_back(in(token));
+  graph_.add([] {},
+             std::span<const Access>(join_acc.data(), join_acc.size()),
+             std::move(join_spec));
 }
+
+// ---- pass hooks ----
+
+passes::OpList TrainingProgram::make_precompute_ops(int rep, int dir,
+                                                    int chunks) {
+  const NetworkConfig& cfg = cfg_;
+  const int steps = cfg.seq_length;
+  const int rb = row_begin_[static_cast<std::size_t>(rep + 1)] -
+                 row_begin_[static_cast<std::size_t>(rep)];
+  const int r0 = row_begin_[static_cast<std::size_t>(rep)];
+  const int in_width = cfg.input_size;
+  const int gcols = rnn::gate_count(cfg.cell) * cfg.hidden_size;
+  const std::size_t key = static_cast<std::size_t>(rep) * 2 + dir;
+  if (precomp_.size() < static_cast<std::size_t>(opts_.num_replicas) * 2) {
+    precomp_.resize(static_cast<std::size_t>(opts_.num_replicas) * 2);
+  }
+  if (precomp_[key] != nullptr) return {};
+  chunks = std::clamp(chunks, 1, steps);
+
+  auto buf = std::make_unique<PrecompBuf>();
+  buf->rb = rb;
+  buf->cols = gcols;
+  if (opts_.executable) {
+    buf->xpack.resize(steps * rb, in_width);
+    buf->proj.resize(steps * rb, gcols);
+  }
+  const int tbase = steps / chunks;
+  const int textra = steps % chunks;
+  int tcur = 0;
+  for (int c = 0; c < chunks; ++c) {
+    buf->chunk_begin.push_back(tcur);
+    tcur += tbase + (c < textra ? 1 : 0);
+  }
+  buf->chunk_begin.push_back(steps);
+
+  const rnn::LayerParams* params =
+      opts_.executable ? &net_.layer(dir, 0) : nullptr;
+  const kernels::QuantizedMatrix* qw =
+      (opts_.executable && !opts_.training && opts_.quantized != nullptr)
+          ? &opts_.quantized->layer(dir, 0)
+          : nullptr;
+
+  passes::OpList ops;
+  for (int c = 0; c < chunks; ++c) {
+    const int t0 = buf->chunk_begin[static_cast<std::size_t>(c)];
+    const int t1 = buf->chunk_begin[static_cast<std::size_t>(c + 1)];
+    const void* addr =
+        opts_.executable
+            ? static_cast<const void*>(
+                  buf->proj.data() +
+                  static_cast<std::size_t>(t0) * rb * gcols)
+            : fresh_token();
+    buf->chunk_addrs.push_back(addr);
+
+    passes::Op op;
+    op.spec.kind = TaskKind::kInputPrecompute;
+    op.spec.name = std::string("x") + (dir == 0 ? "f" : "r") + "0.c" +
+                   std::to_string(c);
+    op.spec.layer = 0;
+    op.spec.step = t0;
+    op.spec.replica = rep;
+    op.spec.flops = 2.0 * (t1 - t0) * rb * in_width *
+                    static_cast<double>(gcols);
+    op.spec.working_set_bytes =
+        (static_cast<std::size_t>(t1 - t0) * rb * (in_width + gcols) +
+         static_cast<std::size_t>(in_width) * gcols) *
+        sizeof(float);
+    op.gemms = 1;
+    for (int t = t0; t < t1; ++t) {
+      op.accesses.push_back(in(
+          opts_.executable
+              ? static_cast<const void*>(
+                    x_[static_cast<std::size_t>(t)].data() +
+                    static_cast<std::size_t>(r0) * in_width)
+              : static_cast<const void*>(
+                    arenas_[static_cast<std::size_t>(rep)].data() +
+                    x_bases_[static_cast<std::size_t>(rep)] + t)));
+    }
+    op.accesses.push_back(out(addr));
+    if (opts_.executable) {
+      PrecompBuf* b = buf.get();
+      op.fn = [this, b, params, qw, t0, t1, rb, r0, in_width] {
+        BPAR_SPAN("graph.input_precompute");
+        for (int t = t0; t < t1; ++t) {
+          tensor::copy(
+              x_[static_cast<std::size_t>(t)].cview().block(r0, 0, rb,
+                                                            in_width),
+              b->xpack.view().block(t * rb, 0, rb, in_width));
+        }
+        const ConstMatrixView xv =
+            b->xpack.cview().block(t0 * rb, 0, (t1 - t0) * rb, in_width);
+        MatrixView pv =
+            b->proj.view().block(t0 * rb, 0, (t1 - t0) * rb, b->cols);
+        if (qw != nullptr) {
+          kernels::qgemm_nt(xv, qw->view().block(0, 0, qw->rows(), in_width),
+                            pv);
+        } else {
+          kernels::gemm_nt(xv, params->w_input(), pv);
+        }
+      };
+    }
+    ops.push_back(std::move(op));
+  }
+  precomp_[key] = std::move(buf);
+  return ops;
+}
+
+const void* TrainingProgram::precompute_chunk_addr(int rep, int dir,
+                                                   int ti) const {
+  const auto& buf = precomp_[static_cast<std::size_t>(rep) * 2 + dir];
+  BPAR_CHECK(buf != nullptr, "precompute buffers not built");
+  for (std::size_t c = 0; c + 1 < buf->chunk_begin.size(); ++c) {
+    if (ti < buf->chunk_begin[c + 1]) return buf->chunk_addrs[c];
+  }
+  BPAR_CHECK(false, "timestep ", ti, " outside precompute chunks");
+  return nullptr;
+}
+
+const float* TrainingProgram::precompute_row(int rep, int dir, int ti) const {
+  const auto& buf = precomp_[static_cast<std::size_t>(rep) * 2 + dir];
+  if (buf == nullptr || !opts_.executable) return nullptr;
+  return buf->proj.data() +
+         static_cast<std::size_t>(ti) * buf->rb * buf->cols;
+}
+
+int TrainingProgram::precompute_cols(int rep, int dir) const {
+  const auto& buf = precomp_[static_cast<std::size_t>(rep) * 2 + dir];
+  return buf == nullptr ? 0 : buf->cols;
+}
+
+// ---- graph construction (intermediate op form) ----
 
 void TrainingProgram::build() {
   for (int rep = 0; rep < opts_.num_replicas; ++rep) build_replica(rep);
@@ -319,6 +601,7 @@ void TrainingProgram::build_replica(int rep) {
     arenas_.emplace_back(off, 0);
     ctx.arena_data = arenas_.back().data();
     grads_bases_.push_back(ctx.grads_base);
+    x_bases_.push_back(ctx.x_base);
   }
 
   // Fresh forward-barrier tokens for this replica (framework emulation).
@@ -359,14 +642,13 @@ void TrainingProgram::build_forward_layer(ReplicaCtx& ctx, int l) {
   };
 
   auto fwd_barrier_in = [&](std::vector<Access>& acc) {
-    if (opts_.per_layer_barriers && l > 0) {
+    if (sched_.per_layer_barriers && l > 0) {
       acc.push_back(in(fwd_tokens_[static_cast<std::size_t>(l - 1)]));
     }
   };
 
   // One lambda per direction to emit the cell chain.
   auto emit_cells = [&](int dir) {
-    rnn::Workspace* ws = ctx.ws;
     const rnn::LayerParams* params =
         opts_.executable ? &net_.layer(dir, l) : nullptr;
     // int8 path: inference graphs only — training reads fp32 weights.
@@ -381,12 +663,12 @@ void TrainingProgram::build_forward_layer(ReplicaCtx& ctx, int l) {
       if (s > 0) acc.push_back(in(ctx.addr_h(dir, l, s - 1)));
       acc.push_back(in(l == 0 ? ctx.addr_x(ti) : ctx.addr_merged(l - 1, ti)));
       fwd_barrier_in(acc);
-      if (opts_.sequential_directions && dir == 1 && s == 0) {
+      if (sched_.sequential_directions && dir == 1 && s == 0) {
         // Framework emulation: the reverse sweep starts only after the
         // forward sweep of the same layer finished.
         acc.push_back(in(ctx.addr_h(0, l, steps - 1)));
       }
-      const bool fused_merge = opts_.fuse_merge && dir == 0 &&
+      const bool fused_merge = sched_.fuse_merge && dir == 0 &&
                                l < ctx.merged_layers();
       if (fused_merge) {
         // Ablation: the forward cell also computes merge(l, t) and thus
@@ -396,48 +678,33 @@ void TrainingProgram::build_forward_layer(ReplicaCtx& ctx, int l) {
       }
       acc.push_back(out(ctx.addr_h(dir, l, s)));
 
-      std::function<void()> fn;
-      if (opts_.executable) {
-        const int t = s;
-        fn = [this, ws, params, qw, dir, l, t, ti, lstm, fused_merge,
-              r0 = ctx.r0, rb = ctx.rb, steps] {
-          const NetworkConfig& c = cfg_;
-          ConstMatrixView x =
-              l == 0 ? x_[static_cast<std::size_t>(ti)].cview().block(
-                           r0, 0, rb, c.input_size)
-                     : ws->merged(l - 1, ti).cview();
-          ConstMatrixView h_prev = t == 0
-                                       ? ws->zero_state.cview()
-                                       : ws->tape(dir, l, t - 1).h.cview();
-          ConstMatrixView c_prev;
-          if (lstm) {
-            c_prev = t == 0 ? ws->zero_state.cview()
-                            : ws->tape(dir, l, t - 1).c.cview();
-          }
-          if (qw != nullptr) {
-            rnn::cell_forward_quantized(*params, *qw, x, h_prev, c_prev,
-                                        ws->tape(dir, l, t));
-          } else {
-            rnn::cell_forward(*params, x, h_prev, c_prev,
-                              ws->tape(dir, l, t));
-          }
-          if (fused_merge) {
-            rnn::merge_forward(c.merge, ws->tape(0, l, t).h.cview(),
-                               ws->tape(1, l, steps - 1 - t).h.cview(),
-                               ws->merged(l, t).view());
-          }
-        };
-      }
+      passes::CellInfo ci;
+      ci.ws = ctx.ws;
+      ci.params = params;
+      ci.qw = qw;
+      ci.rep = ctx.rep;
+      ci.dir = dir;
+      ci.layer = l;
+      ci.step = s;
+      ci.ti = ti;
+      ci.r0 = ctx.r0;
+      ci.rb = ctx.rb;
+      ci.steps = steps;
+      ci.in_width = in_width;
+      ci.hidden = cfg.hidden_size;
+      ci.gates = rnn::gate_count(cfg.cell);
+      ci.lstm = lstm;
+      ci.fused_merge = fused_merge;
+
       TaskSpec spec = cell_spec(dir, s);
       if (fused_merge) {
         spec.flops += rnn::merge_flops(cfg.merge, ctx.rb, cfg.hidden_size);
       }
-      add_task(std::move(fn), std::move(acc), std::move(spec),
-               /*chunkable=*/true);
+      add_cell_op(std::move(acc), std::move(spec), std::move(ci));
     }
   };
 
-  if (opts_.fuse_merge) {
+  if (sched_.fuse_merge) {
     emit_cells(1);  // reverse first: fused forward cells read reverse h
     emit_cells(0);
   } else {
@@ -446,7 +713,7 @@ void TrainingProgram::build_forward_layer(ReplicaCtx& ctx, int l) {
   }
 
   // Merge tasks of this layer (kept separate — the core B-Par idea).
-  if (l < ctx.merged_layers() && !opts_.fuse_merge) {
+  if (l < ctx.merged_layers() && !sched_.fuse_merge) {
     rnn::Workspace* ws = ctx.ws;
     for (int t = 0; t < steps; ++t) {
       std::vector<Access> acc{in(ctx.addr_h(0, l, t)),
@@ -469,13 +736,13 @@ void TrainingProgram::build_forward_layer(ReplicaCtx& ctx, int l) {
       spec.step = t;
       spec.replica = ctx.rep;
       spec.name = "m" + std::to_string(l) + "." + std::to_string(t);
-      add_task(std::move(fn), std::move(acc), std::move(spec), false);
+      add_op(std::move(fn), std::move(acc), std::move(spec), false);
     }
   }
 
   // Per-layer barrier (framework emulation): gate the next layer on every
   // merged output of this one.
-  if (opts_.per_layer_barriers && l < ctx.merged_layers()) {
+  if (sched_.per_layer_barriers && l < ctx.merged_layers()) {
     std::vector<Access> acc;
     for (int t = 0; t < steps; ++t) acc.push_back(in(ctx.addr_merged(l, t)));
     acc.push_back(out(fwd_tokens_[static_cast<std::size_t>(l)]));
@@ -484,7 +751,7 @@ void TrainingProgram::build_forward_layer(ReplicaCtx& ctx, int l) {
     spec.cost_hint_ns = 1000;
     spec.layer = l;
     spec.replica = ctx.rep;
-    add_task({}, std::move(acc), std::move(spec), false);
+    add_op({}, std::move(acc), std::move(spec), false);
   }
 }
 
@@ -516,7 +783,7 @@ void TrainingProgram::build_loss_and_dense(ReplicaCtx& ctx) {
     spec.layer = last;
     spec.replica = ctx.rep;
     spec.name = "final_merge";
-    add_task(std::move(fn), std::move(acc), std::move(spec), false);
+    add_op(std::move(fn), std::move(acc), std::move(spec), false);
   }
 
   const double weight =
@@ -565,7 +832,7 @@ void TrainingProgram::build_loss_and_dense(ReplicaCtx& ctx) {
     spec.step = t;
     spec.replica = ctx.rep;
     spec.name = "dense_fwd." + std::to_string(t);
-    add_task(std::move(fn), std::move(acc), std::move(spec), false);
+    add_op(std::move(fn), std::move(acc), std::move(spec), false, 1);
   }
 }
 
@@ -607,7 +874,7 @@ void TrainingProgram::build_dense_backward(ReplicaCtx& ctx) {
       spec.step = t;
       spec.replica = ctx.rep;
       spec.name = "loss_grad." + std::to_string(t);
-      add_task(std::move(fn), std::move(acc), std::move(spec), false);
+      add_op(std::move(fn), std::move(acc), std::move(spec), false);
     }
     // Dense backward: dw_out += dlogits^T y; dy += dlogits * W.
     {
@@ -640,7 +907,7 @@ void TrainingProgram::build_dense_backward(ReplicaCtx& ctx) {
       spec.step = t;
       spec.replica = ctx.rep;
       spec.name = "dense_bwd." + std::to_string(t);
-      add_task(std::move(fn), std::move(acc), std::move(spec), false);
+      add_op(std::move(fn), std::move(acc), std::move(spec), false, 2);
     }
   }
 
@@ -668,7 +935,7 @@ void TrainingProgram::build_dense_backward(ReplicaCtx& ctx) {
     spec.layer = last;
     spec.replica = ctx.rep;
     spec.name = "final_merge_bwd";
-    add_task(std::move(fn), std::move(acc), std::move(spec), false);
+    add_op(std::move(fn), std::move(acc), std::move(spec), false);
   }
 }
 
@@ -687,7 +954,7 @@ void TrainingProgram::build_backward_layer(ReplicaCtx& ctx, int l) {
   // Backward per-layer barrier (framework emulation): the merge-backward
   // tasks of layer l wait until layer l+1's backward fully drained.
   const void* bwd_token = nullptr;
-  if (opts_.per_layer_barriers && l < ctx.merged_layers()) {
+  if (sched_.per_layer_barriers && l < ctx.merged_layers()) {
     std::vector<Access> acc;
     for (int t = 0; t < steps; ++t) {
       acc.push_back(in(ctx.addr_dmerged(0, l, t)));
@@ -700,12 +967,12 @@ void TrainingProgram::build_backward_layer(ReplicaCtx& ctx, int l) {
     spec.cost_hint_ns = 1000;
     spec.layer = l;
     spec.replica = ctx.rep;
-    add_task({}, std::move(acc), std::move(spec), false);
+    add_op({}, std::move(acc), std::move(spec), false);
   }
 
   // Merge backward tasks: both directions' dmerged halves → dh of both
   // directions.
-  if (l < ctx.merged_layers() && !opts_.fuse_merge) {
+  if (l < ctx.merged_layers() && !sched_.fuse_merge) {
     for (int t = steps - 1; t >= 0; --t) {
       std::vector<Access> acc{in(ctx.addr_dmerged(0, l, t)),
                               in(ctx.addr_dmerged(1, l, t)),
@@ -736,7 +1003,7 @@ void TrainingProgram::build_backward_layer(ReplicaCtx& ctx, int l) {
       spec.step = t;
       spec.replica = ctx.rep;
       spec.name = "mb" + std::to_string(l) + "." + std::to_string(t);
-      add_task(std::move(fn), std::move(acc), std::move(spec), false);
+      add_op(std::move(fn), std::move(acc), std::move(spec), false);
     }
   }
 
@@ -746,9 +1013,11 @@ void TrainingProgram::build_backward_layer(ReplicaCtx& ctx, int l) {
   auto emit_bwd = [&](int dir) {
     const rnn::LayerParams* params =
         opts_.executable ? &net_.layer(dir, l) : nullptr;
+    const bool input_grads = l > 0 || opts_.compute_input_grads;
+    const int gemms = (lstm ? 3 : 6) + (input_grads ? (lstm ? 1 : 2) : 0);
     for (int s = steps - 1; s >= 0; --s) {
       const int ti = dir == 0 ? s : steps - 1 - s;
-      const bool fused_merge = opts_.fuse_merge && dir == 0 &&
+      const bool fused_merge = sched_.fuse_merge && dir == 0 &&
                                l < ctx.merged_layers();
       std::vector<Access> acc;
       // The fused-merge ablation also *writes* this dh (merge backward
@@ -836,7 +1105,7 @@ void TrainingProgram::build_backward_layer(ReplicaCtx& ctx, int l) {
       spec.replica = ctx.rep;
       spec.name = std::string(dir == 0 ? "bf" : "br") + std::to_string(l) +
                   "." + std::to_string(s);
-      add_task(std::move(fn), std::move(acc), std::move(spec), true);
+      add_op(std::move(fn), std::move(acc), std::move(spec), true, gemms);
     }
   };
   emit_bwd(0);
@@ -861,7 +1130,7 @@ void TrainingProgram::build_reduction() {
     TaskSpec spec;
     spec.kind = TaskKind::kLoss;
     spec.name = "reduce.loss";
-    add_task(std::move(fn), std::move(acc), std::move(spec), false);
+    add_op(std::move(fn), std::move(acc), std::move(spec), false);
   }
   if (!opts_.training) return;
 
@@ -919,7 +1188,7 @@ void TrainingProgram::build_reduction() {
           (opts_.num_replicas + 1) * shape_ref.param_count() * sizeof(float);
       spec.layer = l;
       spec.name = "reduce." + std::to_string(dir) + "." + std::to_string(l);
-      add_task(std::move(fn), std::move(acc), std::move(spec), false);
+      add_op(std::move(fn), std::move(acc), std::move(spec), false);
     }
   }
 
@@ -952,7 +1221,7 @@ void TrainingProgram::build_reduction() {
     spec.flops = 2.0 * opts_.num_replicas *
                  static_cast<double>(cfg.num_classes) * cfg.merged_size();
     spec.name = "reduce.dense";
-    add_task(std::move(fn), std::move(acc), std::move(spec), false);
+    add_op(std::move(fn), std::move(acc), std::move(spec), false);
   }
 }
 

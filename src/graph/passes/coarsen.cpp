@@ -1,0 +1,143 @@
+// TaskCoarsening: amortize dispatch cost over tiny adjacent tasks.
+//
+// A task whose body is shorter than the runtime's per-task dispatch cost
+// (queue push/pop, dependency countdown — measured via RunStats and fed in
+// through PassContext::dispatch_ns) wastes more time being scheduled than
+// running. This pass merges an op into its *immediately preceding* live op
+// when (a) the predecessor writes an address the op accesses — so they
+// could never run concurrently anyway — and (b) either body is tiny. Only
+// immediately-adjacent pairs are merged: with no live op between them, the
+// merged op's position cannot reorder any third task's address resolution,
+// so the dependency frontier is preserved exactly (access-mode union below).
+//
+// Cells, chunkable ops, barriers, and precompute GEMMs never coarsen; a
+// chain stops at 8 fused bodies.
+#include <algorithm>
+#include <string>
+
+#include "graph/passes/builtin.hpp"
+#include "graph/passes/pass.hpp"
+
+namespace bpar::graph::passes {
+
+namespace {
+
+using taskrt::Access;
+using taskrt::AccessMode;
+
+// Roofline body estimate with the paper's per-core calibration (40 GFLOP/s,
+// 12 GB/s effective): flops/40 and bytes/12 are both in ns.
+std::uint64_t est_body_ns(const Op& op) {
+  if (op.spec.flops > 0.0 || op.spec.working_set_bytes > 0) {
+    const double ns =
+        std::max(op.spec.flops / 40.0,
+                 static_cast<double>(op.spec.working_set_bytes) / 12.0);
+    return static_cast<std::uint64_t>(ns);
+  }
+  return op.spec.cost_hint_ns;
+}
+
+bool fusable(const Op& op) {
+  return !op.dead && !op.cell.has_value() && !op.chunkable &&
+         op.spec.kind != taskrt::TaskKind::kBarrier &&
+         op.spec.kind != taskrt::TaskKind::kInputPrecompute;
+}
+
+/// True when `a` writes an address `b` touches (RAW or WAW — they would be
+/// serialized by the graph regardless).
+bool dependent(const Op& a, const Op& b) {
+  for (const Access& aw : a.accesses) {
+    if (aw.mode == AccessMode::kIn) continue;
+    for (const Access& bacc : b.accesses) {
+      if (bacc.addr == aw.addr) return true;
+    }
+  }
+  return false;
+}
+
+/// Merged mode of an address first accessed as `first`, later as `later`
+/// within the same fused body: an initial read of externally produced data
+/// followed by a write must stay visible as both (kInOut); an initial write
+/// already owns the slot, so later accesses are internal.
+AccessMode combine(AccessMode first, AccessMode later) {
+  if (first == AccessMode::kIn &&
+      (later == AccessMode::kOut || later == AccessMode::kInOut)) {
+    return AccessMode::kInOut;
+  }
+  return first;
+}
+
+void merge_into(Op& a, Op& b) {
+  for (const Access& bacc : b.accesses) {
+    bool found = false;
+    for (Access& aacc : a.accesses) {
+      if (aacc.addr == bacc.addr) {
+        aacc.mode = combine(aacc.mode, bacc.mode);
+        found = true;
+        break;
+      }
+    }
+    if (!found) a.accesses.push_back(bacc);
+  }
+  if (a.fn || b.fn) {
+    a.fn = [fa = std::move(a.fn), fb = std::move(b.fn)] {
+      if (fa) fa();
+      if (fb) fb();
+    };
+  }
+  a.spec.name += "+" + b.spec.name;
+  a.spec.kind = taskrt::TaskKind::kCoarsened;
+  a.spec.flops += b.spec.flops;
+  a.spec.working_set_bytes += b.spec.working_set_bytes;
+  a.spec.cost_hint_ns += b.spec.cost_hint_ns;
+  a.fused_bodies += b.fused_bodies;
+  a.gemms += b.gemms;
+  b.dead = true;
+}
+
+class TaskCoarsening final : public GraphPass {
+ public:
+  explicit TaskCoarsening(std::uint64_t threshold_ns)
+      : threshold_ns_(threshold_ns) {}
+
+  [[nodiscard]] std::string_view name() const override { return "coarsen"; }
+
+  std::size_t run(OpList& ops, PassContext& ctx) override {
+    const std::uint64_t threshold =
+        threshold_ns_ != 0 ? threshold_ns_ : 4 * ctx.dispatch_ns;
+    std::size_t merges = 0;
+    std::size_t i = 0;
+    while (i < ops.size()) {
+      // Ops between i and j are only ever dead because this loop merged
+      // them into i, so the region stays conflict-free.
+      std::size_t j = i + 1;
+      while (j < ops.size() && ops[j].dead) ++j;
+      if (j >= ops.size()) break;
+      Op& a = ops[i];
+      Op& b = ops[j];
+      if (fusable(a) && fusable(b) && a.spec.replica == b.spec.replica &&
+          a.fused_bodies + b.fused_bodies <= 8 &&
+          std::min(est_body_ns(a), est_body_ns(b)) <= threshold &&
+          dependent(a, b)) {
+        merge_into(a, b);
+        ++merges;
+        continue;  // try to extend the chain with the next live op
+      }
+      i = j;
+    }
+    ctx.last_detail = std::to_string(merges) + " merges at threshold " +
+                      std::to_string(threshold) + " ns";
+    return merges;
+  }
+
+ private:
+  std::uint64_t threshold_ns_;
+};
+
+}  // namespace
+
+std::unique_ptr<GraphPass> make_task_coarsening(std::uint64_t threshold_ns) {
+  return std::make_unique<TaskCoarsening>(threshold_ns);
+}
+
+}  // namespace bpar::graph::passes

@@ -1,0 +1,41 @@
+#include "graph/passes/pass.hpp"
+
+#include <algorithm>
+
+namespace bpar::graph::passes {
+
+namespace {
+std::size_t live_ops(const OpList& ops) {
+  return static_cast<std::size_t>(
+      std::count_if(ops.begin(), ops.end(),
+                    [](const Op& op) { return !op.dead; }));
+}
+}  // namespace
+
+std::string PassPipeline::signature() const {
+  if (passes_.empty()) return "none";
+  std::string sig;
+  for (const auto& pass : passes_) {
+    if (!sig.empty()) sig += '+';
+    sig += pass->name();
+  }
+  return sig;
+}
+
+void PassPipeline::run(OpList& ops, PassContext& ctx) const {
+  if (ctx.report != nullptr) {
+    ctx.report->signature = signature();
+    ctx.report->tasks_before = live_ops(ops);
+  }
+  for (const auto& pass : passes_) {
+    ctx.last_detail.clear();
+    const std::size_t rewrites = pass->run(ops, ctx);
+    if (ctx.report != nullptr) {
+      ctx.report->entries.push_back(
+          {std::string(pass->name()), rewrites, std::move(ctx.last_detail)});
+    }
+  }
+  if (ctx.report != nullptr) ctx.report->tasks_after = live_ops(ops);
+}
+
+}  // namespace bpar::graph::passes

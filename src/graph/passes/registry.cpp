@@ -1,0 +1,123 @@
+#include "graph/passes/registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/passes/builtin.hpp"
+
+namespace bpar::graph::passes {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool is_none(std::string_view spec) {
+  return spec.empty() || spec == "none" || spec == "off";
+}
+
+int parse_int_param(const std::string& param, int fallback) {
+  if (param.empty()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(param.c_str(), &end, 10);
+  if (end == param.c_str() || *end != '\0' || v <= 0) return fallback;
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+std::vector<PassSpec> parse_pass_spec(std::string_view spec) {
+  spec = trim(spec);
+  if (is_none(spec)) return {};
+  std::vector<PassSpec> out;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view token = trim(spec.substr(0, comma));
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    if (token.empty()) continue;
+    if (token == "default") {
+      for (PassSpec& s : parse_pass_spec(kDefaultPassSpec)) {
+        out.push_back(std::move(s));
+      }
+      continue;
+    }
+    const std::size_t colon = token.find(':');
+    PassSpec s;
+    s.name = std::string(trim(token.substr(0, colon)));
+    if (colon != std::string_view::npos) {
+      s.param = std::string(trim(token.substr(colon + 1)));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::string> known_passes() {
+  return {"gate_fusion", "input_precompute", "coarsen"};
+}
+
+std::unique_ptr<GraphPass> make_pass(const PassSpec& spec) {
+  if (spec.name == "gate_fusion") return make_gate_fusion();
+  if (spec.name == "input_precompute") {
+    return make_input_precompute(parse_int_param(spec.param, 4));
+  }
+  if (spec.name == "coarsen") {
+    return make_task_coarsening(
+        static_cast<std::uint64_t>(parse_int_param(spec.param, 0)));
+  }
+  return nullptr;
+}
+
+PassPipeline make_pipeline(std::string_view spec) {
+  PassPipeline pipe;
+  for (const PassSpec& s : parse_pass_spec(spec)) {
+    std::unique_ptr<GraphPass> pass = make_pass(s);
+    if (pass == nullptr) {
+      std::fprintf(stderr,
+                   "[bpar] warning: unknown graph pass '%s' ignored "
+                   "(known: gate_fusion, input_precompute, coarsen)\n",
+                   s.name.c_str());
+      continue;
+    }
+    pipe.add(std::move(pass));
+  }
+  return pipe;
+}
+
+std::string effective_pass_spec(std::string_view requested) {
+  std::string spec{trim(requested)};
+  if (spec.empty() || spec == "default") {
+    const char* env = std::getenv("BPAR_GRAPH_PASSES");
+    spec = (env != nullptr && *env != '\0') ? env
+                                            : std::string(kDefaultPassSpec);
+  }
+  if (is_none(trim(spec))) return "";
+  for (const PassSpec& s : parse_pass_spec(spec)) {
+    bool known = false;
+    for (const std::string& name : known_passes()) {
+      if (s.name == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr,
+                   "[bpar] warning: unknown graph pass '%s' in \"%s\"; "
+                   "falling back to default pipeline \"%s\"\n",
+                   s.name.c_str(), spec.c_str(),
+                   std::string(kDefaultPassSpec).c_str());
+      return std::string(kDefaultPassSpec);
+    }
+  }
+  return spec;
+}
+
+}  // namespace bpar::graph::passes

@@ -193,7 +193,8 @@ InferenceEngine::InferenceEngine(const rnn::NetworkConfig& config,
           net_,
           exec::BParOptions{.common = options.executor,
                             .record_trace = options.record_trace,
-                            .quantized_inference = options.quantized})),
+                            .quantized_inference = options.quantized,
+                            .passes = options.passes})),
       started_(Clock::now()),
       native_backend_(kernels::active_backend_name()),
       slo_(options.slo) {
@@ -639,7 +640,8 @@ exec::BParExecutor& InferenceEngine::active_executor() {
       fp32_executor_ = std::make_unique<exec::BParExecutor>(
           net_, exec::BParOptions{.common = options_.executor,
                                   .record_trace = options_.record_trace,
-                                  .quantized_inference = false});
+                                  .quantized_inference = false,
+                                  .passes = options_.passes});
     }
     return *fp32_executor_;
   }
@@ -655,7 +657,8 @@ std::string InferenceEngine::try_execute(const rnn::BatchData& batch,
       // Benchmark mode: pay graph construction on every batch.
       exec::BParExecutor fresh(
           net_, exec::BParOptions{.common = options_.executor,
-                                  .quantized_inference = options_.quantized});
+                                  .quantized_inference = options_.quantized,
+                                  .passes = options_.passes});
       result = fresh.infer(batch, {.want_logits = need_logits});
     } else {
       exec::BParExecutor& executor = active_executor();
@@ -942,7 +945,8 @@ void InferenceEngine::rebuild_executor() {
     executor_ = std::make_unique<exec::BParExecutor>(
         net_, exec::BParOptions{.common = options_.executor,
                                 .record_trace = options_.record_trace,
-                                .quantized_inference = options_.quantized});
+                                .quantized_inference = options_.quantized,
+                                .passes = options_.passes});
   }
 }
 

@@ -26,8 +26,7 @@ struct Completion {
   }
 };
 
-constexpr std::size_t kNumKinds =
-    static_cast<std::size_t>(taskrt::TaskKind::kBarrier) + 1;
+constexpr std::size_t kNumKinds = taskrt::kNumTaskKinds;
 
 }  // namespace
 
